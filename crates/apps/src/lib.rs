@@ -1,0 +1,24 @@
+//! # inano-apps
+//!
+//! The three peer-to-peer application case studies of §7, built on the
+//! iNano library:
+//!
+//! * [`cdn`] — client-side CDN replica selection (§7.1, Figure 9), with
+//!   the PFTK/short-flow TCP transfer-time model of [`tcp_model`] and the
+//!   OASIS-like geo-anycast baseline in [`oasis`];
+//! * [`voip`] — VoIP relay selection minimising loss then latency
+//!   (§7.2, Figure 10), scored by loss and MOS;
+//! * [`detour`] — routing around failures by picking detour nodes whose
+//!   predicted paths are maximally disjoint from the direct path
+//!   (§7.3, Figure 11), against SOSR-style random detours.
+
+pub mod cdn;
+pub mod detour;
+pub mod oasis;
+pub mod tcp_model;
+pub mod voip;
+
+pub use cdn::{CdnExperiment, ReplicaStrategy};
+pub use detour::{rank_detours, DetourOutcome};
+pub use tcp_model::transfer_time_secs;
+pub use voip::{RelayStrategy, VoipCall};

@@ -1,0 +1,578 @@
+//! Compact binary encoding of the atlas.
+//!
+//! The paper ships the atlas as compressed files (Table 2 reports
+//! compressed sizes). We have no compression crate offline, so we encode
+//! structurally instead: sorted tables, delta-encoded keys, LEB128
+//! varints, and quantised metrics (0.1 ms latency, 1⁄1000 loss). This
+//! captures the same redundancy gzip would (sortedness and small deltas)
+//! and makes the Table-2 *ratios* — per-dataset shares, delta vs full —
+//! meaningful; absolute bytes are upper bounds on a gzip deployment.
+//!
+//! Sections are length-prefixed so [`crate::stats`] can attribute bytes
+//! per dataset.
+
+use crate::datasets::{Atlas, LinkAnnotation, Plane, Triple};
+use inano_model::{Asn, ClusterId, Ipv4, LatencyMs, LossRate, ModelError, Prefix, PrefixId};
+use std::collections::{BTreeMap, BTreeSet};
+
+const MAGIC: &[u8; 6] = b"INANO1";
+
+/// Section identifiers, in encoding order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Section {
+    Links = 0,
+    Loss = 1,
+    PrefixCluster = 2,
+    PrefixAs = 3,
+    AsDegrees = 4,
+    Tuples = 5,
+    Prefs = 6,
+    Providers = 7,
+}
+
+/// Byte size of each encoded section.
+#[derive(Clone, Debug, Default)]
+pub struct SectionSizes {
+    pub sizes: [usize; 8],
+}
+
+impl SectionSizes {
+    pub fn total(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+}
+
+// ---------- varint primitives ----------
+
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, ModelError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or_else(|| ModelError::Decode("truncated varint".into()))?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ModelError::Decode("varint overflow".into()));
+        }
+    }
+}
+
+fn quantise_latency(l: LatencyMs) -> u64 {
+    (l.ms() * 10.0).round() as u64
+}
+
+fn unquantise_latency(v: u64) -> LatencyMs {
+    LatencyMs::new(v as f64 / 10.0)
+}
+
+fn quantise_loss(l: LossRate) -> u64 {
+    (l.rate() * 1000.0).round() as u64
+}
+
+fn unquantise_loss(v: u64) -> LossRate {
+    LossRate::new(v as f64 / 1000.0)
+}
+
+// ---------- encode ----------
+
+/// Encode the atlas; returns the bytes and per-section sizes.
+pub fn encode(atlas: &Atlas) -> (Vec<u8>, SectionSizes) {
+    let mut out = Vec::with_capacity(1 << 20);
+    out.extend_from_slice(MAGIC);
+    put_varint(&mut out, atlas.day as u64);
+    let mut sizes = SectionSizes::default();
+
+    let mut section = |out: &mut Vec<u8>, idx: usize, body: Vec<u8>| {
+        put_varint(out, body.len() as u64);
+        out.extend_from_slice(&body);
+        sizes.sizes[idx] = body.len();
+    };
+
+    // Links: delta on `from`, raw `to`, plane bits, latency (+1, 0=None),
+    // plus the cluster→AS table (clusters are meaningless without it).
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.links.len() as u64);
+    let mut prev_from = 0u64;
+    for (&(from, to), ann) in &atlas.links {
+        let f = from.raw() as u64;
+        put_varint(&mut body, f - prev_from);
+        prev_from = f;
+        put_varint(&mut body, to.raw() as u64);
+        body.push(ann.plane.bits());
+        match ann.latency {
+            Some(l) => put_varint(&mut body, quantise_latency(l) + 1),
+            None => put_varint(&mut body, 0),
+        }
+    }
+    put_varint(&mut body, atlas.cluster_as.len() as u64);
+    let mut prev_c = 0u64;
+    for (&c, &a) in &atlas.cluster_as {
+        put_varint(&mut body, c.raw() as u64 - prev_c);
+        prev_c = c.raw() as u64;
+        put_varint(&mut body, a.raw() as u64);
+    }
+    section(&mut out, Section::Links as usize, body);
+
+    // Loss.
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.loss.len() as u64);
+    let mut prev_from = 0u64;
+    for (&(from, to), &loss) in &atlas.loss {
+        let f = from.raw() as u64;
+        put_varint(&mut body, f - prev_from);
+        prev_from = f;
+        put_varint(&mut body, to.raw() as u64);
+        put_varint(&mut body, quantise_loss(loss));
+    }
+    section(&mut out, Section::Loss as usize, body);
+
+    // Prefix → cluster.
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.prefix_cluster.len() as u64);
+    let mut prev_p = 0u64;
+    for (&p, &c) in &atlas.prefix_cluster {
+        put_varint(&mut body, p.raw() as u64 - prev_p);
+        prev_p = p.raw() as u64;
+        put_varint(&mut body, c.raw() as u64);
+    }
+    section(&mut out, Section::PrefixCluster as usize, body);
+
+    // Prefix → AS (with CIDR).
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.prefix_as.len() as u64);
+    let mut prev_p = 0u64;
+    let mut prev_addr = 0u64;
+    for (&p, &(pfx, a)) in &atlas.prefix_as {
+        put_varint(&mut body, p.raw() as u64 - prev_p);
+        prev_p = p.raw() as u64;
+        let addr = pfx.addr().raw() as u64;
+        put_varint(&mut body, addr.wrapping_sub(prev_addr));
+        prev_addr = addr;
+        body.push(pfx.len());
+        put_varint(&mut body, a.raw() as u64);
+    }
+    section(&mut out, Section::PrefixAs as usize, body);
+
+    // AS degrees.
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.as_degree.len() as u64);
+    let mut prev_a = 0u64;
+    for (&a, &d) in &atlas.as_degree {
+        put_varint(&mut body, a.raw() as u64 - prev_a);
+        prev_a = a.raw() as u64;
+        put_varint(&mut body, d as u64);
+    }
+    section(&mut out, Section::AsDegrees as usize, body);
+
+    // Tuples: delta on the first AS.
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.tuples.len() as u64);
+    let mut prev = 0u64;
+    for &Triple(a, b, c) in &atlas.tuples {
+        put_varint(&mut body, a.raw() as u64 - prev);
+        prev = a.raw() as u64;
+        put_varint(&mut body, b.raw() as u64);
+        put_varint(&mut body, c.raw() as u64);
+    }
+    section(&mut out, Section::Tuples as usize, body);
+
+    // Preferences.
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.prefs.len() as u64);
+    let mut prev = 0u64;
+    for &(a, b, c) in &atlas.prefs {
+        put_varint(&mut body, a.raw() as u64 - prev);
+        prev = a.raw() as u64;
+        put_varint(&mut body, b.raw() as u64);
+        put_varint(&mut body, c.raw() as u64);
+    }
+    section(&mut out, Section::Prefs as usize, body);
+
+    // Providers (per-AS, then per-prefix).
+    let mut body = Vec::new();
+    put_varint(&mut body, atlas.providers.len() as u64);
+    let mut prev = 0u64;
+    for (&a, set) in &atlas.providers {
+        put_varint(&mut body, a.raw() as u64 - prev);
+        prev = a.raw() as u64;
+        put_varint(&mut body, set.len() as u64);
+        let mut prev_m = 0u64;
+        for &m in set {
+            put_varint(&mut body, (m.raw() as u64).wrapping_sub(prev_m));
+            prev_m = m.raw() as u64;
+        }
+    }
+    put_varint(&mut body, atlas.prefix_providers.len() as u64);
+    let mut prev = 0u64;
+    for (&p, set) in &atlas.prefix_providers {
+        put_varint(&mut body, p.raw() as u64 - prev);
+        prev = p.raw() as u64;
+        put_varint(&mut body, set.len() as u64);
+        let mut prev_m = 0u64;
+        for &m in set {
+            put_varint(&mut body, (m.raw() as u64).wrapping_sub(prev_m));
+            prev_m = m.raw() as u64;
+        }
+    }
+    section(&mut out, Section::Providers as usize, body);
+
+    (out, sizes)
+}
+
+// ---------- decode ----------
+
+/// Decode an atlas previously produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Atlas, ModelError> {
+    let mut pos = 0usize;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(ModelError::Decode("bad magic".into()));
+    }
+    pos += MAGIC.len();
+    let day = get_varint(bytes, &mut pos)? as u32;
+    let mut atlas = Atlas {
+        day,
+        ..Atlas::default()
+    };
+
+    let next_section = |pos: &mut usize| -> Result<(usize, usize), ModelError> {
+        let len = get_varint(bytes, pos)? as usize;
+        let start = *pos;
+        if start + len > bytes.len() {
+            return Err(ModelError::Decode("truncated section".into()));
+        }
+        *pos += len;
+        Ok((start, start + len))
+    };
+
+    // Links.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev_from = 0u64;
+    for _ in 0..n {
+        prev_from += get_varint(bytes, &mut p)?;
+        let to = get_varint(bytes, &mut p)?;
+        let plane = Plane::from_bits(
+            *bytes
+                .get(p)
+                .ok_or_else(|| ModelError::Decode("truncated plane".into()))?,
+        );
+        p += 1;
+        let lat = get_varint(bytes, &mut p)?;
+        atlas.links.insert(
+            (ClusterId::new(prev_from as u32), ClusterId::new(to as u32)),
+            LinkAnnotation {
+                latency: if lat == 0 {
+                    None
+                } else {
+                    Some(unquantise_latency(lat - 1))
+                },
+                plane,
+            },
+        );
+    }
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev_c = 0u64;
+    for _ in 0..n {
+        prev_c += get_varint(bytes, &mut p)?;
+        let a = get_varint(bytes, &mut p)?;
+        atlas
+            .cluster_as
+            .insert(ClusterId::new(prev_c as u32), Asn::new(a as u32));
+    }
+    check_end(p, end)?;
+
+    // Loss.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev_from = 0u64;
+    for _ in 0..n {
+        prev_from += get_varint(bytes, &mut p)?;
+        let to = get_varint(bytes, &mut p)?;
+        let loss = get_varint(bytes, &mut p)?;
+        atlas.loss.insert(
+            (ClusterId::new(prev_from as u32), ClusterId::new(to as u32)),
+            unquantise_loss(loss),
+        );
+    }
+    check_end(p, end)?;
+
+    // Prefix → cluster.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev_p = 0u64;
+    for _ in 0..n {
+        prev_p += get_varint(bytes, &mut p)?;
+        let c = get_varint(bytes, &mut p)?;
+        atlas
+            .prefix_cluster
+            .insert(PrefixId::new(prev_p as u32), ClusterId::new(c as u32));
+    }
+    check_end(p, end)?;
+
+    // Prefix → AS.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev_pid = 0u64;
+    let mut prev_addr = 0u64;
+    for _ in 0..n {
+        prev_pid += get_varint(bytes, &mut p)?;
+        prev_addr = prev_addr.wrapping_add(get_varint(bytes, &mut p)?);
+        let len = *bytes
+            .get(p)
+            .ok_or_else(|| ModelError::Decode("truncated prefix len".into()))?;
+        p += 1;
+        let a = get_varint(bytes, &mut p)?;
+        atlas.prefix_as.insert(
+            PrefixId::new(prev_pid as u32),
+            (
+                Prefix::new(Ipv4(prev_addr as u32), len),
+                Asn::new(a as u32),
+            ),
+        );
+    }
+    check_end(p, end)?;
+
+    // AS degrees.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev_a = 0u64;
+    for _ in 0..n {
+        prev_a += get_varint(bytes, &mut p)?;
+        let d = get_varint(bytes, &mut p)?;
+        atlas
+            .as_degree
+            .insert(Asn::new(prev_a as u32), d as u32);
+    }
+    check_end(p, end)?;
+
+    // Tuples.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev += get_varint(bytes, &mut p)?;
+        let b = get_varint(bytes, &mut p)?;
+        let c = get_varint(bytes, &mut p)?;
+        atlas.tuples.insert(Triple(
+            Asn::new(prev as u32),
+            Asn::new(b as u32),
+            Asn::new(c as u32),
+        ));
+    }
+    check_end(p, end)?;
+
+    // Preferences.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev += get_varint(bytes, &mut p)?;
+        let b = get_varint(bytes, &mut p)?;
+        let c = get_varint(bytes, &mut p)?;
+        atlas
+            .prefs
+            .insert((Asn::new(prev as u32), Asn::new(b as u32), Asn::new(c as u32)));
+    }
+    check_end(p, end)?;
+
+    // Providers.
+    let (mut p, end) = next_section(&mut pos)?;
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev += get_varint(bytes, &mut p)?;
+        let k = get_varint(bytes, &mut p)?;
+        let mut set = BTreeSet::new();
+        let mut prev_m = 0u64;
+        for _ in 0..k {
+            prev_m = prev_m.wrapping_add(get_varint(bytes, &mut p)?);
+            set.insert(Asn::new(prev_m as u32));
+        }
+        atlas.providers.insert(Asn::new(prev as u32), set);
+    }
+    let n = get_varint(bytes, &mut p)?;
+    let mut prev = 0u64;
+    for _ in 0..n {
+        prev += get_varint(bytes, &mut p)?;
+        let k = get_varint(bytes, &mut p)?;
+        let mut set = BTreeSet::new();
+        let mut prev_m = 0u64;
+        for _ in 0..k {
+            prev_m = prev_m.wrapping_add(get_varint(bytes, &mut p)?);
+            set.insert(Asn::new(prev_m as u32));
+        }
+        atlas.prefix_providers.insert(PrefixId::new(prev as u32), set);
+    }
+    check_end(p, end)?;
+
+    Ok(atlas)
+}
+
+fn check_end(p: usize, end: usize) -> Result<(), ModelError> {
+    if p != end {
+        return Err(ModelError::Decode(format!(
+            "section length mismatch: read to {p}, expected {end}"
+        )));
+    }
+    Ok(())
+}
+
+/// Round an atlas's metrics to codec precision, so encode→decode is exact
+/// on the result (used to normalise before equality comparisons in tests
+/// and delta computation).
+pub fn quantise(atlas: &Atlas) -> Atlas {
+    let mut a = atlas.clone();
+    let links: BTreeMap<_, _> = a
+        .links
+        .iter()
+        .map(|(&k, ann)| {
+            (
+                k,
+                LinkAnnotation {
+                    latency: ann.latency.map(|l| unquantise_latency(quantise_latency(l))),
+                    plane: ann.plane,
+                },
+            )
+        })
+        .collect();
+    a.links = links;
+    let loss: BTreeMap<_, _> = a
+        .loss
+        .iter()
+        .map(|(&k, &l)| (k, unquantise_loss(quantise_loss(l))))
+        .collect();
+    a.loss = loss;
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_model::LatencyMs;
+
+    fn sample_atlas() -> Atlas {
+        let mut a = Atlas {
+            day: 3,
+            ..Atlas::default()
+        };
+        a.links.insert(
+            (ClusterId::new(1), ClusterId::new(2)),
+            LinkAnnotation {
+                latency: Some(LatencyMs::new(4.2)),
+                plane: Plane::TO_DST,
+            },
+        );
+        a.links.insert(
+            (ClusterId::new(2), ClusterId::new(7)),
+            LinkAnnotation {
+                latency: None,
+                plane: Plane::TO_DST.union(Plane::FROM_SRC),
+            },
+        );
+        a.cluster_as.insert(ClusterId::new(1), Asn::new(10));
+        a.cluster_as.insert(ClusterId::new(2), Asn::new(11));
+        a.cluster_as.insert(ClusterId::new(7), Asn::new(12));
+        a.loss
+            .insert((ClusterId::new(1), ClusterId::new(2)), LossRate::new(0.035));
+        a.prefix_cluster.insert(PrefixId::new(5), ClusterId::new(2));
+        a.prefix_as.insert(
+            PrefixId::new(5),
+            (
+                Prefix::new(Ipv4::from_octets(10, 2, 3, 0), 24),
+                Asn::new(11),
+            ),
+        );
+        a.as_degree.insert(Asn::new(10), 7);
+        a.tuples
+            .insert(Triple::canonical(Asn::new(10), Asn::new(11), Asn::new(12)));
+        a.prefs.insert((Asn::new(10), Asn::new(11), Asn::new(13)));
+        a.providers
+            .insert(Asn::new(12), [Asn::new(11), Asn::new(10)].into_iter().collect());
+        a.prefix_providers
+            .insert(PrefixId::new(5), [Asn::new(10)].into_iter().collect());
+        a
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let vals = [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX];
+        for &v in &vals {
+            put_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 20);
+        buf.pop();
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn atlas_roundtrip_exact_after_quantise() {
+        let a = quantise(&sample_atlas());
+        let (bytes, sizes) = encode(&a);
+        assert!(sizes.total() > 0);
+        let b = decode(&bytes).unwrap();
+        assert_eq!(a.day, b.day);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(a.prefix_cluster, b.prefix_cluster);
+        assert_eq!(a.prefix_as, b.prefix_as);
+        assert_eq!(a.as_degree, b.as_degree);
+        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.prefs, b.prefs);
+        assert_eq!(a.providers, b.providers);
+        assert_eq!(a.prefix_providers, b.prefix_providers);
+        assert_eq!(a.cluster_as, b.cluster_as);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (mut bytes, _) = encode(&sample_atlas());
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let (bytes, _) = encode(&sample_atlas());
+        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn empty_atlas_roundtrips() {
+        let a = Atlas::default();
+        let (bytes, _) = encode(&a);
+        let b = decode(&bytes).unwrap();
+        assert_eq!(b.total_entries(), 0);
+    }
+}

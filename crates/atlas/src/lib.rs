@@ -1,0 +1,35 @@
+//! # inano-atlas
+//!
+//! The heart of iNano's compactness claim: instead of iPlane's multi-GB
+//! atlas of measured *paths*, iNano ships an atlas of measured *links*
+//! plus just enough policy evidence to re-derive paths — eight datasets
+//! (Table 2 of the paper):
+//!
+//! 1. inter-cluster links annotated with latencies (two planes: `TO_DST`
+//!    from vantage-point traceroutes, `FROM_SRC` from end-host ones),
+//! 2. link loss rates (only lossy links are stored),
+//! 3. prefix → cluster attachment,
+//! 4. prefix → origin AS,
+//! 5. AS degrees,
+//! 6. AS 3-tuples (observed export behaviour),
+//! 7. AS preferences (observed tie-break behaviour),
+//! 8. provider mappings (per-AS, refined per-prefix).
+//!
+//! This crate owns the dataset types, the builder that distils a
+//! [`inano_measure::MeasurementDay`] into an [`Atlas`], a compact binary
+//! codec (varint + delta encoding over sorted tables — our stand-in for
+//! the paper's gzip, documented in DESIGN.md), daily delta computation
+//! and application, and the Table-2 size accounting.
+
+pub mod builder;
+pub mod codec;
+pub mod datasets;
+pub mod delta;
+pub mod relinfer;
+pub mod stats;
+
+pub use builder::{build_atlas, AtlasConfig};
+pub use datasets::{Atlas, LinkAnnotation, Plane, Triple};
+pub use delta::AtlasDelta;
+pub use relinfer::InferredRels;
+pub use stats::{atlas_stats, delta_stats, DatasetStat};

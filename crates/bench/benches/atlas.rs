@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks for the atlas pipeline: building the atlas
+//! from a measurement day, encoding/decoding it (what a client does at
+//! bootstrap), and computing/applying daily deltas (what server and
+//! client do every day).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inano_atlas::{build_atlas, codec, AtlasConfig, AtlasDelta};
+use inano_bench::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_atlas(c: &mut Criterion) {
+    let sc = Scenario::build(ScenarioConfig::test(78));
+    let (day1, atlas1) = sc.atlas_for_day(1);
+    let _ = day1;
+    let (bytes, _) = codec::encode(&sc.atlas);
+
+    c.bench_function("build_atlas_from_measurement_day", |b| {
+        b.iter(|| {
+            black_box(build_atlas(
+                &sc.net,
+                &sc.clustering,
+                &sc.day0,
+                &AtlasConfig::default(),
+            ))
+        })
+    });
+
+    c.bench_function("encode_atlas", |b| {
+        b.iter(|| black_box(codec::encode(&sc.atlas)))
+    });
+
+    c.bench_function("decode_atlas", |b| {
+        b.iter(|| black_box(codec::decode(&bytes).expect("decodes")))
+    });
+
+    c.bench_function("delta_between_days", |b| {
+        b.iter(|| black_box(AtlasDelta::between(&sc.atlas, &atlas1)))
+    });
+
+    let delta = AtlasDelta::between(&sc.atlas, &atlas1);
+    c.bench_function("delta_apply", |b| {
+        b.iter(|| black_box(delta.apply(&sc.atlas).expect("applies")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_atlas
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks for the prediction engine: the costs a
+//! client pays — graph construction at bootstrap, a cold
+//! destination-rooted search, and warm (cached-search) queries — for
+//! both the full iNano model and the GRAPH baseline. These back the
+//! paper's "lightweight library" claim (§2: lookups must be local and
+//! cheap) with numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use inano_bench::{Scenario, ScenarioConfig};
+use inano_core::{PathPredictor, PredictorConfig};
+use inano_model::PrefixId;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_prediction(c: &mut Criterion) {
+    // A small scenario keeps bench wall-time sane; per-query costs scale
+    // near-linearly in atlas links.
+    let sc = Scenario::build(ScenarioConfig::test(77));
+    let atlas = Arc::new(sc.atlas.clone());
+    let prefixes: Vec<PrefixId> = sc.atlas.prefix_cluster.keys().copied().collect();
+    let n = prefixes.len();
+    assert!(n > 10);
+
+    c.bench_function("graph_construction_full", |b| {
+        b.iter(|| {
+            black_box(PathPredictor::new(
+                Arc::clone(&atlas),
+                PredictorConfig::full(),
+            ))
+        })
+    });
+
+    c.bench_function("cold_search_per_destination", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || PathPredictor::new(Arc::clone(&atlas), PredictorConfig::full()),
+            |p| {
+                i = (i + 7) % n;
+                let _ = black_box(p.predict_forward(prefixes[i], prefixes[(i + 3) % n]));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let warm = PathPredictor::new(Arc::clone(&atlas), PredictorConfig::full());
+    for d in 0..8 {
+        let _ = warm.predict_forward(prefixes[d], prefixes[(d + 1) % n]);
+    }
+    c.bench_function("warm_query_full", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 8;
+            let _ = black_box(warm.predict_forward(prefixes[(i + 11) % n], prefixes[i]));
+        })
+    });
+
+    let graph_mode = PathPredictor::new(Arc::clone(&atlas), PredictorConfig::graph());
+    for d in 0..8 {
+        let _ = graph_mode.predict_forward(prefixes[d], prefixes[(d + 1) % n]);
+    }
+    c.bench_function("warm_query_graph_baseline", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 8;
+            let _ = black_box(graph_mode.predict_forward(prefixes[(i + 11) % n], prefixes[i]));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prediction
+}
+criterion_main!(benches);

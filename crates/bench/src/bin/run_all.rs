@@ -1,0 +1,52 @@
+//! Regenerate every table and figure in sequence by invoking the sibling
+//! experiment binaries. Pass `--json` to also write machine-readable
+//! results to `target/experiments/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "tab2_atlas",
+    "scale_vps",
+    "fig4_path_stationarity",
+    "loss_stationarity",
+    "fig5_as_accuracy",
+    "fig6_latency_error",
+    "fig7_rank_closest",
+    "fig8_loss_error",
+    "fig9_cdn",
+    "fig10_voip",
+    "fig11_detour",
+    "abl_tuple_threshold",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("binary directory");
+    let json = std::env::args().any(|a| a == "--json");
+
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n######## {exp} ########");
+        let mut cmd = Command::new(dir.join(exp));
+        if json {
+            cmd.arg("--json");
+        }
+        match cmd.status() {
+            Ok(st) if st.success() => {}
+            Ok(st) => {
+                eprintln!("{exp} exited with {st}");
+                failed.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("could not run {exp}: {e}");
+                failed.push(*exp);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Validation-set machinery (§6.3): held-out source/destination pairs
+//! with their ground-truth paths and measured properties.
+//!
+//! Validation sources are end-host agents: their daily traceroutes are in
+//! the atlas's `FROM_SRC` plane (as §6.3 does with "100 other randomly
+//! chosen traceroutes from this source"), but the validation destinations
+//! are disjoint from the destinations those atlas traceroutes probed, and
+//! the `TO_DST` plane never saw these sources at all.
+
+use crate::scenario::Scenario;
+use inano_model::rng::rng_for;
+use inano_model::{AsPath, ClusterId, HostId, LatencyMs, LossRate, PrefixId};
+use inano_routing::RoutingOracle;
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+/// One validation pair with its ground truth.
+#[derive(Clone, Debug)]
+pub struct ValidationPath {
+    pub src_host: HostId,
+    pub src_prefix: PrefixId,
+    pub dst_prefix: PrefixId,
+    /// Ground-truth forward AS path.
+    pub true_as_path: AsPath,
+    /// Ground-truth forward cluster path (through the same clustering the
+    /// predictor uses).
+    pub true_clusters: Vec<ClusterId>,
+    /// Ground-truth RTT (fwd + reverse).
+    pub true_rtt: LatencyMs,
+    /// Ground-truth round-trip loss.
+    pub true_loss: LossRate,
+}
+
+/// Build the validation set: `n_sources` agent hosts × up to `per_source`
+/// destination prefixes each (excluding destinations the agent already
+/// probed for the atlas, unreachable destinations, and AS-loop paths, as
+/// §6.3 discards them).
+pub fn validation_set(
+    sc: &Scenario,
+    oracle: &RoutingOracle<'_>,
+    n_sources: usize,
+    per_source: usize,
+) -> Vec<ValidationPath> {
+    let net = &sc.net;
+    let mut rng = rng_for(sc.cfg.seed, "validation-set");
+
+    // Destinations each agent probed for the atlas (excluded from eval).
+    let mut probed: HashSet<(HostId, PrefixId)> = HashSet::new();
+    for tr in &sc.day0.agent_traceroutes {
+        probed.insert((tr.src, tr.dst_prefix));
+    }
+
+    let mut sources: Vec<HostId> = sc.vps.agents.clone();
+    sources.shuffle(&mut rng);
+    sources.truncate(n_sources);
+
+    let all_dests: Vec<PrefixId> = net.edge_prefixes().map(|p| p.id).collect();
+    let mut out = Vec::new();
+    for &src in &sources {
+        let src_prefix = net.host(src).prefix;
+        let mut dests = all_dests.clone();
+        dests.shuffle(&mut rng);
+        let mut taken = 0;
+        for &d in &dests {
+            if taken >= per_source {
+                break;
+            }
+            if d == src_prefix || probed.contains(&(src, d)) {
+                continue;
+            }
+            let Some(fwd) = oracle.host_to_prefix(src, d) else {
+                continue; // unreachable: discarded like the paper does
+            };
+            if fwd.as_path.has_loop() {
+                continue;
+            }
+            let dst_pop = *fwd.pops.last().unwrap();
+            let Some(rev) = oracle.path_to_prefix(dst_pop, src_prefix) else {
+                continue;
+            };
+            out.push(ValidationPath {
+                src_host: src,
+                src_prefix,
+                dst_prefix: d,
+                true_as_path: fwd.as_path.clone(),
+                true_clusters: sc.clustering.pops_to_clusters(&fwd.pops),
+                true_rtt: fwd.latency + rev.latency,
+                true_loss: fwd.loss.compose(rev.loss),
+            });
+            taken += 1;
+        }
+    }
+    out
+}
+
+/// Train a Vivaldi system over a host population using simulated pings
+/// against the oracle. Returns the system plus the HostId → node-index
+/// mapping.
+pub fn train_vivaldi(
+    sc: &Scenario,
+    oracle: &RoutingOracle<'_>,
+    hosts: &[HostId],
+    rounds: usize,
+) -> (
+    inano_coords::VivaldiSystem,
+    std::collections::HashMap<HostId, usize>,
+) {
+    use inano_measure::ping::ping;
+    use inano_measure::traceroute::ProbeNoise;
+    let index: std::collections::HashMap<HostId, usize> =
+        hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+    let cfg = inano_coords::VivaldiConfig {
+        rounds,
+        seed: sc.cfg.seed,
+        ..inano_coords::VivaldiConfig::default()
+    };
+    let noise = ProbeNoise::default();
+    let sys = inano_coords::VivaldiSystem::run(hosts.len(), &cfg, |i, j, rng| {
+        ping(oracle, hosts[i], hosts[j], &noise, rng).map(|l| l.ms())
+    });
+    (sys, index)
+}
+
+/// Fraction of validation paths for which at least one ground-truth
+/// inter-cluster link is missing from the atlas (§6.3.1 measured 7%,
+/// bounding achievable accuracy).
+pub fn atlas_coverage_gap(sc: &Scenario, paths: &[ValidationPath]) -> f64 {
+    if paths.is_empty() {
+        return 0.0;
+    }
+    let missing = paths
+        .iter()
+        .filter(|p| {
+            p.true_clusters.windows(2).any(|w| {
+                !sc.atlas.links.contains_key(&(w[0], w[1]))
+            })
+        })
+        .count();
+    missing as f64 / paths.len() as f64
+}

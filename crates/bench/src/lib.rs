@@ -1,0 +1,18 @@
+//! # inano-bench
+//!
+//! The experiment harness: scenario construction (synthetic Internet →
+//! measurement campaign → atlas), validation-set machinery, and output
+//! formatting shared by the per-figure binaries in `src/bin/`.
+//!
+//! Each paper table/figure has a binary: `tab2_atlas`, `fig4_path_stationarity`,
+//! `fig5_as_accuracy`, `fig6_latency_error`, `fig7_rank_closest`,
+//! `fig8_loss_error`, `fig9_cdn`, `fig10_voip`, `fig11_detour`,
+//! `scale_vps`, `loss_stationarity`, and `run_all` to regenerate
+//! everything.
+
+pub mod eval;
+pub mod report;
+pub mod scenario;
+
+pub use eval::{validation_set, ValidationPath};
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,251 @@
+//! The client-side library of §5: fetch the atlas (from any swarm or
+//! mirror — abstracted behind [`AtlasSource`]), augment it with local
+//! measurements, serve queries locally, and keep it up to date with the
+//! daily delta.
+
+use crate::config::PredictorConfig;
+use crate::predict::{PathPredictor, PredictedPath};
+use inano_atlas::{codec, Atlas, AtlasDelta};
+use inano_model::{ClusterId, Ipv4, LatencyMs, ModelError};
+use std::sync::Arc;
+
+/// Where atlas bytes come from: the swarm simulation, a file, a test
+/// vector... The library is "sufficiently modular that any peer-to-peer
+/// filesharing protocol can be plugged in" (§5).
+pub trait AtlasSource {
+    /// The full atlas for the newest available day.
+    fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError>;
+    /// The delta from `have_day` to the next day, if one is available.
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<Vec<u8>>, ModelError>;
+}
+
+/// An in-memory source, for tests and local files.
+pub struct StaticSource {
+    pub full: Vec<u8>,
+    pub deltas: Vec<Vec<u8>>,
+}
+
+impl AtlasSource for StaticSource {
+    fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError> {
+        Ok(self.full.clone())
+    }
+
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<Vec<u8>>, ModelError> {
+        for d in &self.deltas {
+            let parsed = AtlasDelta::decode(d)?;
+            if parsed.from_day == have_day {
+                return Ok(Some(d.clone()));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The iNano client library.
+pub struct INanoClient {
+    atlas: Arc<Atlas>,
+    cfg: PredictorConfig,
+    predictor: PathPredictor,
+    /// Local FROM_SRC links contributed by this client's own traceroutes,
+    /// re-applied after every update.
+    local_links: Vec<((ClusterId, ClusterId), Option<LatencyMs>)>,
+}
+
+impl INanoClient {
+    /// Bootstrap: fetch and decode the full atlas.
+    pub fn bootstrap(
+        source: &mut dyn AtlasSource,
+        cfg: PredictorConfig,
+    ) -> Result<INanoClient, ModelError> {
+        let bytes = source.fetch_full()?;
+        let atlas = codec::decode(&bytes)?;
+        let atlas = Arc::new(atlas);
+        let predictor = PathPredictor::new(Arc::clone(&atlas), cfg.clone());
+        Ok(INanoClient {
+            atlas,
+            cfg,
+            predictor,
+            local_links: Vec::new(),
+        })
+    }
+
+    /// The day of the loaded atlas.
+    pub fn day(&self) -> u32 {
+        self.atlas.day
+    }
+
+    /// Apply all available daily deltas; returns how many were applied.
+    pub fn update(&mut self, source: &mut dyn AtlasSource) -> Result<usize, ModelError> {
+        let mut applied = 0;
+        while let Some(bytes) = source.fetch_delta(self.atlas.day)? {
+            let delta = AtlasDelta::decode(&bytes)?;
+            let next = delta.apply(&self.atlas)?;
+            self.atlas = Arc::new(next);
+            applied += 1;
+        }
+        if applied > 0 {
+            self.rebuild();
+        }
+        Ok(applied)
+    }
+
+    /// Contribute links from a local traceroute (already mapped to
+    /// clusters by the measurement toolkit). They land in the FROM_SRC
+    /// plane and survive daily updates.
+    pub fn add_local_links<I>(&mut self, links: I)
+    where
+        I: IntoIterator<Item = ((ClusterId, ClusterId), Option<LatencyMs>)>,
+    {
+        self.local_links.extend(links);
+        self.rebuild();
+    }
+
+    fn rebuild(&mut self) {
+        let mut atlas = (*self.atlas).clone();
+        atlas.add_from_src_links(self.local_links.iter().cloned());
+        self.atlas = Arc::new(atlas);
+        self.predictor = PathPredictor::new(Arc::clone(&self.atlas), self.cfg.clone());
+    }
+
+    /// Query path information between two IPs.
+    pub fn query(&self, src: Ipv4, dst: Ipv4) -> Result<PredictedPath, ModelError> {
+        self.predictor.query(src, dst)
+    }
+
+    /// Batched queries.
+    pub fn query_batch(&self, pairs: &[(Ipv4, Ipv4)]) -> Vec<Result<PredictedPath, ModelError>> {
+        self.predictor.query_batch(pairs)
+    }
+
+    /// Direct access to the predictor (ranking helpers etc.).
+    pub fn predictor(&self) -> &PathPredictor {
+        &self.predictor
+    }
+
+    /// Direct access to the loaded atlas.
+    pub fn atlas(&self) -> &Atlas {
+        &self.atlas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_atlas::{LinkAnnotation, Plane};
+    use inano_model::{Asn, Prefix, PrefixId};
+
+    fn base_atlas(day: u32) -> Atlas {
+        let mut a = Atlas {
+            day,
+            ..Atlas::default()
+        };
+        let cl = ClusterId::new;
+        for (f, t) in [(1u32, 2u32), (2, 3), (3, 2), (2, 1)] {
+            a.links.insert(
+                (cl(f), cl(t)),
+                LinkAnnotation {
+                    latency: Some(LatencyMs::new(2.0)),
+                    plane: Plane::TO_DST,
+                },
+            );
+        }
+        for (c, asn) in [(1u32, 1u32), (2, 2), (3, 3)] {
+            a.cluster_as.insert(cl(c), Asn::new(asn));
+        }
+        a.prefix_cluster.insert(PrefixId::new(1), cl(1));
+        a.prefix_cluster.insert(PrefixId::new(2), cl(3));
+        a.prefix_as.insert(
+            PrefixId::new(1),
+            (Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 24), Asn::new(1)),
+        );
+        a.prefix_as.insert(
+            PrefixId::new(2),
+            (Prefix::new(Ipv4::from_octets(20, 0, 0, 0), 24), Asn::new(3)),
+        );
+        a
+    }
+
+    fn client_cfg() -> PredictorConfig {
+        let mut cfg = PredictorConfig::with_tuples();
+        cfg.use_tuples = false;
+        cfg
+    }
+
+    #[test]
+    fn bootstrap_and_query() {
+        let (bytes, _) = codec::encode(&base_atlas(0));
+        let mut src = StaticSource {
+            full: bytes,
+            deltas: vec![],
+        };
+        let client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
+        assert_eq!(client.day(), 0);
+        let r = client
+            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .unwrap();
+        assert_eq!(r.fwd_clusters.len(), 3);
+    }
+
+    #[test]
+    fn daily_update_applies_deltas_in_order() {
+        let day0 = base_atlas(0);
+        let mut day1 = base_atlas(1);
+        day1.links.insert(
+            (ClusterId::new(1), ClusterId::new(3)),
+            LinkAnnotation {
+                latency: Some(LatencyMs::new(1.0)),
+                plane: Plane::TO_DST,
+            },
+        );
+        let mut day2 = day1.clone();
+        day2.day = 2;
+        day2.links.remove(&(ClusterId::new(1), ClusterId::new(2)));
+
+        let (full, _) = codec::encode(&day0);
+        let d01 = AtlasDelta::between(&day0, &day1).encode().0;
+        let d12 = AtlasDelta::between(&day1, &day2).encode().0;
+        let mut src = StaticSource {
+            full,
+            deltas: vec![d01, d12],
+        };
+        let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
+        assert_eq!(client.update(&mut src).unwrap(), 2);
+        assert_eq!(client.day(), 2);
+        // The new direct link is now the predicted route.
+        let r = client
+            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .unwrap();
+        assert_eq!(r.fwd_clusters.len(), 2, "uses the day-1 shortcut");
+    }
+
+    #[test]
+    fn local_links_survive_updates() {
+        let day0 = base_atlas(0);
+        let mut day1 = base_atlas(1);
+        day1.tuples.insert(inano_atlas::Triple::canonical(
+            Asn::new(9),
+            Asn::new(8),
+            Asn::new(7),
+        ));
+        let (full, _) = codec::encode(&day0);
+        let d01 = AtlasDelta::between(&day0, &day1).encode().0;
+        let mut src = StaticSource {
+            full,
+            deltas: vec![d01],
+        };
+        let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
+        client.add_local_links([(
+            (ClusterId::new(1), ClusterId::new(3)),
+            Some(LatencyMs::new(0.5)),
+        )]);
+        let before = client
+            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .unwrap();
+        assert_eq!(before.fwd_clusters.len(), 2, "local FROM_SRC link used");
+        client.update(&mut src).unwrap();
+        let after = client
+            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .unwrap();
+        assert_eq!(after.fwd_clusters.len(), 2, "local link survives update");
+    }
+}

@@ -1,0 +1,451 @@
+//! The layered prediction graph built from the atlas.
+//!
+//! Node space: `(cluster, plane, side)` flattened to a dense `u32`.
+//! Planes model asymmetry (§4.3.1): plane 0 is `TO_DST`, plane 1 is
+//! `FROM_SRC`; a forward path may cross from `FROM_SRC` into `TO_DST`
+//! exactly once (edges only exist in that direction). Sides implement the
+//! valley-free up/down construction of §4.2.3 in GRAPH mode: side 0 is
+//! "up", side 1 is "down".
+//!
+//! Edges are stored as *incoming-forward* adjacency: for a forward edge
+//! `u → v`, `in_edges[v]` holds `u`, because the search backtracks from
+//! the destination (settling `v` relaxes `u`).
+
+use crate::config::PredictorConfig;
+use inano_atlas::Atlas;
+use inano_model::{Asn, ClusterId, Relationship};
+use std::collections::HashMap;
+
+/// One reverse-stored edge.
+#[derive(Clone, Copy, Debug)]
+pub struct InEdge {
+    /// The forward-source node (relaxed when the edge's target settles).
+    pub src: u32,
+    /// Link latency in ms (the configured default when unannotated).
+    pub latency: f64,
+    /// Crosses an AS boundary.
+    pub inter: bool,
+    /// Minimum search phase that may traverse this edge (GRAPH mode).
+    pub phase: u8,
+    /// The link was only observed in the opposite direction; traversing
+    /// it this way is a fallback and is deprioritised by the search.
+    pub reversed: bool,
+}
+
+/// The prediction graph.
+pub struct PredictionGraph {
+    pub n_planes: usize,
+    pub n_sides: usize,
+    /// Dense index per cluster.
+    pub cluster_idx: HashMap<ClusterId, u32>,
+    /// ClusterId per dense index.
+    pub clusters: Vec<ClusterId>,
+    /// Owning AS per dense cluster index.
+    pub cluster_as: Vec<Asn>,
+    /// Incoming-forward adjacency per node.
+    pub in_edges: Vec<Vec<InEdge>>,
+}
+
+impl PredictionGraph {
+    pub fn n_nodes(&self) -> usize {
+        self.clusters.len() * self.n_planes * self.n_sides
+    }
+
+    /// Flatten (cluster, plane, side) to a node id.
+    pub fn node(&self, cluster_dense: u32, plane: usize, side: usize) -> u32 {
+        ((cluster_dense as usize * self.n_planes + plane) * self.n_sides + side) as u32
+    }
+
+    /// The cluster of a node.
+    pub fn node_cluster(&self, node: u32) -> ClusterId {
+        self.clusters[node as usize / (self.n_planes * self.n_sides)]
+    }
+
+    /// The AS of a node.
+    pub fn node_as(&self, node: u32) -> Asn {
+        self.cluster_as[node as usize / (self.n_planes * self.n_sides)]
+    }
+
+    /// Destination entry node for a cluster: `TO_DST` plane, down side.
+    pub fn dest_node(&self, cluster: ClusterId) -> Option<u32> {
+        let &c = self.cluster_idx.get(&cluster)?;
+        Some(self.node(c, 0, self.n_sides - 1))
+    }
+
+    /// Source nodes to try, in order: `FROM_SRC` up node first when the
+    /// plane exists, then the `TO_DST` up node (§4.3.1's fallback).
+    pub fn source_nodes(&self, cluster: ClusterId) -> Vec<u32> {
+        let Some(&c) = self.cluster_idx.get(&cluster) else {
+            return Vec::new();
+        };
+        let mut v = Vec::with_capacity(2);
+        if self.n_planes == 2 {
+            v.push(self.node(c, 1, 0));
+        }
+        v.push(self.node(c, 0, 0));
+        v
+    }
+
+    /// Build the graph for a config.
+    pub fn build(atlas: &Atlas, cfg: &PredictorConfig) -> PredictionGraph {
+        // Dense-index every cluster that appears in the link set.
+        let mut cluster_idx: HashMap<ClusterId, u32> = HashMap::new();
+        let mut clusters: Vec<ClusterId> = Vec::new();
+        let mut cluster_as: Vec<Asn> = Vec::new();
+        let intern = |c: ClusterId,
+                          clusters: &mut Vec<ClusterId>,
+                          cluster_as: &mut Vec<Asn>,
+                          cluster_idx: &mut HashMap<ClusterId, u32>,
+                          atlas: &Atlas| {
+            *cluster_idx.entry(c).or_insert_with(|| {
+                clusters.push(c);
+                cluster_as.push(atlas.as_of_cluster(c).unwrap_or_default());
+                (clusters.len() - 1) as u32
+            })
+        };
+        for (&(a, b), _) in &atlas.links {
+            intern(a, &mut clusters, &mut cluster_as, &mut cluster_idx, atlas);
+            intern(b, &mut clusters, &mut cluster_as, &mut cluster_idx, atlas);
+        }
+        // Clusters referenced only by prefix attachments still need nodes.
+        for (_, &c) in &atlas.prefix_cluster {
+            intern(c, &mut clusters, &mut cluster_as, &mut cluster_idx, atlas);
+        }
+
+        let mut g = PredictionGraph {
+            n_planes: cfg.n_planes(),
+            n_sides: cfg.n_sides(),
+            cluster_idx,
+            clusters,
+            cluster_as,
+            in_edges: Vec::new(),
+        };
+        g.in_edges = vec![Vec::new(); g.n_nodes()];
+
+        if cfg.use_rel_graph {
+            g.build_rel_edges(atlas, cfg);
+        } else {
+            g.build_directed_edges(atlas, cfg);
+        }
+        g.build_plane_cross_edges();
+        g
+    }
+
+    fn add_forward_edge(&mut self, u: u32, v: u32, latency: f64, inter: bool, phase: u8) {
+        self.add_edge_full(u, v, latency, inter, phase, false);
+    }
+
+    fn add_edge_full(
+        &mut self,
+        u: u32,
+        v: u32,
+        latency: f64,
+        inter: bool,
+        phase: u8,
+        reversed: bool,
+    ) {
+        self.in_edges[v as usize].push(InEdge {
+            src: u,
+            latency,
+            inter,
+            phase,
+            reversed,
+        });
+    }
+
+    /// iNano mode: observed links, per plane.
+    ///
+    /// Links are stored with their observed direction but traversable in
+    /// both: predictions must also *leave* clusters that measurements only
+    /// ever entered (an arbitrary destination's stub is only seen inbound
+    /// by the vantage points, yet reverse paths out of it must still be
+    /// predicted — §4.3.1 composes forward *and* reverse paths for every
+    /// pair). The 3-tuple, preference and provider checks carry the
+    /// export-policy directionality that raw direction encoded.
+    fn build_directed_edges(&mut self, atlas: &Atlas, cfg: &PredictorConfig) {
+        // First pass: the directions actually observed, per plane.
+        let mut observed: std::collections::HashSet<(u32, u32, u8)> =
+            std::collections::HashSet::new();
+        for (&(from, to), ann) in &atlas.links {
+            let (cf, ct) = (self.cluster_idx[&from], self.cluster_idx[&to]);
+            for (plane, present) in [(0u8, ann.plane.to_dst), (1, ann.plane.from_src)] {
+                if present && (plane as usize) < self.n_planes {
+                    observed.insert((cf, ct, plane));
+                }
+            }
+        }
+        // Second pass: add both directions, marking the unobserved one.
+        let mut added: std::collections::HashSet<(u32, u32, u8)> =
+            std::collections::HashSet::new();
+        for (&(from, to), ann) in &atlas.links {
+            let (cf, ct) = (self.cluster_idx[&from], self.cluster_idx[&to]);
+            let inter = self.cluster_as[cf as usize] != self.cluster_as[ct as usize];
+            let lat = ann
+                .latency
+                .map(|l| l.ms())
+                .unwrap_or(cfg.default_link_latency_ms);
+            for (plane, present) in [(0u8, ann.plane.to_dst), (1, ann.plane.from_src)] {
+                if !present || (plane as usize) >= self.n_planes {
+                    continue;
+                }
+                for (a, b) in [(cf, ct), (ct, cf)] {
+                    let reversed = !observed.contains(&(a, b, plane));
+                    if reversed && !cfg.allow_reversed_links {
+                        continue;
+                    }
+                    if added.insert((a, b, plane)) {
+                        let (u, v) = (
+                            self.node(a, plane as usize, 0),
+                            self.node(b, plane as usize, 0),
+                        );
+                        self.add_edge_full(u, v, lat, inter, 1, reversed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// GRAPH mode: the valley-free up/down construction from inferred
+    /// relationships (§4.2.3).
+    ///
+    /// Without the asymmetry refinement, links are symmetrised — GRAPH
+    /// treats the atlas as "a graph capturing the Internet's physical
+    /// topology" (§4). With `use_from_src`, §4.3.1's directionality kicks
+    /// in: each plane only gets edges whose *forward traffic direction*
+    /// was actually observed in that plane, which is what kills the
+    /// "non-existent routes" GRAPH otherwise invents.
+    fn build_rel_edges(&mut self, atlas: &Atlas, cfg: &PredictorConfig) {
+        // Per unordered cluster pair: latency plus which directions were
+        // observed in which plane. Index 0 = (lo → hi), 1 = (hi → lo).
+        #[derive(Clone, Copy, Default)]
+        struct PairInfo {
+            lat: Option<f64>,
+            to_dst: [bool; 2],
+            from_src: [bool; 2],
+        }
+        let mut pairs: HashMap<(u32, u32), PairInfo> = HashMap::new();
+        for (&(from, to), ann) in &atlas.links {
+            let (cf, ct) = (self.cluster_idx[&from], self.cluster_idx[&to]);
+            let key = (cf.min(ct), cf.max(ct));
+            let dir = usize::from(cf > ct);
+            let e = pairs.entry(key).or_default();
+            if let Some(l) = ann.latency {
+                e.lat = Some(e.lat.map_or(l.ms(), |x: f64| x.min(l.ms())));
+            }
+            e.to_dst[dir] |= ann.plane.to_dst;
+            e.from_src[dir] |= ann.plane.from_src;
+        }
+
+        // Directionality only applies once the asymmetry refinement is on.
+        let directional = self.n_planes == 2;
+        let planes: Vec<usize> = (0..self.n_planes).collect();
+        for (&(ci, cj), info) in &pairs {
+            let (ai, aj) = (self.cluster_as[ci as usize], self.cluster_as[cj as usize]);
+            let lat = info.lat.unwrap_or(cfg.default_link_latency_ms);
+            let rel = if ai == aj {
+                None // intra-AS
+            } else {
+                Some(
+                    atlas
+                        .inferred_rels
+                        .get(&(ai, aj))
+                        .copied()
+                        .unwrap_or(Relationship::Peer),
+                )
+            };
+            for &p in &planes {
+                // Was the (ci → cj) / (cj → ci) direction observed in
+                // this plane? Without directionality, any observation of
+                // the pair enables both.
+                let obs = match p {
+                    0 => info.to_dst,
+                    _ => info.from_src,
+                };
+                let any = obs[0] || obs[1];
+                let fwd_ij = if directional { obs[0] } else { any };
+                let fwd_ji = if directional { obs[1] } else { any };
+                if !fwd_ij && !fwd_ji {
+                    continue;
+                }
+                let up = |g: &PredictionGraph, c| g.node(c, p, 0);
+                let down = |g: &PredictionGraph, c| g.node(c, p, 1);
+                match rel {
+                    None | Some(Relationship::Sibling) => {
+                        let inter = ai != aj;
+                        for ((x, y), seen) in [((ci, cj), fwd_ij), ((cj, ci), fwd_ji)] {
+                            if !seen {
+                                continue;
+                            }
+                            let (ux, uy) = (up(self, x), up(self, y));
+                            self.add_forward_edge(ux, uy, lat, inter, 1);
+                            let (dx, dy) = (down(self, x), down(self, y));
+                            self.add_forward_edge(dx, dy, lat, inter, 1);
+                        }
+                    }
+                    Some(Relationship::Provider) => {
+                        // aj is ai's provider: up_i→up_j carries i→j
+                        // traffic (phase 3), down_j→down_i carries j→i
+                        // (phase 1).
+                        if fwd_ij {
+                            self.add_forward_edge(up(self, ci), up(self, cj), lat, true, 3);
+                        }
+                        if fwd_ji {
+                            self.add_forward_edge(down(self, cj), down(self, ci), lat, true, 1);
+                        }
+                    }
+                    Some(Relationship::Customer) => {
+                        if fwd_ji {
+                            self.add_forward_edge(up(self, cj), up(self, ci), lat, true, 3);
+                        }
+                        if fwd_ij {
+                            self.add_forward_edge(down(self, ci), down(self, cj), lat, true, 1);
+                        }
+                    }
+                    Some(Relationship::Peer) => {
+                        if fwd_ij {
+                            self.add_forward_edge(up(self, ci), down(self, cj), lat, true, 2);
+                        }
+                        if fwd_ji {
+                            self.add_forward_edge(up(self, cj), down(self, ci), lat, true, 2);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Self edges up_i → down_i: the "turn downhill here" transition,
+        // phase 1 so pure customer routes settle first.
+        for c in 0..self.clusters.len() as u32 {
+            for p in 0..self.n_planes {
+                let u = self.node(c, p, 0);
+                let d = self.node(c, p, 1);
+                self.add_forward_edge(u, d, 0.0, false, 1);
+            }
+        }
+    }
+
+    /// One-way plane crossing: (c, FROM_SRC, s) → (c, TO_DST, s).
+    fn build_plane_cross_edges(&mut self) {
+        if self.n_planes < 2 {
+            return;
+        }
+        for c in 0..self.clusters.len() as u32 {
+            for s in 0..self.n_sides {
+                let u = self.node(c, 1, s);
+                let v = self.node(c, 0, s);
+                self.add_forward_edge(u, v, 0.0, false, 1);
+            }
+        }
+    }
+
+    /// Total edge count (diagnostics).
+    pub fn n_edges(&self) -> usize {
+        self.in_edges.iter().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_atlas::{LinkAnnotation, Plane};
+    use inano_model::LatencyMs;
+
+    /// A hand-built 4-cluster atlas: AS1(c1) -> AS2(c2) -> AS3(c3), plus
+    /// c4 in AS2 (intra link with c2).
+    fn toy_atlas() -> Atlas {
+        let mut a = Atlas::default();
+        let cl = ClusterId::new;
+        for (f, t, lat, plane) in [
+            (1, 2, 5.0, Plane::TO_DST),
+            (2, 3, 7.0, Plane::TO_DST),
+            (2, 4, 1.0, Plane::TO_DST),
+            (1, 2, 5.0, Plane::FROM_SRC),
+        ] {
+            let e = a.links.entry((cl(f), cl(t))).or_insert(LinkAnnotation {
+                latency: Some(LatencyMs::new(lat)),
+                plane,
+            });
+            e.plane = e.plane.union(plane);
+        }
+        for (c, asn) in [(1, 1), (2, 2), (3, 3), (4, 2)] {
+            a.cluster_as.insert(cl(c), Asn::new(asn));
+        }
+        a
+    }
+
+    #[test]
+    fn directed_mode_counts() {
+        let atlas = toy_atlas();
+        let g = PredictionGraph::build(&atlas, &PredictorConfig::with_tuples());
+        // 4 clusters × 2 planes × 1 side.
+        assert_eq!(g.n_nodes(), 8);
+        // TO_DST: 3 links × both directions; FROM_SRC: 1 × both; cross: 4.
+        assert_eq!(g.n_edges(), 12);
+        // Exactly half of the link edges are reversed-direction fallbacks.
+        let rev = g.in_edges.iter().flatten().filter(|e| e.reversed).count();
+        assert_eq!(rev, 4);
+    }
+
+    #[test]
+    fn single_plane_when_from_src_disabled() {
+        let atlas = toy_atlas();
+        let mut cfg = PredictorConfig::with_tuples();
+        cfg.use_from_src = false;
+        let g = PredictionGraph::build(&atlas, &cfg);
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 6); // 3 links, both directions
+    }
+
+    #[test]
+    fn rel_graph_builds_up_down() {
+        let mut atlas = toy_atlas();
+        // AS1 customer of AS2; AS2 provider relationship to AS3 unknown →
+        // default peer.
+        atlas
+            .inferred_rels
+            .insert((Asn::new(1), Asn::new(2)), Relationship::Provider);
+        atlas
+            .inferred_rels
+            .insert((Asn::new(2), Asn::new(1)), Relationship::Customer);
+        let g = PredictionGraph::build(&atlas, &PredictorConfig::graph());
+        // 4 clusters × 1 plane × 2 sides.
+        assert_eq!(g.n_nodes(), 8);
+        // Edges: pair (1,2): up1→up2 (ph3) + down2→down1 (ph1) = 2;
+        // pair (2,3) peer: up2→down3, up3→down2 = 2;
+        // pair (2,4) intra: 4 (two dirs × two layers);
+        // self edges: 4. Total 12.
+        assert_eq!(g.n_edges(), 12);
+        let phases: Vec<u8> = g
+            .in_edges
+            .iter()
+            .flatten()
+            .map(|e| e.phase)
+            .collect();
+        assert!(phases.contains(&3));
+        assert!(phases.contains(&2));
+    }
+
+    #[test]
+    fn node_round_trips() {
+        let atlas = toy_atlas();
+        let g = PredictionGraph::build(&atlas, &PredictorConfig::full());
+        for c in 0..g.clusters.len() as u32 {
+            for p in 0..g.n_planes {
+                for s in 0..g.n_sides {
+                    let n = g.node(c, p, s);
+                    assert_eq!(g.node_cluster(n), g.clusters[c as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_and_dest_nodes() {
+        let atlas = toy_atlas();
+        let g = PredictionGraph::build(&atlas, &PredictorConfig::full());
+        let srcs = g.source_nodes(ClusterId::new(1));
+        assert_eq!(srcs.len(), 2, "FROM_SRC first, TO_DST fallback");
+        assert!(g.dest_node(ClusterId::new(3)).is_some());
+        assert!(g.dest_node(ClusterId::new(99)).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Destination ranking helpers: "applications such as peer selection and
+//! detour routing benefit from the ability to discern which destinations
+//! have low latency from a source" (§6.3.2, Figure 7).
+
+use crate::predict::PathPredictor;
+use inano_model::{LatencyMs, LossRate, PrefixId};
+
+/// Rank candidate destination prefixes by predicted RTT from `src`,
+/// ascending. Unpredictable candidates are dropped.
+pub fn rank_by_rtt(
+    predictor: &PathPredictor,
+    src: PrefixId,
+    candidates: &[PrefixId],
+) -> Vec<(PrefixId, LatencyMs)> {
+    let mut out: Vec<(PrefixId, LatencyMs)> = candidates
+        .iter()
+        .filter_map(|&d| predictor.predict(src, d).ok().map(|p| (d, p.rtt)))
+        .collect();
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Rank candidates by predicted loss first, RTT second — the VoIP relay
+/// policy of §7.2 ("pick the 10 relays that minimize the predicted loss
+/// rate and then choose the one amongst these that minimizes end-to-end
+/// latency" — callers take the prefix of this ranking).
+pub fn rank_by_loss_then_rtt(
+    predictor: &PathPredictor,
+    src: PrefixId,
+    candidates: &[PrefixId],
+) -> Vec<(PrefixId, LossRate, LatencyMs)> {
+    let mut out: Vec<(PrefixId, LossRate, LatencyMs)> = candidates
+        .iter()
+        .filter_map(|&d| {
+            predictor
+                .predict(src, d)
+                .ok()
+                .map(|p| (d, p.loss, p.rtt))
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap()
+            .then(a.2.partial_cmp(&b.2).unwrap())
+            .then(a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PredictorConfig;
+    use inano_atlas::{Atlas, LinkAnnotation, Plane};
+    use inano_model::{Asn, ClusterId, Ipv4, Prefix};
+    use std::sync::Arc;
+
+    /// Star: src cluster 0 connected to clusters 1..=3 with rising
+    /// latencies; prefix i+10 lives at cluster i.
+    fn star() -> PathPredictor {
+        let mut a = Atlas::default();
+        let cl = ClusterId::new;
+        for i in 1u32..=3 {
+            a.links.insert(
+                (cl(0), cl(i)),
+                LinkAnnotation {
+                    latency: Some(LatencyMs::new(i as f64 * 10.0)),
+                    plane: Plane::TO_DST,
+                },
+            );
+            a.links.insert(
+                (cl(i), cl(0)),
+                LinkAnnotation {
+                    latency: Some(LatencyMs::new(i as f64 * 10.0)),
+                    plane: Plane::TO_DST,
+                },
+            );
+        }
+        for i in 0u32..=3 {
+            a.cluster_as.insert(cl(i), Asn::new(i));
+            a.prefix_cluster.insert(PrefixId::new(10 + i), cl(i));
+            a.prefix_as.insert(
+                PrefixId::new(10 + i),
+                (
+                    Prefix::new(Ipv4::from_octets(10 + i as u8, 0, 0, 0), 24),
+                    Asn::new(i),
+                ),
+            );
+        }
+        // Loss on the middle candidate.
+        a.loss.insert((cl(0), cl(2)), LossRate::new(0.2));
+        let mut cfg = PredictorConfig::with_tuples();
+        cfg.use_tuples = false;
+        cfg.use_from_src = false;
+        PathPredictor::new(Arc::new(a), cfg)
+    }
+
+    #[test]
+    fn rtt_ranking_is_ascending() {
+        let p = star();
+        let cands: Vec<PrefixId> = (11..=13).map(PrefixId::new).collect();
+        let ranked = rank_by_rtt(&p, PrefixId::new(10), &cands);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].0, PrefixId::new(11));
+        assert_eq!(ranked[2].0, PrefixId::new(13));
+        assert!(ranked[0].1 < ranked[2].1);
+    }
+
+    #[test]
+    fn loss_ranking_demotes_lossy_candidate() {
+        let p = star();
+        let cands: Vec<PrefixId> = (11..=13).map(PrefixId::new).collect();
+        let ranked = rank_by_loss_then_rtt(&p, PrefixId::new(10), &cands);
+        // Prefix 12 (cluster 2) is lossy: must rank last even though its
+        // RTT beats prefix 13's.
+        assert_eq!(ranked[2].0, PrefixId::new(12));
+    }
+
+    #[test]
+    fn unpredictable_candidates_dropped() {
+        let p = star();
+        let cands = vec![PrefixId::new(11), PrefixId::new(99)];
+        let ranked = rank_by_rtt(&p, PrefixId::new(10), &cands);
+        assert_eq!(ranked.len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # inano-measure
+//!
+//! The measurement side of iNano, simulated against the ground-truth
+//! routing oracle: traceroutes with per-hop RTTs (whose reply paths are
+//! routed by the oracle, so the asymmetric-subtraction error the paper
+//! discusses in §6.3.2 is real here too), pings, 100-probe loss
+//! measurements, alias resolution and PoP clustering, BGP feed snapshots,
+//! the frontier-search partition of link measurements across vantage
+//! points, link-latency inference, and the orchestration of a full
+//! "measurement day" — the raw input from which `inano-atlas` builds the
+//! compact atlas.
+
+pub mod bgp_feed;
+pub mod campaign;
+pub mod cluster;
+pub mod frontier;
+pub mod linklat;
+pub mod lossprobe;
+pub mod ping;
+pub mod traceroute;
+pub mod vantage;
+
+pub use bgp_feed::{BgpFeedSet, FeedRoute};
+pub use campaign::{run_campaign, CampaignConfig, MeasurementDay};
+pub use cluster::{Clustering, ClusteringConfig};
+pub use traceroute::{simulate_traceroute, Hop, Traceroute};
+pub use vantage::VantagePoints;

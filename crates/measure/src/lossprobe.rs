@@ -1,0 +1,111 @@
+//! Loss-rate measurement: the paper's methodology sends 100 ICMP probes of
+//! size 1KB spaced 2 s apart and counts missing responses (§6.2.2). The
+//! estimate therefore reflects *round-trip* loss and binomial sampling
+//! noise; we reproduce both.
+
+use inano_model::rng::DeterministicRng;
+use inano_model::{HostId, LossRate, PopId, PrefixId};
+use inano_routing::RoutingOracle;
+use rand::Rng;
+
+/// Number of probes per loss measurement, as in the paper.
+pub const PROBES_PER_MEASUREMENT: usize = 100;
+
+/// Estimate loss on the round-trip path host → prefix → host.
+/// Returns `None` when the destination is unreachable.
+pub fn measure_path_loss(
+    oracle: &RoutingOracle<'_>,
+    src: HostId,
+    dst_prefix: PrefixId,
+    n_probes: usize,
+    rng: &mut DeterministicRng,
+) -> Option<LossRate> {
+    let fwd = oracle.host_to_prefix(src, dst_prefix)?;
+    let dst_pop = *fwd.pops.last().unwrap();
+    let reply = oracle.reply_loss(dst_pop, oracle.internet().host(src).prefix)?;
+    let p = fwd.loss.compose(reply);
+    Some(binomial_estimate(p, n_probes, rng))
+}
+
+/// Estimate the loss of a single directed PoP-level link, as the
+/// vantage-point measurement machinery does for links assigned to it by
+/// the frontier partition (TTL-limited probe trains bracketing the link).
+/// The reply-path loss largely cancels between the near and far probes, so
+/// the residual error is binomial.
+pub fn measure_link_loss(
+    oracle: &RoutingOracle<'_>,
+    link: inano_topology::LinkId,
+    from: PopId,
+    n_probes: usize,
+    rng: &mut DeterministicRng,
+) -> LossRate {
+    let p = oracle.internet().link(link).loss_from(from);
+    binomial_estimate(p, n_probes, rng)
+}
+
+/// Binomially sample `n` probes at loss probability `p` and return the
+/// observed loss fraction.
+pub fn binomial_estimate(p: LossRate, n: usize, rng: &mut DeterministicRng) -> LossRate {
+    if n == 0 {
+        return LossRate::ZERO;
+    }
+    let lost = (0..n).filter(|_| rng.gen_bool(p.rate())).count();
+    LossRate::new(lost as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_model::rng::rng_for;
+    use inano_topology::{build_internet, DayState, TopologyConfig};
+
+    #[test]
+    fn binomial_estimate_is_unbiased_in_the_mean() {
+        let mut rng = rng_for(1, "binom");
+        let p = LossRate::new(0.1);
+        let mean: f64 = (0..200)
+            .map(|_| binomial_estimate(p, 100, &mut rng).rate())
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean - 0.1).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_loss_measures_zero() {
+        let mut rng = rng_for(2, "binom");
+        assert_eq!(binomial_estimate(LossRate::ZERO, 100, &mut rng).rate(), 0.0);
+    }
+
+    #[test]
+    fn path_loss_at_least_sometimes_positive() {
+        let net = build_internet(&TopologyConfig::tiny(121)).unwrap();
+        let oracle = RoutingOracle::new(&net, DayState::default());
+        let mut rng = rng_for(121, "loss");
+        let mut measured_positive = 0;
+        for i in 0..60.min(net.hosts.len()) {
+            let src = HostId::from_index(i);
+            let dst = net.hosts[(i + 13) % net.hosts.len()].prefix;
+            if let Some(l) = measure_path_loss(&oracle, src, dst, 100, &mut rng) {
+                if l.is_lossy() {
+                    measured_positive += 1;
+                }
+            }
+        }
+        // With ~4-12% of links lossy, some multi-hop paths must be lossy.
+        assert!(measured_positive > 0);
+    }
+
+    #[test]
+    fn link_loss_estimate_close_to_truth() {
+        let net = build_internet(&TopologyConfig::tiny(122)).unwrap();
+        let oracle = RoutingOracle::new(&net, DayState::default());
+        let mut rng = rng_for(122, "loss");
+        let lossy = net.links.iter().find(|l| l.loss_ab.is_lossy());
+        let Some(l) = lossy else { return };
+        let est: f64 = (0..50)
+            .map(|_| measure_link_loss(&oracle, l.id, l.a, 100, &mut rng).rate())
+            .sum::<f64>()
+            / 50.0;
+        assert!((est - l.loss_ab.rate()).abs() < 0.03);
+    }
+}

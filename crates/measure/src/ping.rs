@@ -1,0 +1,85 @@
+//! Ping (RTT) measurement between hosts, used by the Vivaldi baseline and
+//! the "measured latency" strategies in the application studies.
+
+use crate::traceroute::ProbeNoise;
+use inano_model::rng::DeterministicRng;
+use inano_model::{HostId, LatencyMs};
+use inano_routing::RoutingOracle;
+use rand::Rng;
+
+/// A single ping: ground-truth RTT plus jitter, or `None` if unreachable
+/// (either direction) or if the probe happened to be lost.
+pub fn ping(
+    oracle: &RoutingOracle<'_>,
+    a: HostId,
+    b: HostId,
+    noise: &ProbeNoise,
+    rng: &mut DeterministicRng,
+) -> Option<LatencyMs> {
+    let rtt = oracle.rtt(a, b)?;
+    // Probe loss: round-trip loss applies to a single ping.
+    if let Some(loss) = oracle.round_trip_loss(a, b) {
+        if loss.rate() > 0.0 && rng.gen_bool(loss.rate().min(1.0)) {
+            return None;
+        }
+    }
+    let j = if noise.jitter_ms > 0.0 {
+        rng.gen_range(0.0..noise.jitter_ms) + rng.gen_range(0.0..noise.jitter_ms)
+    } else {
+        0.0
+    };
+    Some(LatencyMs::new(rtt.ms() + j))
+}
+
+/// Median-of-n ping (how latencies are measured in practice to strip
+/// jitter): returns `None` when every probe was lost.
+pub fn ping_median(
+    oracle: &RoutingOracle<'_>,
+    a: HostId,
+    b: HostId,
+    n: usize,
+    noise: &ProbeNoise,
+    rng: &mut DeterministicRng,
+) -> Option<LatencyMs> {
+    let mut samples: Vec<f64> = (0..n)
+        .filter_map(|_| ping(oracle, a, b, noise, rng).map(|l| l.ms()))
+        .collect();
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    Some(LatencyMs::new(samples[samples.len() / 2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_model::rng::rng_for;
+    use inano_topology::{build_internet, DayState, TopologyConfig};
+
+    #[test]
+    fn ping_tracks_ground_truth() {
+        let net = build_internet(&TopologyConfig::tiny(111)).unwrap();
+        let oracle = RoutingOracle::new(&net, DayState::default());
+        let mut rng = rng_for(111, "ping");
+        let (a, b) = (HostId::new(0), HostId::new(9));
+        let truth = oracle.rtt(a, b).unwrap();
+        let measured = ping_median(&oracle, a, b, 5, &ProbeNoise::default(), &mut rng).unwrap();
+        assert!(measured.ms() >= truth.ms());
+        assert!(measured.ms() <= truth.ms() + 2.0, "jitter bound exceeded");
+    }
+
+    #[test]
+    fn noiseless_ping_is_exact() {
+        let net = build_internet(&TopologyConfig::tiny(112)).unwrap();
+        let oracle = RoutingOracle::new(&net, DayState::default());
+        let mut rng = rng_for(112, "ping");
+        let (a, b) = (HostId::new(3), HostId::new(14));
+        let truth = oracle.rtt(a, b).unwrap();
+        let measured = ping(&oracle, a, b, &ProbeNoise::none(), &mut rng);
+        // Might be lost (real loss), but when it answers it is exact.
+        if let Some(m) = measured {
+            assert!((m.ms() - truth.ms()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by model-layer operations and surfaced through the
+/// public APIs of the higher crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An id referenced an entity that does not exist in the relevant table.
+    UnknownEntity {
+        kind: &'static str,
+        id: u64,
+    },
+    /// An IP address did not match any known prefix.
+    UnroutableAddress(String),
+    /// A dataset failed to decode (corrupt bytes, bad magic, truncated...).
+    Decode(String),
+    /// A delta/patch did not apply cleanly (base-version mismatch etc.).
+    PatchMismatch(String),
+    /// A query could not be answered (e.g. no path found in the atlas).
+    NoPath(String),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownEntity { kind, id } => write!(f, "unknown {kind} id {id}"),
+            ModelError::UnroutableAddress(ip) => write!(f, "unroutable address {ip}"),
+            ModelError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ModelError::PatchMismatch(msg) => write!(f, "patch mismatch: {msg}"),
+            ModelError::NoPath(msg) => write!(f, "no path: {msg}"),
+            ModelError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::UnknownEntity { kind: "prefix", id: 9 };
+        assert_eq!(e.to_string(), "unknown prefix id 9");
+        assert!(ModelError::Decode("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::NoPath("x".into()));
+    }
+}

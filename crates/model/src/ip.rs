@@ -1,0 +1,293 @@
+//! IPv4 addresses, CIDR prefixes, and a longest-prefix-match trie.
+//!
+//! The measurement pipeline maps traceroute hop addresses to prefixes and
+//! ASes exactly the way iNano does ("data to map IP addresses to prefixes
+//! and ASes", §5), so we need a real LPM structure rather than a hash map.
+
+use crate::ids::PrefixId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An IPv4 address stored as a host-order `u32`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Build from dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// Raw host-order value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A CIDR prefix: `addr/len`. The address is stored pre-masked so two
+/// equal prefixes always compare equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: Ipv4,
+    len: u8,
+}
+
+impl Prefix {
+    /// Create a prefix; the address is masked down to `len` bits.
+    pub fn new(addr: Ipv4, len: u8) -> Self {
+        assert!(len <= 32, "prefix length must be <= 32");
+        Prefix {
+            addr: Ipv4(addr.0 & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// The network mask for a given length.
+    #[inline]
+    pub const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Network address (already masked).
+    pub const fn addr(self) -> Ipv4 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True when this is the default route `0.0.0.0/0`.
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Does `ip` fall inside this prefix?
+    #[inline]
+    pub const fn contains(self, ip: Ipv4) -> bool {
+        (ip.0 & Self::mask(self.len)) == self.addr.0
+    }
+
+    /// Number of host addresses covered.
+    pub const fn size(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`th address inside the prefix (wraps within the prefix).
+    pub fn nth(self, i: u64) -> Ipv4 {
+        Ipv4(self.addr.0.wrapping_add((i % self.size()) as u32))
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A binary trie for longest-prefix matching, mapping [`Prefix`]es to
+/// [`PrefixId`]s. Nodes are kept in a flat arena for cache friendliness.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PrefixTrie {
+    nodes: Vec<TrieNode>,
+    entries: usize,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct TrieNode {
+    children: [u32; 2],
+    value: Option<PrefixId>,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+impl TrieNode {
+    fn new() -> Self {
+        TrieNode {
+            children: [NO_CHILD, NO_CHILD],
+            value: None,
+        }
+    }
+}
+
+impl PrefixTrie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![TrieNode::new()],
+            entries: 0,
+        }
+    }
+
+    /// Number of prefixes inserted (overwrites don't count twice).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no prefix has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Insert or overwrite the value for `prefix`. Returns the previous
+    /// value if the prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, id: PrefixId) -> Option<PrefixId> {
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let bit = ((prefix.addr().raw() >> (31 - depth)) & 1) as usize;
+            let next = self.nodes[node].children[bit];
+            node = if next == NO_CHILD {
+                let idx = self.nodes.len();
+                self.nodes.push(TrieNode::new());
+                self.nodes[node].children[bit] = idx as u32;
+                idx
+            } else {
+                next as usize
+            };
+        }
+        let prev = self.nodes[node].value.replace(id);
+        if prev.is_none() {
+            self.entries += 1;
+        }
+        prev
+    }
+
+    /// Longest-prefix match: the most specific prefix containing `ip`.
+    pub fn lookup(&self, ip: Ipv4) -> Option<PrefixId> {
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value;
+        for depth in 0..32 {
+            let bit = ((ip.raw() >> (31 - depth)) & 1) as usize;
+            let next = self.nodes[node].children[bit];
+            if next == NO_CHILD {
+                break;
+            }
+            node = next as usize;
+            if let Some(v) = self.nodes[node].value {
+                best = Some(v);
+            }
+        }
+        best
+    }
+
+    /// Exact-match lookup for a specific prefix.
+    pub fn get(&self, prefix: Prefix) -> Option<PrefixId> {
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let bit = ((prefix.addr().raw() >> (31 - depth)) & 1) as usize;
+            let next = self.nodes[node].children[bit];
+            if next == NO_CHILD {
+                return None;
+            }
+            node = next as usize;
+        }
+        self.nodes[node].value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_roundtrip() {
+        let ip = Ipv4::from_octets(10, 1, 2, 3);
+        assert_eq!(ip.octets(), [10, 1, 2, 3]);
+        assert_eq!(ip.to_string(), "10.1.2.3");
+    }
+
+    #[test]
+    fn prefix_masks_address() {
+        let p = Prefix::new(Ipv4::from_octets(10, 1, 2, 3), 16);
+        assert_eq!(p.addr(), Ipv4::from_octets(10, 1, 0, 0));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p = Prefix::new(Ipv4::from_octets(192, 168, 0, 0), 24);
+        assert!(p.contains(Ipv4::from_octets(192, 168, 0, 255)));
+        assert!(!p.contains(Ipv4::from_octets(192, 168, 1, 0)));
+        let default = Prefix::new(Ipv4(0), 0);
+        assert!(default.contains(Ipv4::from_octets(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn prefix_nth_wraps() {
+        let p = Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 30);
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.nth(0), Ipv4::from_octets(10, 0, 0, 0));
+        assert_eq!(p.nth(5), Ipv4::from_octets(10, 0, 0, 1));
+    }
+
+    #[test]
+    fn trie_longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 8), PrefixId::new(1));
+        t.insert(Prefix::new(Ipv4::from_octets(10, 1, 0, 0), 16), PrefixId::new(2));
+        t.insert(Prefix::new(Ipv4::from_octets(10, 1, 2, 0), 24), PrefixId::new(3));
+        assert_eq!(t.lookup(Ipv4::from_octets(10, 1, 2, 3)), Some(PrefixId::new(3)));
+        assert_eq!(t.lookup(Ipv4::from_octets(10, 1, 9, 9)), Some(PrefixId::new(2)));
+        assert_eq!(t.lookup(Ipv4::from_octets(10, 9, 9, 9)), Some(PrefixId::new(1)));
+        assert_eq!(t.lookup(Ipv4::from_octets(11, 0, 0, 1)), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn trie_overwrite_returns_previous() {
+        let mut t = PrefixTrie::new();
+        let p = Prefix::new(Ipv4::from_octets(172, 16, 0, 0), 12);
+        assert_eq!(t.insert(p, PrefixId::new(1)), None);
+        assert_eq!(t.insert(p, PrefixId::new(2)), Some(PrefixId::new(1)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p), Some(PrefixId::new(2)));
+    }
+
+    #[test]
+    fn trie_exact_get_misses_on_absent() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 8), PrefixId::new(1));
+        assert_eq!(t.get(Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 16)), None);
+    }
+
+    #[test]
+    fn trie_default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(Prefix::new(Ipv4(0), 0), PrefixId::new(0));
+        assert_eq!(t.lookup(Ipv4::from_octets(1, 2, 3, 4)), Some(PrefixId::new(0)));
+    }
+}

@@ -1,0 +1,228 @@
+//! "Improved path-based": iPlane's composition with iNano's checks bolted
+//! on (§6.3.1): "When two path segments are being spliced together, we
+//! check whether the sequence of ASes prior to, at, and after the point
+//! of intersection exists in our database of 3-tuples. We also ensure
+//! that AS preferences are enforced when multiple candidate intersections
+//! pass the 3-tuple check." In the paper this lifts path composition
+//! from 70% to 81% exact AS paths — the best predictor evaluated.
+
+use crate::composition::{ComposedPath, PathComposer};
+use inano_atlas::Atlas;
+use inano_model::{Asn, ClusterId, ModelError, PrefixId};
+
+/// Path composition + 3-tuple splice check + preference arbitration.
+pub struct ImprovedComposer<'a> {
+    pub inner: PathComposer<'a>,
+    pub tuple_min_degree: u32,
+}
+
+impl<'a> ImprovedComposer<'a> {
+    pub fn new(inner: PathComposer<'a>) -> Self {
+        ImprovedComposer {
+            inner,
+            tuple_min_degree: 5,
+        }
+    }
+
+    /// Predict with splice filtering and preference arbitration.
+    pub fn predict_forward(
+        &self,
+        src_cluster: ClusterId,
+        dst_prefix: PrefixId,
+    ) -> Result<ComposedPath, ModelError> {
+        let atlas = self.inner.atlas;
+        let mut cands = self.inner.candidate_compositions(src_cluster, dst_prefix);
+        // 3-tuple check on every AS triple of the composed path (the
+        // splice point is where violations appear; checking the whole
+        // path subsumes it).
+        cands.retain(|c| self.passes_tuples(atlas, &c.clusters));
+        if cands.is_empty() {
+            // Fall back to unfiltered composition rather than failing:
+            // iPlane always answers; the checks only arbitrate.
+            return self.inner.predict_forward(src_cluster, dst_prefix);
+        }
+        // Baseline quality order first (earliest splice, then latency);
+        // preferences arbitrate only among the equally-good candidates,
+        // as the paper enforces them "when multiple candidate
+        // intersections pass the 3-tuple check".
+        cands.sort_by(|a, b| {
+            (a.splice_at, a.latency.ms())
+                .partial_cmp(&(b.splice_at, b.latency.ms()))
+                .unwrap()
+        });
+        let best_splice = cands[0].splice_at;
+        let mut pool: Vec<ComposedPath> = cands
+            .into_iter()
+            .filter(|c| c.splice_at == best_splice)
+            .collect();
+        pool.truncate(8);
+        let best = pool
+            .into_iter()
+            .reduce(|a, b| self.arbitrate(atlas, a, b))
+            .expect("non-empty");
+        Ok(best)
+    }
+
+    fn passes_tuples(&self, atlas: &Atlas, clusters: &[ClusterId]) -> bool {
+        let ases: Vec<Asn> = {
+            let mut v: Vec<Asn> = clusters
+                .iter()
+                .filter_map(|c| atlas.as_of_cluster(*c))
+                .collect();
+            v.dedup();
+            v
+        };
+        for w in ases.windows(3) {
+            if atlas.degree(w[1]) > self.tuple_min_degree && !atlas.has_triple(w[0], w[1], w[2])
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pick between two candidates: observed preference at the first AS
+    /// where they diverge, then earliest splice, then latency.
+    fn arbitrate(&self, atlas: &Atlas, a: ComposedPath, b: ComposedPath) -> ComposedPath {
+        let asa = as_seq(atlas, &a.clusters);
+        let asb = as_seq(atlas, &b.clusters);
+        for i in 0..asa.len().min(asb.len()).saturating_sub(1) {
+            if asa[i] == asb[i] && asa[i + 1] != asb[i + 1] {
+                if atlas.prefers(asa[i], asa[i + 1], asb[i + 1]) {
+                    return a;
+                }
+                if atlas.prefers(asa[i], asb[i + 1], asa[i + 1]) {
+                    return b;
+                }
+                break;
+            }
+        }
+        if (a.splice_at, a.latency.ms()) <= (b.splice_at, b.latency.ms()) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+fn as_seq(atlas: &Atlas, clusters: &[ClusterId]) -> Vec<Asn> {
+    let mut v: Vec<Asn> = clusters
+        .iter()
+        .filter_map(|c| atlas.as_of_cluster(*c))
+        .collect();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_atlas::{PathAtlas, StoredPath};
+    use inano_atlas::Triple;
+    use inano_model::HostId;
+
+    fn sp(src_cluster: u32, dst: u32, clusters: &[u32], rtts: &[f64]) -> StoredPath {
+        StoredPath {
+            src: HostId::new(0),
+            src_cluster: ClusterId::new(src_cluster),
+            dst_prefix: PrefixId::new(dst),
+            clusters: clusters.iter().map(|&c| ClusterId::new(c)).collect(),
+            rtts: std::iter::once(None)
+                .chain(rtts.iter().map(|&r| Some(r)))
+                .collect(),
+            dest_rtt: rtts.last().map(|&r| r + 2.0),
+        }
+    }
+
+    fn pa(paths: Vec<StoredPath>) -> PathAtlas {
+        let mut atlas = PathAtlas::default();
+        for p in paths {
+            let idx = atlas.paths.len();
+            atlas.by_dst.entry(p.dst_prefix).or_default().push(idx);
+            atlas
+                .by_src_cluster
+                .entry(p.src_cluster)
+                .or_default()
+                .push(idx);
+            atlas.paths.push(p);
+        }
+        atlas
+    }
+
+    fn atlas_with_ases(n: u32) -> Atlas {
+        let mut a = Atlas::default();
+        for c in 0..=n {
+            a.cluster_as.insert(ClusterId::new(c), Asn::new(c));
+            a.as_degree.insert(Asn::new(c), 10);
+        }
+        a
+    }
+
+    #[test]
+    fn tuple_check_rejects_bad_splice() {
+        // Two compositions from cluster 1 to prefix 77: via cluster 2
+        // (earlier splice) and via cluster 3. Only the via-3 triples are
+        // observed; plain composition would pick via-2.
+        let paths = pa(vec![
+            sp(1, 50, &[1, 2, 9], &[5.0, 20.0]),
+            sp(8, 77, &[8, 2, 6, 7], &[4.0, 9.0, 14.0]),
+            sp(1, 51, &[1, 3, 9], &[5.0, 20.0]),
+            sp(8, 77, &[8, 3, 7], &[4.0, 14.0]),
+        ]);
+        let mut atlas = atlas_with_ases(10);
+        for (a, b, c) in [(1u32, 3u32, 7u32), (3, 7, 77)] {
+            atlas
+                .tuples
+                .insert(Triple::canonical(Asn::new(a), Asn::new(b), Asn::new(c)));
+        }
+        // Plain composition picks the via-2 splice.
+        let plain = PathComposer::new(&paths, &atlas);
+        let p = plain
+            .predict_forward(ClusterId::new(1), PrefixId::new(77))
+            .unwrap();
+        assert!(p.clusters.contains(&ClusterId::new(2)));
+        // Improved composition rejects it (triple (1,2,6) unobserved).
+        let improved = ImprovedComposer::new(PathComposer::new(&paths, &atlas));
+        let q = improved
+            .predict_forward(ClusterId::new(1), PrefixId::new(77))
+            .unwrap();
+        assert!(q.clusters.contains(&ClusterId::new(3)), "{:?}", q.clusters);
+    }
+
+    #[test]
+    fn falls_back_when_everything_filtered() {
+        let paths = pa(vec![
+            sp(1, 50, &[1, 2, 9], &[5.0, 20.0]),
+            sp(8, 77, &[8, 2, 7], &[4.0, 14.0]),
+        ]);
+        let atlas = atlas_with_ases(10); // no tuples at all observed
+        let improved = ImprovedComposer::new(PathComposer::new(&paths, &atlas));
+        // All candidates fail the check, but prediction still answers.
+        assert!(improved
+            .predict_forward(ClusterId::new(1), PrefixId::new(77))
+            .is_ok());
+    }
+
+    #[test]
+    fn preferences_arbitrate_between_valid_candidates() {
+        let paths = pa(vec![
+            sp(1, 50, &[1, 2, 9], &[5.0, 20.0]),
+            sp(8, 77, &[8, 2, 7], &[4.0, 14.0]),
+            sp(1, 51, &[1, 3, 9], &[5.0, 20.0]),
+            sp(8, 77, &[8, 3, 7], &[4.0, 14.0]),
+        ]);
+        let mut atlas = atlas_with_ases(10);
+        for (a, b, c) in [(1u32, 2u32, 7u32), (2, 7, 77), (1, 3, 7), (3, 7, 77)] {
+            atlas
+                .tuples
+                .insert(Triple::canonical(Asn::new(a), Asn::new(b), Asn::new(c)));
+        }
+        // AS1 prefers 3 over 2.
+        atlas.prefs.insert((Asn::new(1), Asn::new(3), Asn::new(2)));
+        let improved = ImprovedComposer::new(PathComposer::new(&paths, &atlas));
+        let q = improved
+            .predict_forward(ClusterId::new(1), PrefixId::new(77))
+            .unwrap();
+        assert!(q.clusters.contains(&ClusterId::new(3)));
+    }
+}

@@ -1,0 +1,342 @@
+//! PoP-level expansion of AS-level routes: within each AS on the path,
+//! traffic enters at the ingress PoP determined by the previous
+//! interconnect and leaves at an egress chosen by early-exit (nearest exit
+//! to the ingress — hot potato) or late-exit (carry it on our own backbone
+//! toward the destination) policy, over the AS's backbone shortest paths.
+
+use inano_model::{Asn, LatencyMs, PopId};
+use inano_topology::{Internet, LinkId, LinkKind};
+use std::collections::BinaryHeap;
+
+/// A PoP-level path: `links[i]` connects `pops[i]` to `pops[i+1]`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PopPath {
+    pub pops: Vec<PopId>,
+    pub links: Vec<LinkId>,
+}
+
+impl PopPath {
+    pub fn single(pop: PopId) -> PopPath {
+        PopPath {
+            pops: vec![pop],
+            links: Vec::new(),
+        }
+    }
+
+    /// One-way latency: sum of link latencies.
+    pub fn latency(&self, net: &Internet) -> LatencyMs {
+        self.links.iter().map(|&l| net.link(l).latency).sum()
+    }
+
+    fn extend(&mut self, other: PopPath) {
+        debug_assert_eq!(self.pops.last(), other.pops.first());
+        self.links.extend_from_slice(&other.links);
+        self.pops.extend_from_slice(&other.pops[1..]);
+    }
+
+    fn push_link(&mut self, link: LinkId, to: PopId) {
+        self.links.push(link);
+        self.pops.push(to);
+    }
+}
+
+/// Expand an AS-level chain into a PoP-level path.
+///
+/// `up_links(pair)` must yield the inter-AS links currently up between an
+/// AS pair (the oracle supplies this with the day's churn and any injected
+/// failures applied). Returns `None` only if an AS pair on the chain has
+/// no surviving interconnect (the oracle prunes such chains beforehand,
+/// but failure injection can race the adjacency view).
+pub fn expand<'a>(
+    net: &Internet,
+    as_chain: &[Asn],
+    src_pop: PopId,
+    dst_pop: PopId,
+    up_links: impl Fn(Asn, Asn) -> &'a [LinkId],
+) -> Option<PopPath> {
+    debug_assert!(!as_chain.is_empty());
+    debug_assert_eq!(net.pop_as(src_pop), as_chain[0]);
+    debug_assert_eq!(net.pop_as(dst_pop), *as_chain.last().unwrap());
+
+    let mut path = PopPath::single(src_pop);
+    let mut cur = src_pop;
+
+    for w in as_chain.windows(2) {
+        let (here, next) = (w[0], w[1]);
+        let cands = up_links(here, next);
+        if cands.is_empty() {
+            return None;
+        }
+        // Distances from the current ingress to every PoP of this AS.
+        let dist = intra_as_dijkstra(net, cur);
+        let chosen = if net.policy.uses_late_exit(here, next) {
+            // Late exit: pick the interconnect whose far side is
+            // geographically closest to the destination PoP, i.e. carry
+            // the traffic as far as possible ourselves.
+            let dst_loc = net.pop(dst_pop).loc;
+            cands
+                .iter()
+                .copied()
+                .filter(|&l| local_side(net, l, here).is_some())
+                .min_by(|&x, &y| {
+                    let rx = far_side(net, x, here);
+                    let ry = far_side(net, y, here);
+                    let dx = net.pop(rx).loc.distance_km(dst_loc);
+                    let dy = net.pop(ry).loc.distance_km(dst_loc);
+                    dx.partial_cmp(&dy).unwrap().then(x.cmp(&y))
+                })?
+        } else {
+            // Early exit (hot potato): nearest egress from the ingress.
+            cands
+                .iter()
+                .copied()
+                .filter(|&l| {
+                    local_side(net, l, here)
+                        .map(|p| dist[p.index()].is_finite())
+                        .unwrap_or(false)
+                })
+                .min_by(|&x, &y| {
+                    let dx = dist[local_side(net, x, here).unwrap().index()];
+                    let dy = dist[local_side(net, y, here).unwrap().index()];
+                    dx.partial_cmp(&dy).unwrap().then(x.cmp(&y))
+                })?
+        };
+        let egress = local_side(net, chosen, here)?;
+        let ingress = far_side(net, chosen, here);
+        path.extend(intra_as_path(net, cur, egress)?);
+        path.push_link(chosen, ingress);
+        cur = ingress;
+    }
+
+    // Final intra-AS stretch to the destination PoP.
+    path.extend(intra_as_path(net, cur, dst_pop)?);
+    Some(path)
+}
+
+/// The endpoint of `link` inside AS `asn` (None if neither side is).
+fn local_side(net: &Internet, link: LinkId, asn: Asn) -> Option<PopId> {
+    let l = net.link(link);
+    if net.pop_as(l.a) == asn {
+        Some(l.a)
+    } else if net.pop_as(l.b) == asn {
+        Some(l.b)
+    } else {
+        None
+    }
+}
+
+/// The endpoint of `link` *outside* AS `asn`.
+fn far_side(net: &Internet, link: LinkId, asn: Asn) -> PopId {
+    let l = net.link(link);
+    if net.pop_as(l.a) == asn {
+        l.b
+    } else {
+        l.a
+    }
+}
+
+/// Dijkstra over one AS's intra-AS links from `src`; returns latency in ms
+/// per PoP index (infinite for PoPs outside the AS or unreachable).
+fn intra_as_dijkstra(net: &Internet, src: PopId) -> Vec<f64> {
+    let asn = net.pop_as(src);
+    let mut dist = vec![f64::INFINITY; net.pops.len()];
+    dist[src.index()] = 0.0;
+    let mut heap: BinaryHeap<(ordered::NotNan, PopId)> = BinaryHeap::new();
+    heap.push((ordered::NotNan(0.0), src));
+    while let Some((ordered::NotNan(neg_d), p)) = heap.pop() {
+        let d = -neg_d;
+        if d > dist[p.index()] {
+            continue;
+        }
+        for &(lid, other) in &net.pop_adj[p.index()] {
+            let l = net.link(lid);
+            if l.kind != LinkKind::Intra || net.pop_as(other) != asn {
+                continue;
+            }
+            let nd = d + l.latency.ms();
+            if nd < dist[other.index()] {
+                dist[other.index()] = nd;
+                heap.push((ordered::NotNan(-nd), other));
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest intra-AS PoP path from `src` to `dst` (same AS).
+fn intra_as_path(net: &Internet, src: PopId, dst: PopId) -> Option<PopPath> {
+    debug_assert_eq!(net.pop_as(src), net.pop_as(dst));
+    if src == dst {
+        return Some(PopPath::single(src));
+    }
+    let asn = net.pop_as(src);
+    let mut dist = vec![f64::INFINITY; net.pops.len()];
+    let mut parent: Vec<Option<(LinkId, PopId)>> = vec![None; net.pops.len()];
+    dist[src.index()] = 0.0;
+    let mut heap: BinaryHeap<(ordered::NotNan, PopId)> = BinaryHeap::new();
+    heap.push((ordered::NotNan(0.0), src));
+    while let Some((ordered::NotNan(neg_d), p)) = heap.pop() {
+        let d = -neg_d;
+        if p == dst {
+            break;
+        }
+        if d > dist[p.index()] {
+            continue;
+        }
+        for &(lid, other) in &net.pop_adj[p.index()] {
+            let l = net.link(lid);
+            if l.kind != LinkKind::Intra || net.pop_as(other) != asn {
+                continue;
+            }
+            let nd = d + l.latency.ms();
+            if nd < dist[other.index()] {
+                dist[other.index()] = nd;
+                parent[other.index()] = Some((lid, p));
+                heap.push((ordered::NotNan(-nd), other));
+            }
+        }
+    }
+    if dist[dst.index()].is_infinite() {
+        return None; // backbone disconnected — generator prevents this
+    }
+    // Reconstruct.
+    let mut rev_pops = vec![dst];
+    let mut rev_links = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (lid, prev) = parent[cur.index()].expect("parent chain intact");
+        rev_links.push(lid);
+        rev_pops.push(prev);
+        cur = prev;
+    }
+    rev_pops.reverse();
+    rev_links.reverse();
+    Some(PopPath {
+        pops: rev_pops,
+        links: rev_links,
+    })
+}
+
+/// Minimal ordered-float shim so the heap can hold f64 keys without
+/// pulling in a dependency.
+mod ordered {
+    #[derive(PartialEq, PartialOrd)]
+    pub struct NotNan(pub f64);
+    impl Eq for NotNan {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for NotNan {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.partial_cmp(other).expect("NaN in Dijkstra key")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_topology::{build_internet, TopologyConfig};
+    use std::collections::HashMap;
+
+    fn pair_links(net: &Internet) -> HashMap<(Asn, Asn), Vec<LinkId>> {
+        let mut m: HashMap<(Asn, Asn), Vec<LinkId>> = HashMap::new();
+        for l in net.inter_as_links() {
+            let (x, y) = (net.pop_as(l.a), net.pop_as(l.b));
+            m.entry((x, y)).or_default().push(l.id);
+            m.entry((y, x)).or_default().push(l.id);
+        }
+        m
+    }
+
+    #[test]
+    fn intra_path_within_single_as() {
+        let net = build_internet(&TopologyConfig::tiny(61)).unwrap();
+        let multi = net.ases.iter().find(|a| a.pops.len() >= 3).unwrap();
+        let (s, d) = (multi.pops[0], multi.pops[2]);
+        let p = intra_as_path(&net, s, d).unwrap();
+        assert_eq!(p.pops.first(), Some(&s));
+        assert_eq!(p.pops.last(), Some(&d));
+        assert_eq!(p.links.len(), p.pops.len() - 1);
+        for (i, &l) in p.links.iter().enumerate() {
+            let link = net.link(l);
+            assert!(link.a == p.pops[i] || link.b == p.pops[i]);
+            assert_eq!(link.other(p.pops[i]), p.pops[i + 1]);
+        }
+    }
+
+    #[test]
+    fn expand_crosses_each_as_once() {
+        let net = build_internet(&TopologyConfig::tiny(62)).unwrap();
+        let pl = pair_links(&net);
+        let empty: Vec<LinkId> = Vec::new();
+        // Find adjacent AS pair and expand a 2-AS chain.
+        let a = net.ases.iter().find(|a| !a.neighbors.is_empty()).unwrap();
+        let (b, _) = a.neighbors[0];
+        let chain = [a.asn, b];
+        let src = a.pops[0];
+        let dst = net.ases[b.index()].pops[0];
+        let path = expand(&net, &chain, src, dst, |x, y| {
+            pl.get(&(x, y)).map(|v| v.as_slice()).unwrap_or(&empty)
+        })
+        .unwrap();
+        // AS sequence along the PoP path must be exactly [a, b] collapsed.
+        let as_seq: Vec<Asn> = path.pops.iter().map(|&p| net.pop_as(p)).collect();
+        let mut dedup = as_seq.clone();
+        dedup.dedup();
+        assert_eq!(dedup, vec![a.asn, b]);
+        assert_eq!(path.pops.first(), Some(&src));
+        assert_eq!(path.pops.last(), Some(&dst));
+    }
+
+    #[test]
+    fn expand_same_as_is_intra_only() {
+        let net = build_internet(&TopologyConfig::tiny(63)).unwrap();
+        let multi = net.ases.iter().find(|a| a.pops.len() >= 2).unwrap();
+        let empty: Vec<LinkId> = Vec::new();
+        let path = expand(
+            &net,
+            &[multi.asn],
+            multi.pops[0],
+            multi.pops[1],
+            |_, _| empty.as_slice(),
+        )
+        .unwrap();
+        for &l in &path.links {
+            assert_eq!(net.link(l).kind, LinkKind::Intra);
+        }
+    }
+
+    #[test]
+    fn expand_fails_without_interconnect() {
+        let net = build_internet(&TopologyConfig::tiny(64)).unwrap();
+        let a = net.ases.iter().find(|a| !a.neighbors.is_empty()).unwrap();
+        let (b, _) = a.neighbors[0];
+        let empty: Vec<LinkId> = Vec::new();
+        let r = expand(
+            &net,
+            &[a.asn, b],
+            a.pops[0],
+            net.ases[b.index()].pops[0],
+            |_, _| empty.as_slice(),
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn latency_is_sum_of_links() {
+        let net = build_internet(&TopologyConfig::tiny(65)).unwrap();
+        let pl = pair_links(&net);
+        let empty: Vec<LinkId> = Vec::new();
+        let a = net.ases.iter().find(|a| !a.neighbors.is_empty()).unwrap();
+        let (b, _) = a.neighbors[0];
+        let path = expand(
+            &net,
+            &[a.asn, b],
+            a.pops[0],
+            net.ases[b.index()].pops[0],
+            |x, y| pl.get(&(x, y)).map(|v| v.as_slice()).unwrap_or(&empty),
+        )
+        .unwrap();
+        let manual: f64 = path.links.iter().map(|&l| net.link(l).latency.ms()).sum();
+        assert!((path.latency(&net).ms() - manual).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Failure injection for the detour-routing study (§7.3, Figure 11).
+//!
+//! The paper measured real path outages from PlanetLab; we synthesise
+//! failure *episodes* instead: a set of links taken down such that a
+//! destination becomes unreachable from some-but-not-all sources ("at
+//! least 10% of our sources were simultaneously unable to reach the
+//! destination but at least 10% could").
+
+use inano_model::rng::DeterministicRng;
+use inano_model::PopId;
+use inano_topology::{Internet, LinkId, LinkKind};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A set of additionally-failed links layered on top of a day's churn.
+#[derive(Clone, Debug, Default)]
+pub struct FailureScenario {
+    pub down_links: Vec<LinkId>,
+    /// Human-readable description of what failed (for reports).
+    pub description: String,
+}
+
+impl FailureScenario {
+    /// Fail `n` random inter-AS links.
+    pub fn random_inter_links(net: &Internet, n: usize, rng: &mut DeterministicRng) -> Self {
+        let mut links: Vec<LinkId> = net.inter_as_links().map(|l| l.id).collect();
+        links.shuffle(rng);
+        links.truncate(n);
+        FailureScenario {
+            description: format!("{} random inter-AS links", links.len()),
+            down_links: links,
+        }
+    }
+
+    /// Fail every link touching a PoP (a PoP-wide outage — power, fibre
+    /// cut at a carrier hotel...). This is the canonical "partial outage":
+    /// sources routed through the PoP lose the destination, others don't.
+    pub fn pop_outage(net: &Internet, pop: PopId) -> Self {
+        let down: Vec<LinkId> = net.pop_adj[pop.index()]
+            .iter()
+            .map(|&(l, _)| l)
+            .collect();
+        FailureScenario {
+            description: format!("outage of {pop}"),
+            down_links: down,
+        }
+    }
+
+    /// Fail a transit PoP chosen from the PoPs on the ground-truth path
+    /// toward a destination (excluding the first and last AS), which is
+    /// how real partial outages bisect the source population.
+    pub fn transit_outage_on_path(
+        net: &Internet,
+        path_pops: &[PopId],
+        rng: &mut DeterministicRng,
+    ) -> Option<Self> {
+        if path_pops.len() < 3 {
+            return None;
+        }
+        let first_as = net.pop_as(path_pops[0]);
+        let last_as = net.pop_as(*path_pops.last().unwrap());
+        let transit: Vec<PopId> = path_pops[1..path_pops.len() - 1]
+            .iter()
+            .copied()
+            .filter(|&p| net.pop_as(p) != first_as && net.pop_as(p) != last_as)
+            .collect();
+        let &pop = transit.choose(rng)?;
+        Some(Self::pop_outage(net, pop))
+    }
+
+    /// Fail a random subset of the interconnects entering the
+    /// destination's AS (losing some providers but not all).
+    pub fn dest_upstream_failure(
+        net: &Internet,
+        dst_pop: PopId,
+        rng: &mut DeterministicRng,
+    ) -> Option<Self> {
+        let dst_as = net.pop_as(dst_pop);
+        let upstream: Vec<LinkId> = net
+            .links
+            .iter()
+            .filter(|l| {
+                l.kind == LinkKind::Inter
+                    && (net.pop_as(l.a) == dst_as || net.pop_as(l.b) == dst_as)
+            })
+            .map(|l| l.id)
+            .collect();
+        if upstream.len() < 2 {
+            return None;
+        }
+        let k = rng.gen_range(1..upstream.len());
+        let mut chosen = upstream;
+        chosen.shuffle(rng);
+        chosen.truncate(k);
+        Some(FailureScenario {
+            description: format!("{k} upstream links of {dst_as} down"),
+            down_links: chosen,
+        })
+    }
+
+    /// Merge two scenarios.
+    pub fn merged(mut self, other: &FailureScenario) -> Self {
+        self.down_links.extend_from_slice(&other.down_links);
+        self.down_links.sort();
+        self.down_links.dedup();
+        self.description = format!("{} + {}", self.description, other.description);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_model::rng::rng_for;
+    use inano_topology::{build_internet, TopologyConfig};
+
+    #[test]
+    fn random_links_are_inter_as() {
+        let net = build_internet(&TopologyConfig::tiny(81)).unwrap();
+        let mut rng = rng_for(81, "fail");
+        let s = FailureScenario::random_inter_links(&net, 5, &mut rng);
+        assert_eq!(s.down_links.len(), 5);
+        for l in &s.down_links {
+            assert_eq!(net.link(*l).kind, LinkKind::Inter);
+        }
+    }
+
+    #[test]
+    fn pop_outage_covers_all_adjacent_links() {
+        let net = build_internet(&TopologyConfig::tiny(82)).unwrap();
+        let pop = net.pops[0].id;
+        let s = FailureScenario::pop_outage(&net, pop);
+        assert_eq!(s.down_links.len(), net.pop_adj[pop.index()].len());
+    }
+
+    #[test]
+    fn dest_upstream_failure_is_partial() {
+        let net = build_internet(&TopologyConfig::tiny(83)).unwrap();
+        let mut rng = rng_for(83, "fail");
+        // Find a multi-homed destination.
+        let pop = net
+            .pops
+            .iter()
+            .find(|p| {
+                net.links
+                    .iter()
+                    .filter(|l| {
+                        l.kind == LinkKind::Inter
+                            && (net.pop_as(l.a) == p.asn || net.pop_as(l.b) == p.asn)
+                    })
+                    .count()
+                    >= 2
+            })
+            .unwrap();
+        let s = FailureScenario::dest_upstream_failure(&net, pop.id, &mut rng).unwrap();
+        let total = net
+            .links
+            .iter()
+            .filter(|l| {
+                l.kind == LinkKind::Inter
+                    && (net.pop_as(l.a) == pop.asn || net.pop_as(l.b) == pop.asn)
+            })
+            .count();
+        assert!(!s.down_links.is_empty());
+        assert!(s.down_links.len() < total, "must leave some path up");
+    }
+
+    #[test]
+    fn merged_dedups() {
+        let net = build_internet(&TopologyConfig::tiny(84)).unwrap();
+        let a = FailureScenario::pop_outage(&net, net.pops[0].id);
+        let b = FailureScenario::pop_outage(&net, net.pops[0].id);
+        let n = a.down_links.len();
+        let m = a.merged(&b);
+        assert_eq!(m.down_links.len(), n);
+    }
+}

@@ -1,0 +1,23 @@
+//! # inano-routing
+//!
+//! The ground-truth routing oracle for the synthetic Internet: given the
+//! topology and a day's churn state, it computes the routes the "real"
+//! Internet would use — BGP-style policy routing at the AS level
+//! (local preferences with exceptions, selective export, traffic
+//! engineering, shortest AS path, deterministic or load-balanced
+//! tie-breaks), expanded to PoP level with early-/late-exit intradomain
+//! behaviour — and derives path latency and loss.
+//!
+//! The measurement crate issues traceroutes *through* this oracle; the
+//! prediction crates never see it (they only get the measured atlas), and
+//! the evaluation harness uses it as the truth to score predictions
+//! against.
+
+pub mod expand;
+pub mod failures;
+pub mod oracle;
+pub mod rib;
+
+pub use failures::FailureScenario;
+pub use oracle::{PathResult, RoutingOracle};
+pub use rib::{DestKey, RouteTree};

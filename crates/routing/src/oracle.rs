@@ -1,0 +1,393 @@
+//! The routing oracle: the single entry point for "what does the real
+//! Internet do" questions — full PoP-level paths between hosts and
+//! prefixes, their latency and loss, reply-path latencies for traceroute
+//! RTT simulation, and reachability under failures.
+
+use crate::expand::{expand, PopPath};
+use crate::failures::FailureScenario;
+use crate::rib::{compute_route_tree, DestKey, RouteTree};
+use inano_model::{AsPath, Asn, HostId, LatencyMs, LossRate, PopId, PrefixId, Relationship};
+use inano_topology::{DayState, Internet, LinkId};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// A resolved one-way path with its properties.
+#[derive(Clone, Debug)]
+pub struct PathResult {
+    pub pops: Vec<PopId>,
+    /// `links[i]` connects `pops[i]` → `pops[i+1]`.
+    pub links: Vec<LinkId>,
+    pub as_path: AsPath,
+    /// One-way latency.
+    pub latency: LatencyMs,
+    /// One-way loss in the forward direction.
+    pub loss: LossRate,
+}
+
+/// Ground-truth routing for one day (plus optional injected failures).
+///
+/// Route trees and reply latencies are cached internally; the oracle is
+/// cheap to construct, so parallel experiments build one per thread.
+pub struct RoutingOracle<'a> {
+    net: &'a Internet,
+    day: DayState,
+    extra_down: HashSet<LinkId>,
+    /// Effective AS adjacency (pairs with >= 1 up interconnect).
+    as_adj: Vec<Vec<(Asn, Relationship)>>,
+    /// Up interconnects per ordered AS pair.
+    pair_links: HashMap<(Asn, Asn), Vec<LinkId>>,
+    trees: RefCell<HashMap<DestKey, Rc<RouteTree>>>,
+    reply_cache: RefCell<HashMap<(PopId, PrefixId), Option<LatencyMs>>>,
+    rtt_cache: RefCell<HashMap<(HostId, HostId), Option<LatencyMs>>>,
+    loss_cache: RefCell<HashMap<(HostId, HostId), Option<LossRate>>>,
+}
+
+impl<'a> RoutingOracle<'a> {
+    /// Oracle for a given day with no extra failures.
+    pub fn new(net: &'a Internet, day: DayState) -> Self {
+        Self::with_failures(net, day, &FailureScenario::default())
+    }
+
+    /// Oracle with an injected failure scenario on top of the day's churn.
+    pub fn with_failures(net: &'a Internet, day: DayState, failures: &FailureScenario) -> Self {
+        let extra_down: HashSet<LinkId> = failures.down_links.iter().copied().collect();
+        let mut pair_links: HashMap<(Asn, Asn), Vec<LinkId>> = HashMap::new();
+        for l in net.inter_as_links() {
+            if day.is_down(l.id) || extra_down.contains(&l.id) {
+                continue;
+            }
+            let (x, y) = (net.pop_as(l.a), net.pop_as(l.b));
+            pair_links.entry((x, y)).or_default().push(l.id);
+            pair_links.entry((y, x)).or_default().push(l.id);
+        }
+        let as_adj: Vec<Vec<(Asn, Relationship)>> = net
+            .ases
+            .iter()
+            .map(|a| {
+                a.neighbors
+                    .iter()
+                    .filter(|(n, _)| pair_links.contains_key(&(a.asn, *n)))
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        RoutingOracle {
+            net,
+            day,
+            extra_down,
+            as_adj,
+            pair_links,
+            trees: RefCell::new(HashMap::new()),
+            reply_cache: RefCell::new(HashMap::new()),
+            rtt_cache: RefCell::new(HashMap::new()),
+            loss_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    pub fn internet(&self) -> &'a Internet {
+        self.net
+    }
+
+    pub fn day(&self) -> &DayState {
+        &self.day
+    }
+
+    /// The destination key a prefix routes under (per-prefix for
+    /// traffic-engineered prefixes, per-AS otherwise).
+    pub fn dest_key(&self, prefix: PrefixId) -> DestKey {
+        if self.net.policy.te_prefix_providers.contains_key(&prefix) {
+            DestKey::Prefix(prefix)
+        } else {
+            DestKey::As(self.net.prefix(prefix).origin)
+        }
+    }
+
+    /// The (cached) route tree toward a destination.
+    pub fn tree(&self, key: DestKey) -> Rc<RouteTree> {
+        if let Some(t) = self.trees.borrow().get(&key) {
+            return Rc::clone(t);
+        }
+        let t = Rc::new(compute_route_tree(self.net, &self.day, &self.as_adj, key));
+        self.trees.borrow_mut().insert(key, Rc::clone(&t));
+        t
+    }
+
+    /// Ground-truth AS path from an AS to a prefix.
+    pub fn as_path(&self, src: Asn, prefix: PrefixId) -> Option<AsPath> {
+        self.tree(self.dest_key(prefix)).as_path_from(src)
+    }
+
+    /// Full PoP-level path from a PoP to a prefix's home PoP.
+    pub fn path_to_prefix(&self, src_pop: PopId, prefix: PrefixId) -> Option<PathResult> {
+        let src_as = self.net.pop_as(src_pop);
+        let chain = self.as_path(src_as, prefix)?;
+        let dst_pop = self.net.prefix(prefix).home_pop;
+        let empty: &[LinkId] = &[];
+        let pop_path: PopPath = expand(self.net, chain.as_slice(), src_pop, dst_pop, |x, y| {
+            self.pair_links
+                .get(&(x, y))
+                .map(|v| v.as_slice())
+                .unwrap_or(empty)
+        })?;
+        Some(self.finish(pop_path, chain))
+    }
+
+    fn finish(&self, p: PopPath, as_path: AsPath) -> PathResult {
+        let latency = p.latency(self.net);
+        let loss = LossRate::compose_all(
+            p.links
+                .iter()
+                .zip(&p.pops)
+                .map(|(&l, &from)| self.net.link(l).loss_from(from)),
+        );
+        PathResult {
+            pops: p.pops,
+            links: p.links,
+            as_path,
+            latency,
+            loss,
+        }
+    }
+
+    /// Forward path between two hosts.
+    pub fn host_path(&self, src: HostId, dst: HostId) -> Option<PathResult> {
+        let s = self.net.host(src);
+        let d = self.net.host(dst);
+        self.path_to_prefix(s.pop, d.prefix)
+    }
+
+    /// Forward path from a host to a prefix.
+    pub fn host_to_prefix(&self, src: HostId, prefix: PrefixId) -> Option<PathResult> {
+        self.path_to_prefix(self.net.host(src).pop, prefix)
+    }
+
+    /// Ground-truth RTT between two hosts: forward + reverse one-way
+    /// latencies (the two directions may take different routes). Cached:
+    /// Vivaldi training and the application studies re-probe the same
+    /// pairs many times.
+    pub fn rtt(&self, a: HostId, b: HostId) -> Option<LatencyMs> {
+        if let Some(v) = self.rtt_cache.borrow().get(&(a, b)) {
+            return *v;
+        }
+        let v = (|| {
+            let fwd = self.host_path(a, b)?;
+            let rev = self.host_path(b, a)?;
+            Some(fwd.latency + rev.latency)
+        })();
+        self.rtt_cache.borrow_mut().insert((a, b), v);
+        v
+    }
+
+    /// Round-trip loss between two hosts (forward ∘ reverse), cached.
+    pub fn round_trip_loss(&self, a: HostId, b: HostId) -> Option<LossRate> {
+        if let Some(v) = self.loss_cache.borrow().get(&(a, b)) {
+            return *v;
+        }
+        let v = (|| {
+            let fwd = self.host_path(a, b)?;
+            let rev = self.host_path(b, a)?;
+            Some(fwd.loss.compose(rev.loss))
+        })();
+        self.loss_cache.borrow_mut().insert((a, b), v);
+        v
+    }
+
+    /// One-way latency of the reply path from a PoP back to a prefix
+    /// (cached: traceroute simulation asks this for every hop).
+    pub fn reply_latency(&self, from: PopId, to_prefix: PrefixId) -> Option<LatencyMs> {
+        if let Some(v) = self.reply_cache.borrow().get(&(from, to_prefix)) {
+            return *v;
+        }
+        let v = self.path_to_prefix(from, to_prefix).map(|p| p.latency);
+        self.reply_cache.borrow_mut().insert((from, to_prefix), v);
+        v
+    }
+
+    /// One-way loss of the reply path from a PoP back to a prefix.
+    pub fn reply_loss(&self, from: PopId, to_prefix: PrefixId) -> Option<LossRate> {
+        self.path_to_prefix(from, to_prefix).map(|p| p.loss)
+    }
+
+    /// Can `src` reach `prefix` at the AS level today?
+    pub fn reachable(&self, src: HostId, prefix: PrefixId) -> bool {
+        let s = self.net.host(src);
+        self.tree(self.dest_key(prefix)).reaches(s.asn)
+    }
+
+    /// The links that are down (churn + injected failures).
+    pub fn down_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.day
+            .down_links
+            .iter()
+            .chain(self.extra_down.iter())
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_topology::{build_internet, ChurnModel, TopologyConfig};
+
+    fn net(seed: u64) -> Internet {
+        build_internet(&TopologyConfig::tiny(seed)).unwrap()
+    }
+
+    #[test]
+    fn host_paths_exist_and_are_consistent() {
+        let n = net(71);
+        let oracle = RoutingOracle::new(&n, DayState::default());
+        let hosts: Vec<HostId> = (0..20.min(n.hosts.len())).map(HostId::from_index).collect();
+        let mut found = 0;
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                if let Some(p) = oracle.host_path(a, b) {
+                    found += 1;
+                    assert_eq!(p.pops.len(), p.links.len() + 1);
+                    assert_eq!(*p.pops.first().unwrap(), n.host(a).pop);
+                    assert_eq!(
+                        *p.pops.last().unwrap(),
+                        n.prefix(n.host(b).prefix).home_pop
+                    );
+                    // AS path of the PoP path matches the reported chain.
+                    let seq: Vec<Asn> = p.pops.iter().map(|&x| n.pop_as(x)).collect();
+                    let collapsed = AsPath::new(seq);
+                    assert_eq!(collapsed, p.as_path);
+                }
+            }
+        }
+        assert!(found > 300, "expected near-full reachability, got {found}");
+    }
+
+    #[test]
+    fn rtt_positive_and_symmetric_definition() {
+        let n = net(72);
+        let oracle = RoutingOracle::new(&n, DayState::default());
+        let a = HostId::new(0);
+        let b = HostId::new(5);
+        let rtt_ab = oracle.rtt(a, b).unwrap();
+        let rtt_ba = oracle.rtt(b, a).unwrap();
+        assert!(rtt_ab.ms() > 0.0);
+        // RTT is direction-agnostic by construction (fwd+rev vs rev+fwd).
+        assert!((rtt_ab.ms() - rtt_ba.ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetry_exists_in_ground_truth() {
+        // Over many pairs, at least some forward/reverse AS paths differ —
+        // the paper's central premise for the FROM_SRC plane.
+        let n = net(73);
+        let oracle = RoutingOracle::new(&n, DayState::default());
+        let mut asym = 0;
+        let mut total = 0;
+        for i in 0..30.min(n.hosts.len()) {
+            for j in (i + 1)..30.min(n.hosts.len()) {
+                let (a, b) = (HostId::from_index(i), HostId::from_index(j));
+                if let (Some(f), Some(r)) = (oracle.host_path(a, b), oracle.host_path(b, a)) {
+                    total += 1;
+                    let mut rev: Vec<Asn> = r.as_path.iter().collect();
+                    rev.reverse();
+                    if AsPath::new(rev) != f.as_path {
+                        asym += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 100);
+        assert!(asym > 0, "no asymmetric routes in {total} pairs");
+    }
+
+    #[test]
+    fn reply_latency_cached_and_stable() {
+        let n = net(74);
+        let oracle = RoutingOracle::new(&n, DayState::default());
+        let pop = n.hosts[3].pop;
+        let pfx = n.hosts[9].prefix;
+        let l1 = oracle.reply_latency(pop, pfx);
+        let l2 = oracle.reply_latency(pop, pfx);
+        assert_eq!(l1, l2);
+        assert!(l1.is_some());
+    }
+
+    #[test]
+    fn failures_cut_reachability() {
+        let n = net(75);
+        // Fail every interconnect of some stub's providers to cut it off.
+        let stub_host = n
+            .hosts
+            .iter()
+            .find(|h| {
+                n.as_info(h.asn).tier == inano_topology::Tier::Stub
+                    && n.as_info(h.asn).neighbors.len() == 1
+            })
+            .cloned();
+        let Some(h) = stub_host else {
+            return; // no single-homed stub in this tiny net
+        };
+        let down: Vec<LinkId> = n
+            .inter_as_links()
+            .filter(|l| n.pop_as(l.a) == h.asn || n.pop_as(l.b) == h.asn)
+            .map(|l| l.id)
+            .collect();
+        let scenario = FailureScenario {
+            down_links: down,
+            ..Default::default()
+        };
+        let oracle = RoutingOracle::with_failures(&n, DayState::default(), &scenario);
+        let other = n.hosts.iter().find(|o| o.asn != h.asn).unwrap();
+        assert!(!oracle.reachable(h.id, other.prefix));
+        assert!(oracle.host_path(h.id, other.id).is_none());
+    }
+
+    #[test]
+    fn day_churn_changes_some_routes() {
+        let n = build_internet(&TopologyConfig::tiny(76)).unwrap();
+        let cm = ChurnModel::new(&n);
+        let o0 = RoutingOracle::new(&n, cm.day_state(0));
+        let mut changed = 0;
+        let mut total = 0;
+        // A single day of churn on a tiny topology can miss the sampled
+        // pairs entirely; scan a few days.
+        for day in 1..=5u32 {
+            let o1 = RoutingOracle::new(&n, cm.day_state(day));
+            for i in 0..25.min(n.hosts.len()) {
+                for j in 0..25.min(n.hosts.len()) {
+                    if i == j {
+                        continue;
+                    }
+                    let (a, b) = (HostId::from_index(i), HostId::from_index(j));
+                    let p0 = o0.host_path(a, b).map(|p| p.pops);
+                    let p1 = o1.host_path(a, b).map(|p| p.pops);
+                    total += 1;
+                    if p0 != p1 {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        // Churn should change some but not most paths.
+        assert!(changed > 0, "no route churn at all over {total} pairs");
+        assert!(
+            (changed as f64) < (total as f64) * 0.6,
+            "churn too violent: {changed}/{total}"
+        );
+    }
+
+    #[test]
+    fn loss_composes_along_path() {
+        let n = net(77);
+        let oracle = RoutingOracle::new(&n, DayState::default());
+        let p = oracle.host_path(HostId::new(1), HostId::new(8)).unwrap();
+        let manual = LossRate::compose_all(
+            p.links
+                .iter()
+                .zip(&p.pops)
+                .map(|(&l, &from)| n.link(l).loss_from(from)),
+        );
+        assert!((p.loss.rate() - manual.rate()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,17 @@
+//! # inano-swarm
+//!
+//! Atlas dissemination (§5 "Fetching the Atlas"): iNano's central server
+//! only *seeds* the atlas; clients swarm it among themselves, so server
+//! bandwidth stays constant as the client population grows — the "low
+//! infrastructure cost" design goal of Table 1.
+//!
+//! This crate provides a fluid-model swarm simulation (chunked file,
+//! capacity-constrained seed and peers, BitTorrent-style) to quantify
+//! that claim, plus an [`inano_core::AtlasSource`] implementation so the
+//! client library can "download" through the simulated swarm.
+
+pub mod sim;
+pub mod source;
+
+pub use sim::{simulate_swarm, SwarmConfig, SwarmReport};
+pub use source::SwarmSource;

@@ -1,0 +1,273 @@
+//! Fluid-model swarm simulation.
+//!
+//! Time advances in small steps; each step allocates every node's upload
+//! capacity across peers that still miss chunks it has (rarest-first
+//! chunk choice, seed included). The model captures the two regimes that
+//! matter for the paper's argument:
+//!
+//! * client/server: the seed's upload is the bottleneck, completion time
+//!   grows linearly with the population;
+//! * swarming: peers re-upload what they have, completion time grows
+//!   ~logarithmically and the seed's bytes stay near one file copy.
+
+use inano_model::rng::{rng_for, DeterministicRng};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Swarm parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SwarmConfig {
+    pub seed: u64,
+    /// File size in bytes (an atlas is ~7 MB, a delta ~1 MB).
+    pub file_bytes: f64,
+    /// Chunk size in bytes.
+    pub chunk_bytes: f64,
+    /// Number of downloading peers.
+    pub n_peers: usize,
+    /// Seed upload capacity, bytes/s.
+    pub seed_up: f64,
+    /// Peer upload capacity, bytes/s (0 = pure client/server).
+    pub peer_up: f64,
+    /// Peer download capacity, bytes/s.
+    pub peer_down: f64,
+    /// Neighbors each peer exchanges chunks with.
+    pub neighbors: usize,
+    /// Simulation timestep, seconds.
+    pub dt: f64,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            seed: 1,
+            file_bytes: 7.0e6,
+            chunk_bytes: 256.0e3,
+            n_peers: 100,
+            seed_up: 1.25e6,   // 10 Mbit/s server
+            peer_up: 0.125e6,  // 1 Mbit/s upstream
+            peer_down: 1.25e6, // 10 Mbit/s downstream
+            neighbors: 8,
+            dt: 1.0,
+        }
+    }
+}
+
+/// Results of one swarm run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SwarmReport {
+    /// Seconds until each peer completed (sorted ascending).
+    pub completion_times: Vec<f64>,
+    /// Total bytes the seed uploaded.
+    pub seed_bytes: f64,
+    /// Wall-clock time until the last peer finished.
+    pub makespan: f64,
+}
+
+impl SwarmReport {
+    pub fn median_completion(&self) -> f64 {
+        if self.completion_times.is_empty() {
+            return f64::NAN;
+        }
+        self.completion_times[self.completion_times.len() / 2]
+    }
+}
+
+/// Run the swarm to completion (or `max_time`).
+pub fn simulate_swarm(cfg: &SwarmConfig) -> SwarmReport {
+    let n_chunks = (cfg.file_bytes / cfg.chunk_bytes).ceil() as usize;
+    let n = cfg.n_peers;
+    let mut rng: DeterministicRng = rng_for(cfg.seed, "swarm");
+
+    // have[p][c]: how much of chunk c peer p holds, in bytes.
+    let mut have: Vec<Vec<f64>> = vec![vec![0.0; n_chunks]; n];
+    let mut done: Vec<Option<f64>> = vec![None; n];
+    let mut seed_bytes = 0.0;
+
+    // Static random neighbor sets.
+    let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.shuffle(&mut rng);
+        others.truncate(cfg.neighbors);
+        neighbors.push(others);
+    }
+
+    let complete = |h: &Vec<f64>, cfg: &SwarmConfig| -> bool {
+        h.iter().all(|&b| b >= cfg.chunk_bytes - 1e-6)
+    };
+
+    let max_time = 3600.0 * 10.0;
+    let mut t = 0.0;
+    while t < max_time && done.iter().any(|d| d.is_none()) {
+        t += cfg.dt;
+        // Download budget per peer this step.
+        let mut down_budget: Vec<f64> = (0..n)
+            .map(|p| if done[p].is_some() { 0.0 } else { cfg.peer_down * cfg.dt })
+            .collect();
+
+        // Seed serves the peer(s) with the fewest complete chunks.
+        let mut seed_budget = cfg.seed_up * cfg.dt;
+        let mut wanting: Vec<usize> = (0..n).filter(|&p| done[p].is_none()).collect();
+        wanting.shuffle(&mut rng);
+        wanting.sort_by_key(|&p| have[p].iter().filter(|&&b| b >= cfg.chunk_bytes).count());
+        for &p in &wanting {
+            if seed_budget <= 0.0 {
+                break;
+            }
+            let give = seed_budget.min(down_budget[p]);
+            if give <= 0.0 {
+                continue;
+            }
+            let moved = fill_missing(&mut have[p], give, cfg.chunk_bytes, None);
+            seed_budget -= moved;
+            down_budget[p] -= moved;
+            seed_bytes += moved;
+        }
+
+        // Peer-to-peer exchange: each peer uploads chunks it completed to
+        // neighbors that miss them.
+        if cfg.peer_up > 0.0 {
+            for p in 0..n {
+                let mut up_budget = cfg.peer_up * cfg.dt;
+                // Completed chunk indices at p.
+                let owned: Vec<usize> = (0..n_chunks)
+                    .filter(|&c| have[p][c] >= cfg.chunk_bytes)
+                    .collect();
+                if owned.is_empty() {
+                    continue;
+                }
+                for &q in &neighbors[p] {
+                    if up_budget <= 0.0 {
+                        break;
+                    }
+                    if done[q].is_some() {
+                        continue;
+                    }
+                    let give = up_budget.min(down_budget[q]);
+                    if give <= 0.0 {
+                        continue;
+                    }
+                    let moved = fill_missing(&mut have[q], give, cfg.chunk_bytes, Some(&owned));
+                    up_budget -= moved;
+                    down_budget[q] -= moved;
+                }
+            }
+        }
+
+        for p in 0..n {
+            if done[p].is_none() && complete(&have[p], cfg) {
+                done[p] = Some(t);
+            }
+        }
+    }
+
+    let mut completion_times: Vec<f64> = done.iter().map(|d| d.unwrap_or(max_time)).collect();
+    completion_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let makespan = *completion_times.last().unwrap_or(&0.0);
+    SwarmReport {
+        completion_times,
+        seed_bytes,
+        makespan,
+    }
+}
+
+/// Pour `budget` bytes into incomplete chunks of `h` (restricted to
+/// `allowed` chunk indices when given). Returns bytes actually moved.
+fn fill_missing(
+    h: &mut [f64],
+    mut budget: f64,
+    chunk_bytes: f64,
+    allowed: Option<&[usize]>,
+) -> f64 {
+    let mut moved = 0.0;
+    match allowed {
+        None => {
+            for b in h.iter_mut() {
+                if budget <= 0.0 {
+                    break;
+                }
+                let need = (chunk_bytes - *b).max(0.0);
+                let take = need.min(budget);
+                *b += take;
+                budget -= take;
+                moved += take;
+            }
+        }
+        Some(idxs) => {
+            for &c in idxs {
+                if budget <= 0.0 {
+                    break;
+                }
+                let need = (chunk_bytes - h[c]).max(0.0);
+                let take = need.min(budget);
+                h[c] += take;
+                budget -= take;
+                moved += take;
+            }
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_completes() {
+        let r = simulate_swarm(&SwarmConfig {
+            n_peers: 20,
+            ..SwarmConfig::default()
+        });
+        assert_eq!(r.completion_times.len(), 20);
+        assert!(r.makespan < 3600.0, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn swarming_cuts_seed_bytes_vs_client_server() {
+        let cs = simulate_swarm(&SwarmConfig {
+            n_peers: 60,
+            peer_up: 0.0,
+            ..SwarmConfig::default()
+        });
+        let sw = simulate_swarm(&SwarmConfig {
+            n_peers: 60,
+            ..SwarmConfig::default()
+        });
+        // Client/server: seed ships ~60 copies. Swarm: far fewer.
+        assert!(
+            sw.seed_bytes < cs.seed_bytes / 3.0,
+            "seed bytes {} vs {}",
+            sw.seed_bytes,
+            cs.seed_bytes
+        );
+        assert!(sw.makespan < cs.makespan);
+    }
+
+    #[test]
+    fn population_growth_is_sublinear_with_swarming() {
+        let small = simulate_swarm(&SwarmConfig {
+            n_peers: 25,
+            ..SwarmConfig::default()
+        });
+        let large = simulate_swarm(&SwarmConfig {
+            n_peers: 100,
+            ..SwarmConfig::default()
+        });
+        // 4x the peers must cost far less than 4x the time.
+        assert!(
+            large.makespan < small.makespan * 3.0,
+            "{} vs {}",
+            large.makespan,
+            small.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = simulate_swarm(&SwarmConfig::default());
+        let b = simulate_swarm(&SwarmConfig::default());
+        assert_eq!(a.completion_times, b.completion_times);
+        assert_eq!(a.seed_bytes, b.seed_bytes);
+    }
+}

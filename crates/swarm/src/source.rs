@@ -1,0 +1,131 @@
+//! An [`AtlasSource`] that hands out atlas bytes "through" the simulated
+//! swarm: fetches succeed and the simulation's completion time is
+//! recorded, so examples can report realistic bootstrap latencies.
+
+use crate::sim::{simulate_swarm, SwarmConfig, SwarmReport};
+use inano_atlas::{codec, Atlas, AtlasDelta};
+use inano_core::AtlasSource;
+use inano_model::ModelError;
+
+/// Serves a full atlas plus a chain of daily deltas, simulating a swarm
+/// download for each fetch.
+pub struct SwarmSource {
+    full: Vec<u8>,
+    deltas: Vec<Vec<u8>>,
+    swarm: SwarmConfig,
+    /// Reports of every simulated download, in fetch order.
+    pub downloads: Vec<SwarmReport>,
+}
+
+impl SwarmSource {
+    /// Build from the atlas of day 0 and subsequent days' atlases.
+    pub fn new(day0: &Atlas, later_days: &[Atlas], swarm: SwarmConfig) -> SwarmSource {
+        let (full, _) = codec::encode(day0);
+        let mut deltas = Vec::new();
+        let mut prev = day0;
+        for next in later_days {
+            deltas.push(AtlasDelta::between(prev, next).encode().0);
+            prev = next;
+        }
+        SwarmSource {
+            full,
+            deltas,
+            swarm,
+            downloads: Vec::new(),
+        }
+    }
+
+    fn swarm_fetch(&mut self, bytes: usize) {
+        let cfg = SwarmConfig {
+            file_bytes: bytes as f64,
+            // Small files (daily deltas) ship in proportionally smaller
+            // chunks; a fixed 256KB chunk would round a 20KB delta up to
+            // a whole chunk per peer.
+            chunk_bytes: (bytes as f64 / 8.0).clamp(4.0e3, self.swarm.chunk_bytes),
+            ..self.swarm.clone()
+        };
+        self.downloads.push(simulate_swarm(&cfg));
+    }
+
+    /// Completion time of the most recent fetch, seconds.
+    pub fn last_fetch_secs(&self) -> Option<f64> {
+        self.downloads.last().map(|r| r.median_completion())
+    }
+}
+
+impl AtlasSource for SwarmSource {
+    fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError> {
+        self.swarm_fetch(self.full.len());
+        Ok(self.full.clone())
+    }
+
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<Vec<u8>>, ModelError> {
+        for d in &self.deltas {
+            let parsed = AtlasDelta::decode(d)?;
+            if parsed.from_day == have_day {
+                let bytes = d.clone();
+                self.swarm_fetch(bytes.len());
+                return Ok(Some(bytes));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_atlas::{LinkAnnotation, Plane};
+    use inano_model::{Asn, ClusterId, LatencyMs};
+
+    fn atlas(day: u32, extra_link: bool) -> Atlas {
+        let mut a = Atlas {
+            day,
+            ..Atlas::default()
+        };
+        let cl = ClusterId::new;
+        a.links.insert(
+            (cl(1), cl(2)),
+            LinkAnnotation {
+                latency: Some(LatencyMs::new(1.0)),
+                plane: Plane::TO_DST,
+            },
+        );
+        if extra_link {
+            a.links.insert(
+                (cl(2), cl(3)),
+                LinkAnnotation {
+                    latency: Some(LatencyMs::new(2.0)),
+                    plane: Plane::TO_DST,
+                },
+            );
+        }
+        a.cluster_as.insert(cl(1), Asn::new(1));
+        a.cluster_as.insert(cl(2), Asn::new(2));
+        a.cluster_as.insert(cl(3), Asn::new(3));
+        a
+    }
+
+    #[test]
+    fn serves_full_and_delta_with_download_reports() {
+        let d0 = atlas(0, false);
+        let d1 = atlas(1, true);
+        let mut src = SwarmSource::new(
+            &d0,
+            &[d1],
+            SwarmConfig {
+                n_peers: 10,
+                ..SwarmConfig::default()
+            },
+        );
+        let full = src.fetch_full().unwrap();
+        assert!(!full.is_empty());
+        assert_eq!(src.downloads.len(), 1);
+        let delta = src.fetch_delta(0).unwrap();
+        assert!(delta.is_some());
+        assert_eq!(src.downloads.len(), 2);
+        // The delta is smaller, so it downloads faster.
+        assert!(src.downloads[1].makespan <= src.downloads[0].makespan);
+        assert!(src.fetch_delta(1).unwrap().is_none());
+    }
+}

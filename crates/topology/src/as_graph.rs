@@ -1,0 +1,290 @@
+//! AS-level graph generation: tier assignment, customer/provider
+//! attachment, peering, and siblings.
+//!
+//! The hierarchy mirrors the accepted coarse structure of the Internet:
+//! a clique of tier-1 backbones at the top, multi-continent tier-2 transit
+//! providers, single-continent tier-3 regionals, and a large population of
+//! stub (edge) ASes, most of them multi-homed.
+
+use crate::config::TopologyConfig;
+use crate::internet::{AsInfo, Tier};
+use inano_model::rng::DeterministicRng;
+use inano_model::{Asn, Relationship};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generate the AS population with relationships (PoPs are attached later).
+pub fn generate_as_graph(cfg: &TopologyConfig, rng: &mut DeterministicRng) -> Vec<AsInfo> {
+    let total = cfg.total_ases();
+    let mut ases: Vec<AsInfo> = Vec::with_capacity(total);
+
+    // --- tier assignment & continent presence ---
+    let all_continents: Vec<u8> = (0..cfg.continents as u8).collect();
+    for i in 0..total {
+        let tier = tier_of(cfg, i);
+        let presence = match tier {
+            Tier::Tier1 => all_continents.clone(),
+            Tier::Tier2 => {
+                let mut pres = vec![*all_continents.choose(rng).unwrap()];
+                for &c in &all_continents {
+                    if !pres.contains(&c) && rng.gen_bool(0.35) && pres.len() < 3 {
+                        pres.push(c);
+                    }
+                }
+                pres
+            }
+            Tier::Tier3 | Tier::Stub => vec![*all_continents.choose(rng).unwrap()],
+        };
+        ases.push(AsInfo {
+            asn: Asn::from_index(i),
+            tier,
+            presence,
+            pops: Vec::new(),
+            neighbors: Vec::new(),
+            prefixes: Vec::new(),
+        });
+    }
+
+    // Index by tier for attachment choices.
+    let t1: Vec<Asn> = tier_asns(&ases, Tier::Tier1);
+    let t2: Vec<Asn> = tier_asns(&ases, Tier::Tier2);
+    let t3: Vec<Asn> = tier_asns(&ases, Tier::Tier3);
+
+    // --- tier-1 clique: all peers ---
+    for (i, &a) in t1.iter().enumerate() {
+        for &b in &t1[i + 1..] {
+            add_rel(&mut ases, a, b, Relationship::Peer);
+        }
+    }
+
+    // --- providers ---
+    // Tier-2: 2-3 tier-1 providers with overlapping presence.
+    for &a in &t2 {
+        let n = rng.gen_range(2..=3.min(t1.len()));
+        let choices = pick_providers(&ases, a, &t1, n, rng);
+        for p in choices {
+            add_rel(&mut ases, p, a, Relationship::Customer);
+        }
+    }
+    // Tier-3: 2-3 providers from tier-2 (same continent preferred), with a
+    // small chance of a direct tier-1 provider.
+    for &a in &t3 {
+        let n = rng.gen_range(2..=3);
+        let pool = if rng.gen_bool(0.15) { &t1 } else { &t2 };
+        let choices = pick_providers(&ases, a, pool, n, rng);
+        for p in choices {
+            add_rel(&mut ases, p, a, Relationship::Customer);
+        }
+    }
+    // Stubs: 1-3 providers from tier-3/tier-2 on the same continent.
+    let mut transit_pool: Vec<Asn> = t3.iter().chain(t2.iter()).copied().collect();
+    transit_pool.sort();
+    for i in 0..ases.len() {
+        if ases[i].tier != Tier::Stub {
+            continue;
+        }
+        let a = ases[i].asn;
+        let n = *[1usize, 1, 2, 2, 2, 3].choose(rng).unwrap();
+        let choices = pick_providers(&ases, a, &transit_pool, n, rng);
+        if choices.is_empty() {
+            // Guarantee connectivity: fall back to any tier-2.
+            let p = *t2.choose(rng).unwrap();
+            add_rel(&mut ases, p, a, Relationship::Customer);
+        } else {
+            for p in choices {
+                add_rel(&mut ases, p, a, Relationship::Customer);
+            }
+        }
+    }
+
+    // --- peering among transit tiers ---
+    add_peering(&mut ases, &t2, cfg.p_peer_t2, rng);
+    add_peering(&mut ases, &t3, cfg.p_peer_t3, rng);
+
+    // --- siblings ---
+    // Pick pairs of same-tier, same-continent ASes and mark them siblings.
+    let n_sib = ((total as f64) * cfg.sibling_frac / 2.0).round() as usize;
+    let mut candidates: Vec<Asn> = t2.iter().chain(t3.iter()).copied().collect();
+    candidates.shuffle(rng);
+    let mut made = 0;
+    let mut i = 0;
+    while made < n_sib && i + 1 < candidates.len() {
+        let (a, b) = (candidates[i], candidates[i + 1]);
+        i += 2;
+        if ases[a.index()].rel_to(b).is_none() && shares_continent(&ases, a, b) {
+            add_rel(&mut ases, a, b, Relationship::Sibling);
+            made += 1;
+        }
+    }
+
+    ases
+}
+
+fn tier_of(cfg: &TopologyConfig, i: usize) -> Tier {
+    if i < cfg.n_tier1 {
+        Tier::Tier1
+    } else if i < cfg.n_tier1 + cfg.n_tier2 {
+        Tier::Tier2
+    } else if i < cfg.n_tier1 + cfg.n_tier2 + cfg.n_tier3 {
+        Tier::Tier3
+    } else {
+        Tier::Stub
+    }
+}
+
+fn tier_asns(ases: &[AsInfo], tier: Tier) -> Vec<Asn> {
+    ases.iter()
+        .filter(|a| a.tier == tier)
+        .map(|a| a.asn)
+        .collect()
+}
+
+/// Record relationship `rel` of `a` towards `b` (and the reverse at `b`).
+fn add_rel(ases: &mut [AsInfo], a: Asn, b: Asn, rel: Relationship) {
+    debug_assert!(a != b);
+    debug_assert!(ases[a.index()].rel_to(b).is_none(), "duplicate edge");
+    ases[a.index()].neighbors.push((b, rel));
+    ases[b.index()].neighbors.push((a, rel.reverse()));
+}
+
+fn shares_continent(ases: &[AsInfo], a: Asn, b: Asn) -> bool {
+    let pa = &ases[a.index()].presence;
+    ases[b.index()].presence.iter().any(|c| pa.contains(c))
+}
+
+/// Choose up to `n` distinct providers for `a` from `pool`, preferring
+/// continent overlap, skipping already-adjacent ASes.
+fn pick_providers(
+    ases: &[AsInfo],
+    a: Asn,
+    pool: &[Asn],
+    n: usize,
+    rng: &mut DeterministicRng,
+) -> Vec<Asn> {
+    let mut near: Vec<Asn> = pool
+        .iter()
+        .filter(|&&p| p != a && ases[a.index()].rel_to(p).is_none() && shares_continent(ases, a, p))
+        .copied()
+        .collect();
+    near.shuffle(rng);
+    let mut picks: Vec<Asn> = near.into_iter().take(n).collect();
+    if picks.len() < n {
+        let mut far: Vec<Asn> = pool
+            .iter()
+            .filter(|&&p| {
+                p != a && ases[a.index()].rel_to(p).is_none() && !picks.contains(&p)
+            })
+            .copied()
+            .collect();
+        far.shuffle(rng);
+        picks.extend(far.into_iter().take(n - picks.len()));
+    }
+    picks
+}
+
+/// Add peer edges among `group` for same-continent pairs with probability `p`.
+fn add_peering(ases: &mut [AsInfo], group: &[Asn], p: f64, rng: &mut DeterministicRng) {
+    for (i, &a) in group.iter().enumerate() {
+        for &b in &group[i + 1..] {
+            if ases[a.index()].rel_to(b).is_none()
+                && shares_continent(ases, a, b)
+                && rng.gen_bool(p)
+            {
+                add_rel(ases, a, b, Relationship::Peer);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inano_model::rng::rng_for;
+
+    fn gen(seed: u64) -> (TopologyConfig, Vec<AsInfo>) {
+        let cfg = TopologyConfig::tiny(seed);
+        let mut rng = rng_for(seed, "asgraph");
+        let ases = generate_as_graph(&cfg, &mut rng);
+        (cfg, ases)
+    }
+
+    #[test]
+    fn relationships_are_symmetric() {
+        let (_, ases) = gen(5);
+        for a in &ases {
+            for &(n, r) in &a.neighbors {
+                assert_eq!(ases[n.index()].rel_to(a.asn), Some(r.reverse()));
+            }
+        }
+    }
+
+    #[test]
+    fn tier1_is_peer_clique() {
+        let (cfg, ases) = gen(6);
+        for i in 0..cfg.n_tier1 {
+            for j in 0..cfg.n_tier1 {
+                if i != j {
+                    assert_eq!(
+                        ases[i].rel_to(Asn::from_index(j)),
+                        Some(Relationship::Peer)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider_or_sibling_path_up() {
+        let (_, ases) = gen(7);
+        for a in &ases {
+            if a.tier != Tier::Tier1 {
+                let has_provider = a
+                    .neighbors
+                    .iter()
+                    .any(|(_, r)| *r == Relationship::Provider);
+                assert!(has_provider, "{} (tier {:?}) has no provider", a.asn, a.tier);
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let (_, ases) = gen(8);
+        for a in &ases {
+            if a.tier == Tier::Stub {
+                assert!(
+                    a.neighbors.iter().all(|(_, r)| *r != Relationship::Customer),
+                    "stub {} has customers",
+                    a.asn
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = gen(9);
+        let (_, b) = gen(9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.neighbors, y.neighbors);
+            assert_eq!(x.presence, y.presence);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_top_heavy() {
+        let cfg = TopologyConfig::scaled(0.3);
+        let mut rng = rng_for(10, "asgraph");
+        let ases = generate_as_graph(&cfg, &mut rng);
+        let avg = |t: Tier| {
+            let v: Vec<usize> = ases
+                .iter()
+                .filter(|a| a.tier == t)
+                .map(|a| a.degree())
+                .collect();
+            v.iter().sum::<usize>() as f64 / v.len() as f64
+        };
+        assert!(avg(Tier::Tier1) > avg(Tier::Tier3));
+        assert!(avg(Tier::Tier2) > avg(Tier::Stub));
+    }
+}

@@ -1,0 +1,38 @@
+//! # inano-topology
+//!
+//! A parametric synthetic Internet: tiered AS graph with business
+//! relationships, PoPs placed in geographic cities, intra-AS backbones and
+//! inter-AS interconnects, routers and interfaces with IP addresses, BGP
+//! prefixes and end-hosts, ground-truth routing *policies* (local-pref
+//! exceptions, selective export filters, per-prefix traffic engineering,
+//! late-exit pairs, load-balancing tie-breaks), per-link loss processes,
+//! and a day-to-day churn model.
+//!
+//! The paper evaluated iNano against the real Internet measured from
+//! PlanetLab; we have no PlanetLab, so this crate provides the closest
+//! synthetic equivalent. Crucially, the *policy exceptions* generated here
+//! are exactly the behaviours §4.3 of the paper identifies as the reasons
+//! the textbook routing model (`GRAPH`) mispredicts: each iNano refinement
+//! then has a real error class to recover.
+//!
+//! Everything is generated deterministically from a `u64` seed.
+
+pub mod as_graph;
+pub mod builder;
+pub mod churn;
+pub mod config;
+pub mod geo;
+pub mod infra;
+pub mod internet;
+pub mod loss;
+pub mod policy;
+
+pub use builder::build_internet;
+pub use churn::{ChurnModel, DayState};
+pub use config::TopologyConfig;
+pub use geo::GeoPoint;
+pub use internet::{
+    AsInfo, HostInfo, IfaceInfo, Internet, Link, LinkId, LinkKind, PopInfo, PrefixInfo,
+    RouterInfo, Tier,
+};
+pub use policy::PolicySet;

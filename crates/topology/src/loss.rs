@@ -1,0 +1,203 @@
+//! Per-link loss rates and their temporal evolution.
+//!
+//! Links are mostly loss-free; a configurable fraction is lossy at any
+//! instant, with magnitudes drawn log-uniformly (most lossy links lose a
+//! few percent, a few lose a lot — the heavy-tailed shape seen in
+//! wide-area measurements). Edge links (stub-facing interconnects) are
+//! boosted, matching the observation that loss concentrates near the edge.
+//!
+//! Temporal model (for the §6.2.2 stationarity study): each link-direction
+//! follows a two-state Markov chain over 6-hour epochs. A lossy link stays
+//! lossy with probability `loss_persistence_6h`; clean links become lossy
+//! at the complementary rate that keeps the stationary lossy fraction at
+//! `p_lossy_link`. When lossy, the magnitude is re-drawn per epoch.
+
+use crate::config::TopologyConfig;
+use crate::internet::{Internet, LinkKind, Tier};
+use inano_model::rng::rng_for;
+use inano_model::LossRate;
+use rand::Rng;
+
+/// Loss state of every link-direction for a sequence of 6-hour epochs.
+///
+/// Index with `[epoch][link_id * 2 + dir]` where dir 0 = a→b, 1 = b→a.
+#[derive(Clone, Debug)]
+pub struct LossProcess {
+    /// Per-epoch per-direction loss rates.
+    epochs: Vec<Vec<LossRate>>,
+    n_dirs: usize,
+}
+
+/// Number of 6-hour epochs per day.
+pub const EPOCHS_PER_DAY: usize = 4;
+
+impl LossProcess {
+    /// Simulate `n_epochs` epochs of the loss process for `net`.
+    pub fn simulate(net: &Internet, n_epochs: usize) -> LossProcess {
+        let cfg = &net.cfg;
+        let n_dirs = net.links.len() * 2;
+        let mut rng = rng_for(cfg.seed, "loss-process");
+
+        // Per-direction stationary lossy probability.
+        let p_lossy: Vec<f64> = net
+            .links
+            .iter()
+            .flat_map(|l| {
+                let p = base_lossy_prob(net, cfg, l.id.index());
+                [p, p]
+            })
+            .collect();
+
+        let mut epochs: Vec<Vec<LossRate>> = Vec::with_capacity(n_epochs);
+        let mut lossy: Vec<bool> = (0..n_dirs).map(|d| rng.gen_bool(p_lossy[d])).collect();
+        for _epoch in 0..n_epochs {
+            let rates: Vec<LossRate> = (0..n_dirs)
+                .map(|d| {
+                    if lossy[d] {
+                        draw_magnitude(&mut rng)
+                    } else {
+                        LossRate::ZERO
+                    }
+                })
+                .collect();
+            epochs.push(rates);
+            // Advance the Markov chain.
+            let a = cfg.loss_persistence_6h;
+            for d in 0..n_dirs {
+                let p = p_lossy[d];
+                // clean→lossy rate b chosen so stationary fraction is p:
+                // p = b / (b + 1 - a)  ⇒  b = p (1 - a) / (1 - p)
+                let b = if p >= 1.0 { 1.0 } else { (p * (1.0 - a)) / (1.0 - p) };
+                lossy[d] = if lossy[d] {
+                    rng.gen_bool(a)
+                } else {
+                    rng.gen_bool(b.clamp(0.0, 1.0))
+                };
+            }
+        }
+        LossProcess { epochs, n_dirs }
+    }
+
+    pub fn n_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Loss of link `lid` in direction `a_to_b` during `epoch`.
+    pub fn loss(&self, epoch: usize, lid: usize, a_to_b: bool) -> LossRate {
+        let d = lid * 2 + usize::from(!a_to_b);
+        debug_assert!(d < self.n_dirs);
+        self.epochs[epoch][d]
+    }
+
+    /// Apply epoch `epoch`'s rates onto an [`Internet`]'s link table, so
+    /// the routing oracle and measurements see that instant's loss.
+    pub fn apply_epoch(&self, net: &mut Internet, epoch: usize) {
+        for (i, l) in net.links.iter_mut().enumerate() {
+            l.loss_ab = self.loss(epoch, i, true);
+            l.loss_ba = self.loss(epoch, i, false);
+        }
+    }
+}
+
+/// Stationary probability that a given link is lossy, with the edge boost.
+fn base_lossy_prob(net: &Internet, cfg: &TopologyConfig, lid: usize) -> f64 {
+    let l = &net.links[lid];
+    let touches_stub = net.ases[net.pop_as(l.a).index()].tier == Tier::Stub
+        || net.ases[net.pop_as(l.b).index()].tier == Tier::Stub;
+    let boost = if l.kind == LinkKind::Inter && touches_stub {
+        cfg.edge_loss_boost
+    } else {
+        1.0
+    };
+    (cfg.p_lossy_link * boost).min(0.9)
+}
+
+/// Lossy-link magnitude: log-uniform between 0.5 % and ~20 %.
+fn draw_magnitude(rng: &mut inano_model::rng::DeterministicRng) -> LossRate {
+    let exp: f64 = rng.gen_range(-2.3..-0.7);
+    LossRate::new(10f64.powf(exp))
+}
+
+/// Assign epoch-0 loss to the base link table during construction.
+pub fn assign_base_loss(net: &mut Internet) {
+    let process = LossProcess::simulate(net, 1);
+    process.apply_epoch(net, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_internet;
+    use crate::config::TopologyConfig;
+
+    fn net(seed: u64) -> Internet {
+        build_internet(&TopologyConfig::tiny(seed)).unwrap()
+    }
+
+    #[test]
+    fn lossy_fraction_is_plausible() {
+        let n = net(31);
+        let proc_ = LossProcess::simulate(&n, 1);
+        let total = n.links.len() * 2;
+        let lossy = (0..n.links.len())
+            .flat_map(|l| [proc_.loss(0, l, true), proc_.loss(0, l, false)])
+            .filter(|r| r.is_lossy())
+            .count();
+        let frac = lossy as f64 / total as f64;
+        // Configured 4% base with 3x edge boost: expect low single digits
+        // to ~15%.
+        assert!(frac > 0.005 && frac < 0.3, "lossy fraction {frac}");
+    }
+
+    #[test]
+    fn magnitudes_in_range() {
+        let n = net(32);
+        let proc_ = LossProcess::simulate(&n, 2);
+        for e in 0..2 {
+            for l in 0..n.links.len() {
+                for dir in [true, false] {
+                    let r = proc_.loss(e, l, dir).rate();
+                    assert!((0.0..=0.25).contains(&r), "loss {r} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_is_near_configured() {
+        let mut n = net(33);
+        n.cfg.loss_persistence_6h = 0.75;
+        let proc_ = LossProcess::simulate(&n, 16);
+        let mut stay = 0u32;
+        let mut lossy_total = 0u32;
+        for e in 0..15 {
+            for l in 0..n.links.len() {
+                for dir in [true, false] {
+                    if proc_.loss(e, l, dir).is_lossy() {
+                        lossy_total += 1;
+                        if proc_.loss(e + 1, l, dir).is_lossy() {
+                            stay += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(lossy_total > 50, "need lossy samples, got {lossy_total}");
+        let persistence = stay as f64 / lossy_total as f64;
+        assert!(
+            (persistence - 0.75).abs() < 0.12,
+            "persistence {persistence} far from 0.75"
+        );
+    }
+
+    #[test]
+    fn apply_epoch_updates_links() {
+        let mut n = net(34);
+        let proc_ = LossProcess::simulate(&n, 2);
+        proc_.apply_epoch(&mut n, 1);
+        for (i, l) in n.links.iter().enumerate() {
+            assert_eq!(l.loss_ab, proc_.loss(1, i, true));
+            assert_eq!(l.loss_ba, proc_.loss(1, i, false));
+        }
+    }
+}

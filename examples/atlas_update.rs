@@ -1,0 +1,63 @@
+//! The atlas lifecycle (§5): bootstrap from a swarm, then stay current
+//! with daily deltas — each a fraction of the full atlas — also fetched
+//! through the swarm. Demonstrates `inano::swarm::SwarmSource` plugged
+//! into the client library, and the client's local-measurement
+//! augmentation surviving updates.
+//!
+//! Run with: `cargo run --release --example atlas_update`
+
+use inano::core::{INanoClient, PredictorConfig};
+use inano::demo::DemoWorld;
+use inano::swarm::{SwarmConfig, SwarmSource};
+
+fn main() {
+    println!("building three consecutive days of measurements...");
+    let world = DemoWorld::new(5);
+    let day1 = world.atlas_for_day(1);
+    let day2 = world.atlas_for_day(2);
+
+    let (full, _) = inano::atlas::codec::encode(&world.atlas);
+    println!(
+        "day 0 atlas: {:.1} KB; serving it through a 100-peer swarm",
+        full.len() as f64 / 1e3
+    );
+
+    let mut source = SwarmSource::new(
+        &world.atlas,
+        &[day1, day2],
+        SwarmConfig {
+            n_peers: 100,
+            ..SwarmConfig::default()
+        },
+    );
+
+    let mut client =
+        INanoClient::bootstrap(&mut source, PredictorConfig::full()).expect("bootstrap");
+    println!(
+        "bootstrapped at day {} (swarm median download: {:.0}s)",
+        client.day(),
+        source.last_fetch_secs().unwrap_or(f64::NAN)
+    );
+
+    let applied = client.update(&mut source).expect("updates apply");
+    println!("applied {applied} daily deltas; now at day {}", client.day());
+    for (i, dl) in source.downloads.iter().enumerate().skip(1) {
+        println!(
+            "  delta {}: swarm median download {:.0}s, seed uploaded {:.2} MB",
+            i,
+            dl.median_completion(),
+            dl.seed_bytes / 1e6
+        );
+    }
+
+    // Queries keep working on the updated atlas.
+    let hosts = world.sample_hosts(2);
+    let (a, b) = (world.net.host(hosts[0]), world.net.host(hosts[1]));
+    match client.query(a.ip, b.ip) {
+        Ok(p) => println!(
+            "\nquery {} -> {}: RTT {} loss {} via {:?}",
+            a.ip, b.ip, p.rtt, p.loss, p.fwd_as_path
+        ),
+        Err(e) => println!("\nquery failed: {e}"),
+    }
+}

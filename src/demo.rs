@@ -1,0 +1,98 @@
+//! A ready-made small world for examples and integration tests: a
+//! synthetic Internet, one measured day, and its atlas — everything the
+//! iNano client needs, in a few seconds of CPU.
+
+use inano_atlas::{build_atlas, Atlas, AtlasConfig};
+use inano_measure::{
+    run_campaign, CampaignConfig, Clustering, ClusteringConfig, MeasurementDay, VantagePoints,
+};
+use inano_model::rng::rng_for;
+use inano_model::HostId;
+use inano_routing::RoutingOracle;
+use inano_topology::{build_internet, ChurnModel, Internet, TopologyConfig};
+
+/// A small but complete world.
+pub struct DemoWorld {
+    pub net: Internet,
+    pub churn: ChurnModel,
+    pub clustering: Clustering,
+    pub vps: VantagePoints,
+    pub day0: MeasurementDay,
+    pub atlas: Atlas,
+}
+
+impl DemoWorld {
+    /// Build the demo world from a seed (deterministic; ~1-2 s).
+    pub fn new(seed: u64) -> DemoWorld {
+        let mut topo = TopologyConfig::scaled(0.15);
+        topo.seed = seed;
+        let net = build_internet(&topo).expect("valid config");
+        let churn = ChurnModel::new(&net);
+        let clustering = Clustering::derive(
+            &net,
+            &ClusteringConfig {
+                seed,
+                ..ClusteringConfig::default()
+            },
+        );
+        let vps = VantagePoints::choose(&net, 20, 30, &mut rng_for(seed, "demo-vps"));
+        let oracle = RoutingOracle::new(&net, churn.day_state(0));
+        let day0 = run_campaign(
+            &oracle,
+            &clustering,
+            &vps,
+            &CampaignConfig {
+                seed,
+                traceroutes_per_agent: 40,
+                ..CampaignConfig::default()
+            },
+        );
+        let atlas = build_atlas(&net, &clustering, &day0, &AtlasConfig::default());
+        DemoWorld {
+            net,
+            churn,
+            clustering,
+            vps,
+            day0,
+            atlas,
+        }
+    }
+
+    /// The routing oracle for a day.
+    pub fn oracle(&self, day: u32) -> RoutingOracle<'_> {
+        RoutingOracle::new(&self.net, self.churn.day_state(day))
+    }
+
+    /// The atlas of a later day (for delta/update flows).
+    pub fn atlas_for_day(&self, day: u32) -> Atlas {
+        let oracle = self.oracle(day);
+        let md = run_campaign(
+            &oracle,
+            &self.clustering,
+            &self.vps,
+            &CampaignConfig {
+                seed: self.net.cfg.seed,
+                traceroutes_per_agent: 40,
+                ..CampaignConfig::default()
+            },
+        );
+        build_atlas(&self.net, &self.clustering, &md, &AtlasConfig::default())
+    }
+
+    /// A couple of end-hosts that run the iNano library in examples.
+    pub fn sample_hosts(&self, n: usize) -> Vec<HostId> {
+        self.vps.agents.iter().take(n).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_world_builds() {
+        let w = DemoWorld::new(7);
+        assert!(!w.atlas.links.is_empty());
+        assert!(w.sample_hosts(4).len() == 4);
+    }
+}

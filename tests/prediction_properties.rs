@@ -1,0 +1,144 @@
+//! Property-based tests on the prediction engine over randomly generated
+//! (but structurally valid) atlases: predictions are deterministic,
+//! well-formed, and respect the structural invariants the search
+//! guarantees by construction.
+
+use inano::atlas::{Atlas, LinkAnnotation, Plane};
+use inano::core::{PathPredictor, PredictorConfig};
+use inano::model::{Asn, ClusterId, Ipv4, LatencyMs, Prefix, PrefixId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random connected-ish atlas: clusters 0..n on a ring plus random
+/// chords, each cluster its own AS, one prefix per cluster.
+prop_compose! {
+    fn arb_routed_atlas()(
+        n in 4usize..20,
+        chords in proptest::collection::vec((0u32..20, 0u32..20), 0..15),
+        lat in 0.5f64..30.0,
+    ) -> Atlas {
+        let mut a = Atlas::default();
+        let n = n as u32;
+        let mut add = |a: &mut Atlas, x: u32, y: u32| {
+            if x == y { return; }
+            a.links.insert(
+                (ClusterId::new(x), ClusterId::new(y)),
+                LinkAnnotation { latency: Some(LatencyMs::new(lat)), plane: Plane::TO_DST },
+            );
+            a.links.insert(
+                (ClusterId::new(y), ClusterId::new(x)),
+                LinkAnnotation { latency: Some(LatencyMs::new(lat)), plane: Plane::TO_DST },
+            );
+        };
+        for i in 0..n {
+            add(&mut a, i, (i + 1) % n);
+        }
+        for (x, y) in chords {
+            add(&mut a, x % n, y % n);
+        }
+        for c in 0..n {
+            a.cluster_as.insert(ClusterId::new(c), Asn::new(c));
+            a.as_degree.insert(Asn::new(c), 2);
+            let pid = PrefixId::new(c);
+            a.prefix_cluster.insert(pid, ClusterId::new(c));
+            a.prefix_as.insert(
+                pid,
+                (Prefix::new(Ipv4(c << 16), 16), Asn::new(c)),
+            );
+        }
+        a
+    }
+}
+
+fn tuple_free_config() -> PredictorConfig {
+    // Tuples would block everything on an atlas with no observed routes.
+    let mut cfg = PredictorConfig::full();
+    cfg.use_tuples = false;
+    cfg.use_prefs = false;
+    cfg.use_providers = false;
+    cfg.use_from_src = false;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn predictions_are_deterministic(atlas in arb_routed_atlas()) {
+        let atlas = Arc::new(atlas);
+        let p1 = PathPredictor::new(Arc::clone(&atlas), tuple_free_config());
+        let p2 = PathPredictor::new(Arc::clone(&atlas), tuple_free_config());
+        let n = atlas.prefix_cluster.len() as u32;
+        for s in 0..n.min(6) {
+            for d in 0..n.min(6) {
+                if s == d { continue; }
+                let a = p1.predict_forward(PrefixId::new(s), PrefixId::new(d)).ok();
+                let b = p2.predict_forward(PrefixId::new(s), PrefixId::new(d)).ok();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_paths_are_wellformed(atlas in arb_routed_atlas()) {
+        let atlas = Arc::new(atlas);
+        let p = PathPredictor::new(Arc::clone(&atlas), tuple_free_config());
+        let n = atlas.prefix_cluster.len() as u32;
+        for s in 0..n.min(8) {
+            for d in 0..n.min(8) {
+                if s == d { continue; }
+                let Ok(path) = p.predict_forward(PrefixId::new(s), PrefixId::new(d)) else {
+                    continue;
+                };
+                // Endpoints are right.
+                prop_assert_eq!(path.first(), Some(&ClusterId::new(s)));
+                prop_assert_eq!(path.last(), Some(&ClusterId::new(d)));
+                // Every consecutive pair is an atlas link (in one of the
+                // two directions — reversed traversal is legal).
+                for w in path.windows(2) {
+                    let fwd = atlas.links.contains_key(&(w[0], w[1]));
+                    let rev = atlas.links.contains_key(&(w[1], w[0]));
+                    prop_assert!(fwd || rev, "phantom link {:?}", w);
+                }
+                // No cluster repeats (simple path on a ring+chords graph).
+                let mut seen = std::collections::HashSet::new();
+                for c in &path {
+                    prop_assert!(seen.insert(*c), "loop through {c}");
+                }
+                // Latency estimate is positive and finite.
+                let l = p.latency_of(&path);
+                prop_assert!(l.ms() > 0.0 && l.ms().is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn ring_paths_take_the_short_way(n in 5usize..16) {
+        // Pure ring, no chords: the predictor must take the shorter arc
+        // (fewer AS hops == fewer clusters here).
+        let mut atlas = Atlas::default();
+        let n = n as u32;
+        for i in 0..n {
+            let j = (i + 1) % n;
+            for (x, y) in [(i, j), (j, i)] {
+                atlas.links.insert(
+                    (ClusterId::new(x), ClusterId::new(y)),
+                    LinkAnnotation { latency: Some(LatencyMs::new(1.0)), plane: Plane::TO_DST },
+                );
+            }
+            atlas.cluster_as.insert(ClusterId::new(i), Asn::new(i));
+            atlas.prefix_cluster.insert(PrefixId::new(i), ClusterId::new(i));
+            atlas.prefix_as.insert(
+                PrefixId::new(i),
+                (Prefix::new(Ipv4(i << 16), 16), Asn::new(i)),
+            );
+        }
+        let p = PathPredictor::new(Arc::new(atlas), tuple_free_config());
+        for d in 1..n {
+            let path = p.predict_forward(PrefixId::new(0), PrefixId::new(d)).unwrap();
+            let clockwise = d as usize + 1;
+            let counter = (n - d) as usize + 1;
+            prop_assert_eq!(path.len(), clockwise.min(counter));
+        }
+    }
+}
