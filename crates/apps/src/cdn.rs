@@ -9,8 +9,8 @@
 
 use crate::oasis::oasis_pick;
 use crate::tcp_model::{pftk_throughput, transfer_time_secs};
-use inano_core::PathPredictor;
 use inano_coords::VivaldiSystem;
+use inano_core::PathPredictor;
 use inano_measure::ping::ping_median;
 use inano_measure::traceroute::ProbeNoise;
 use inano_model::rng::DeterministicRng;
@@ -117,10 +117,7 @@ impl<'a> CdnExperiment<'a> {
                     .iter()
                     .copied()
                     .filter_map(|r| {
-                        let p = self
-                            .predictor
-                            .predict(src_pfx, net.host(r).prefix)
-                            .ok()?;
+                        let p = self.predictor.predict(src_pfx, net.host(r).prefix).ok()?;
                         let score = if latency_only {
                             p.rtt.ms()
                         } else {
@@ -167,13 +164,16 @@ pub fn predicted_rtt(
 mod tests {
     use super::*;
     use inano_atlas::{build_atlas, AtlasConfig};
-    use inano_core::PredictorConfig;
     use inano_coords::VivaldiConfig;
-    use inano_measure::{run_campaign, CampaignConfig, Clustering, ClusteringConfig, VantagePoints};
+    use inano_core::PredictorConfig;
+    use inano_measure::{
+        run_campaign, CampaignConfig, Clustering, ClusteringConfig, VantagePoints,
+    };
     use inano_model::rng::rng_for;
     use inano_topology::{build_internet, DayState, TopologyConfig};
     use std::sync::Arc;
 
+    #[allow(clippy::type_complexity)]
     fn setup() -> (
         inano_topology::Internet,
         Vec<HostId>,
@@ -195,13 +195,17 @@ mod tests {
                 ..CampaignConfig::default()
             },
         );
-        let atlas = Arc::new(build_atlas(&net, &clustering, &day, &AtlasConfig::default()));
+        let atlas = Arc::new(build_atlas(
+            &net,
+            &clustering,
+            &day,
+            &AtlasConfig::default(),
+        ));
 
         let clients: Vec<HostId> = vps.agents.iter().take(8).copied().collect();
         let replicas: Vec<HostId> = vps.agents.iter().skip(8).take(6).copied().collect();
         let all: Vec<HostId> = clients.iter().chain(replicas.iter()).copied().collect();
-        let index: HashMap<HostId, usize> =
-            all.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        let index: HashMap<HostId, usize> = all.iter().enumerate().map(|(i, &h)| (h, i)).collect();
         let sys = VivaldiSystem::run(
             all.len(),
             &VivaldiConfig {
@@ -209,14 +213,8 @@ mod tests {
                 ..VivaldiConfig::default()
             },
             |i, j, rng| {
-                inano_measure::ping::ping(
-                    &oracle,
-                    all[i],
-                    all[j],
-                    &ProbeNoise::default(),
-                    rng,
-                )
-                .map(|l| l.ms())
+                inano_measure::ping::ping(&oracle, all[i], all[j], &ProbeNoise::default(), rng)
+                    .map(|l| l.ms())
             },
         );
         (net, clients, replicas, atlas, sys, index)
@@ -271,11 +269,7 @@ mod tests {
             for strategy in ReplicaStrategy::all() {
                 if let Some(r) = exp.pick(strategy, c, &replicas, &mut rng) {
                     if let Some(t) = exp.download_time(c, r) {
-                        assert!(
-                            t_opt <= t + 1e-9,
-                            "optimal beaten by {}",
-                            strategy.name()
-                        );
+                        assert!(t_opt <= t + 1e-9, "optimal beaten by {}", strategy.name());
                     }
                 }
             }

@@ -116,7 +116,7 @@ mod tests {
     fn predictor() -> PathPredictor {
         let mut a = Atlas::default();
         let cl = ClusterId::new;
-        let mut link = |f: u32, t: u32, lat: f64, a: &mut Atlas| {
+        let link = |f: u32, t: u32, lat: f64, a: &mut Atlas| {
             a.links.insert(
                 (cl(f), cl(t)),
                 LinkAnnotation {

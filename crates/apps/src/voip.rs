@@ -144,7 +144,9 @@ mod tests {
     use super::*;
     use inano_atlas::{build_atlas, AtlasConfig};
     use inano_core::PredictorConfig;
-    use inano_measure::{run_campaign, CampaignConfig, Clustering, ClusteringConfig, VantagePoints};
+    use inano_measure::{
+        run_campaign, CampaignConfig, Clustering, ClusteringConfig, VantagePoints,
+    };
     use inano_model::rng::rng_for;
     use inano_topology::{build_internet, DayState, TopologyConfig};
     use std::sync::Arc;
@@ -164,7 +166,12 @@ mod tests {
                 ..CampaignConfig::default()
             },
         );
-        let atlas = Arc::new(build_atlas(&net, &clustering, &day, &AtlasConfig::default()));
+        let atlas = Arc::new(build_atlas(
+            &net,
+            &clustering,
+            &day,
+            &AtlasConfig::default(),
+        ));
         let predictor = PathPredictor::new(atlas, PredictorConfig::full());
 
         let hosts = &vps.agents;
@@ -172,7 +179,15 @@ mod tests {
         let candidates: Vec<HostId> = hosts[2..14].to_vec();
         let mut rng = rng_for(231, "relay");
         for strategy in RelayStrategy::all() {
-            let r = pick_relay(strategy, &oracle, &predictor, src, dst, &candidates, &mut rng);
+            let r = pick_relay(
+                strategy,
+                &oracle,
+                &predictor,
+                src,
+                dst,
+                &candidates,
+                &mut rng,
+            );
             let relay = r.unwrap_or_else(|| panic!("{} found no relay", strategy.name()));
             let call = call_quality(&oracle, src, relay, dst).expect("relayed call works");
             assert!(call.rtt.ms() > 0.0);

@@ -71,8 +71,14 @@ pub fn build_atlas(
                 if a != b {
                     let e = atlas.links.entry((a, b)).or_default();
                     e.plane = e.plane.union(plane);
-                    atlas.cluster_as.entry(a).or_insert(clustering.cluster_as[a.index()]);
-                    atlas.cluster_as.entry(b).or_insert(clustering.cluster_as[b.index()]);
+                    atlas
+                        .cluster_as
+                        .entry(a)
+                        .or_insert(clustering.cluster_as[a.index()]);
+                    atlas
+                        .cluster_as
+                        .entry(b)
+                        .or_insert(clustering.cluster_as[b.index()]);
                 }
             }
         }
@@ -133,8 +139,11 @@ pub fn build_atlas(
 
     // --- dataset 5: AS degrees from links + feeds ---
     let mut adj: HashMap<Asn, BTreeSet<Asn>> = HashMap::new();
-    for (&(a, b), _) in &atlas.links {
-        let (aa, ab) = (clustering.cluster_as[a.index()], clustering.cluster_as[b.index()]);
+    for &(a, b) in atlas.links.keys() {
+        let (aa, ab) = (
+            clustering.cluster_as[a.index()],
+            clustering.cluster_as[b.index()],
+        );
         if aa != ab {
             adj.entry(aa).or_default().insert(ab);
             adj.entry(ab).or_default().insert(aa);
@@ -173,8 +182,7 @@ pub fn build_atlas(
         .map(|(_, p, _, _)| p)
         .chain(day.bgp.routes.iter().map(|r| &r.path))
         .collect();
-    atlas.inferred_rels =
-        crate::relinfer::infer_relationships(complete_paths.into_iter(), &atlas.as_degree);
+    atlas.inferred_rels = crate::relinfer::infer_relationships(complete_paths, &atlas.as_degree);
 
     atlas
 }
@@ -312,11 +320,8 @@ fn infer_providers(
     }
 
     // Keep per-prefix sets only where they refine the per-AS set.
-    let origin_of: HashMap<PrefixId, Asn> = atlas
-        .prefix_as
-        .iter()
-        .map(|(&p, &(_, a))| (p, a))
-        .collect();
+    let origin_of: HashMap<PrefixId, Asn> =
+        atlas.prefix_as.iter().map(|(&p, &(_, a))| (p, a)).collect();
     for (prefix, set) in per_prefix {
         if let Some(origin) = origin_of.get(&prefix) {
             if per_as.get(origin).map(|s| s != &set).unwrap_or(false) {

@@ -342,10 +342,7 @@ pub fn decode(bytes: &[u8]) -> Result<Atlas, ModelError> {
         let a = get_varint(bytes, &mut p)?;
         atlas.prefix_as.insert(
             PrefixId::new(prev_pid as u32),
-            (
-                Prefix::new(Ipv4(prev_addr as u32), len),
-                Asn::new(a as u32),
-            ),
+            (Prefix::new(Ipv4(prev_addr as u32), len), Asn::new(a as u32)),
         );
     }
     check_end(p, end)?;
@@ -357,9 +354,7 @@ pub fn decode(bytes: &[u8]) -> Result<Atlas, ModelError> {
     for _ in 0..n {
         prev_a += get_varint(bytes, &mut p)?;
         let d = get_varint(bytes, &mut p)?;
-        atlas
-            .as_degree
-            .insert(Asn::new(prev_a as u32), d as u32);
+        atlas.as_degree.insert(Asn::new(prev_a as u32), d as u32);
     }
     check_end(p, end)?;
 
@@ -387,9 +382,11 @@ pub fn decode(bytes: &[u8]) -> Result<Atlas, ModelError> {
         prev += get_varint(bytes, &mut p)?;
         let b = get_varint(bytes, &mut p)?;
         let c = get_varint(bytes, &mut p)?;
-        atlas
-            .prefs
-            .insert((Asn::new(prev as u32), Asn::new(b as u32), Asn::new(c as u32)));
+        atlas.prefs.insert((
+            Asn::new(prev as u32),
+            Asn::new(b as u32),
+            Asn::new(c as u32),
+        ));
     }
     check_end(p, end)?;
 
@@ -419,7 +416,9 @@ pub fn decode(bytes: &[u8]) -> Result<Atlas, ModelError> {
             prev_m = prev_m.wrapping_add(get_varint(bytes, &mut p)?);
             set.insert(Asn::new(prev_m as u32));
         }
-        atlas.prefix_providers.insert(PrefixId::new(prev as u32), set);
+        atlas
+            .prefix_providers
+            .insert(PrefixId::new(prev as u32), set);
     }
     check_end(p, end)?;
 
@@ -504,8 +503,10 @@ mod tests {
         a.tuples
             .insert(Triple::canonical(Asn::new(10), Asn::new(11), Asn::new(12)));
         a.prefs.insert((Asn::new(10), Asn::new(11), Asn::new(13)));
-        a.providers
-            .insert(Asn::new(12), [Asn::new(11), Asn::new(10)].into_iter().collect());
+        a.providers.insert(
+            Asn::new(12),
+            [Asn::new(11), Asn::new(10)].into_iter().collect(),
+        );
         a.prefix_providers
             .insert(PrefixId::new(5), [Asn::new(10)].into_iter().collect());
         a

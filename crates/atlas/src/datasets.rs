@@ -1,6 +1,8 @@
 //! The atlas datasets and their in-memory representation.
 
-use inano_model::{Asn, ClusterId, LatencyMs, LossRate, Prefix, PrefixId, PrefixTrie, Relationship};
+use inano_model::{
+    Asn, ClusterId, LatencyMs, LossRate, Prefix, PrefixId, PrefixTrie, Relationship,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -231,7 +233,13 @@ mod tests {
                 plane: Plane::TO_DST,
             },
         );
-        a.add_from_src_links([(key, None), ((ClusterId::new(2), ClusterId::new(3)), Some(LatencyMs::new(1.0)))]);
+        a.add_from_src_links([
+            (key, None),
+            (
+                (ClusterId::new(2), ClusterId::new(3)),
+                Some(LatencyMs::new(1.0)),
+            ),
+        ]);
         assert!(a.links[&key].plane.to_dst && a.links[&key].plane.from_src);
         assert_eq!(a.links[&key].latency, Some(LatencyMs::new(3.0)));
         let new = a.links[&(ClusterId::new(2), ClusterId::new(3))];
@@ -244,6 +252,9 @@ mod tests {
         let p = Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 8);
         a.prefix_as.insert(PrefixId::new(3), (p, Asn::new(7)));
         let trie = a.build_trie();
-        assert_eq!(trie.lookup(Ipv4::from_octets(10, 1, 2, 3)), Some(PrefixId::new(3)));
+        assert_eq!(
+            trie.lookup(Ipv4::from_octets(10, 1, 2, 3)),
+            Some(PrefixId::new(3))
+        );
     }
 }

@@ -268,14 +268,16 @@ impl AtlasDelta {
             let a = get_varint(bytes, &mut pos)? as u32;
             let b = get_varint(bytes, &mut pos)? as u32;
             let c = get_varint(bytes, &mut pos)? as u32;
-            d.tuples_added.push(Triple(Asn::new(a), Asn::new(b), Asn::new(c)));
+            d.tuples_added
+                .push(Triple(Asn::new(a), Asn::new(b), Asn::new(c)));
         }
         let n = get_varint(bytes, &mut pos)?;
         for _ in 0..n {
             let a = get_varint(bytes, &mut pos)? as u32;
             let b = get_varint(bytes, &mut pos)? as u32;
             let c = get_varint(bytes, &mut pos)? as u32;
-            d.tuples_removed.push(Triple(Asn::new(a), Asn::new(b), Asn::new(c)));
+            d.tuples_removed
+                .push(Triple(Asn::new(a), Asn::new(b), Asn::new(c)));
         }
         Ok(d)
     }

@@ -67,8 +67,7 @@ fn main() {
                 .collect();
             cands.shuffle(&mut rng);
             cands.truncate(40);
-            let Some(relay) =
-                pick_relay(strategy, &oracle, &predictor, src, dst, &cands, &mut rng)
+            let Some(relay) = pick_relay(strategy, &oracle, &predictor, src, dst, &cands, &mut rng)
             else {
                 continue;
             };

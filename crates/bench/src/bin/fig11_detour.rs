@@ -62,8 +62,7 @@ fn main() {
         let Some(path) = baseline.host_to_prefix(probe_src, dst) else {
             continue;
         };
-        let Some(scenario) =
-            FailureScenario::transit_outage_on_path(&sc.net, &path.pops, &mut rng)
+        let Some(scenario) = FailureScenario::transit_outage_on_path(&sc.net, &path.pops, &mut rng)
         else {
             continue;
         };
@@ -101,13 +100,7 @@ fn main() {
 
             // iNano ranking (predictions are failure-unaware: the atlas
             // predates the outage, exactly as deployed).
-            let ranked = rank_detours(
-                &predictor,
-                src_prefix[i],
-                dst,
-                &candidates,
-                MAX_DETOURS,
-            );
+            let ranked = rank_detours(&predictor, src_prefix[i], dst, &candidates, MAX_DETOURS);
             let works = |detour_pfx: PrefixId| -> bool {
                 let Some(pos) = src_prefix.iter().position(|&p| p == detour_pfx) else {
                     return false;
@@ -162,7 +155,11 @@ fn main() {
     for n in 1..=MAX_DETOURS {
         let fi = fail_inano[n - 1] as f64 / victim_cases.max(1) as f64;
         let fr = fail_random[n - 1] as f64 / victim_cases.max(1) as f64;
-        text.push_str(&format!("{n:>9} {:>17.1}% {:>17.1}%\n", fi * 100.0, fr * 100.0));
+        text.push_str(&format!(
+            "{n:>9} {:>17.1}% {:>17.1}%\n",
+            fi * 100.0,
+            fr * 100.0
+        ));
         outs.push(Out {
             n_detours: n,
             unreachable_inano: fi,

@@ -40,10 +40,8 @@ fn main() {
         .hosts
         .iter()
         .filter(|h| {
-            matches!(
-                sc.net.as_info(h.asn).tier,
-                Tier::Tier2 | Tier::Tier3
-            ) && !clients.contains(&h.id)
+            matches!(sc.net.as_info(h.asn).tier, Tier::Tier2 | Tier::Tier3)
+                && !clients.contains(&h.id)
         })
         .map(|h| h.id)
         .collect();

@@ -55,7 +55,10 @@ fn main() {
     let mut outs = Vec::new();
     let mut text = String::from("== §6.2.2: loss stationarity ==\n");
     text.push_str(&format!("lossy paths at t0: {}\n\n", lossy_at_t0.len()));
-    text.push_str(&format!("{:>7} {:>14} {:>10}\n", "hours", "still lossy", "paper"));
+    text.push_str(&format!(
+        "{:>7} {:>14} {:>10}\n",
+        "hours", "still lossy", "paper"
+    ));
     for (hours, epoch, paper) in [(6u32, 1usize, "66%"), (12, 2, "53%"), (24, 4, "53%")] {
         let mut net = sc.net.clone();
         process.apply_epoch(&mut net, epoch);
@@ -69,7 +72,11 @@ fn main() {
             }
         }
         let frac = still as f64 / lossy_at_t0.len().max(1) as f64;
-        text.push_str(&format!("{hours:>7} {:>13.1}% {:>10}\n", frac * 100.0, paper));
+        text.push_str(&format!(
+            "{hours:>7} {:>13.1}% {:>10}\n",
+            frac * 100.0,
+            paper
+        ));
         outs.push(Out {
             hours,
             still_lossy: frac,

@@ -46,10 +46,8 @@ fn main() {
 
     let base = &rows[0];
     let last = rows.last().unwrap();
-    let link_growth_per_agent =
-        (last.links - base.links) as f64 / last.agents.max(1) as f64;
-    let tuple_growth_per_agent =
-        (last.tuples - base.tuples) as f64 / last.agents.max(1) as f64;
+    let link_growth_per_agent = (last.links - base.links) as f64 / last.agents.max(1) as f64;
+    let tuple_growth_per_agent = (last.tuples - base.tuples) as f64 / last.agents.max(1) as f64;
     // Extrapolate to an agent in every edge prefix.
     let n_prefixes = sc.net.edge_prefixes().count();
     let extrapolated_links = base.links as f64 + link_growth_per_agent * n_prefixes as f64;

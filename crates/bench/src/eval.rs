@@ -131,9 +131,9 @@ pub fn atlas_coverage_gap(sc: &Scenario, paths: &[ValidationPath]) -> f64 {
     let missing = paths
         .iter()
         .filter(|p| {
-            p.true_clusters.windows(2).any(|w| {
-                !sc.atlas.links.contains_key(&(w[0], w[1]))
-            })
+            p.true_clusters
+                .windows(2)
+                .any(|w| !sc.atlas.links.contains_key(&(w[0], w[1])))
         })
         .count();
     missing as f64 / paths.len() as f64

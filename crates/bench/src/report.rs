@@ -36,7 +36,11 @@ pub fn cdf_rows(label: &str, e: &Ecdf) -> String {
         return out;
     }
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
-        out.push_str(&format!("  p{:<4} {:>10.3}\n", (q * 100.0) as u32, e.quantile(q)));
+        out.push_str(&format!(
+            "  p{:<4} {:>10.3}\n",
+            (q * 100.0) as u32,
+            e.quantile(q)
+        ));
     }
     out
 }

@@ -98,9 +98,8 @@ impl VivaldiSystem {
         }
 
         for _round in 0..cfg.rounds {
-            for i in 0..n {
-                for k in 0..neighbor_sets[i].len() {
-                    let j = neighbor_sets[i][k];
+            for (i, neighbors) in neighbor_sets.iter().enumerate() {
+                for &j in neighbors {
                     let Some(sample) = rtt(i, j, &mut rng) else {
                         continue;
                     };

@@ -45,7 +45,10 @@ impl AtlasSource for StaticSource {
 pub struct INanoClient {
     atlas: Arc<Atlas>,
     cfg: PredictorConfig,
-    predictor: PathPredictor,
+    /// `None` only transiently inside mutating methods, so the atlas
+    /// `Arc` can be mutated in place instead of cloned (see
+    /// [`INanoClient::add_local_links`]).
+    predictor: Option<PathPredictor>,
     /// Local FROM_SRC links contributed by this client's own traceroutes,
     /// re-applied after every update.
     local_links: Vec<((ClusterId, ClusterId), Option<LatencyMs>)>,
@@ -64,7 +67,7 @@ impl INanoClient {
         Ok(INanoClient {
             atlas,
             cfg,
-            predictor,
+            predictor: Some(predictor),
             local_links: Vec::new(),
         })
     }
@@ -75,51 +78,95 @@ impl INanoClient {
     }
 
     /// Apply all available daily deltas; returns how many were applied.
+    ///
+    /// Deltas are staged off to the side and committed once at the end
+    /// (one local-link re-application for the whole chain). If the
+    /// chain fails partway — a fetch or decode error, a wrong-base
+    /// delta — the days that did apply are committed, the error is
+    /// returned, and the client keeps serving queries either way.
     pub fn update(&mut self, source: &mut dyn AtlasSource) -> Result<usize, ModelError> {
-        let mut applied = 0;
-        while let Some(bytes) = source.fetch_delta(self.atlas.day)? {
-            let delta = AtlasDelta::decode(&bytes)?;
-            let next = delta.apply(&self.atlas)?;
-            self.atlas = Arc::new(next);
-            applied += 1;
+        let mut staged: Option<Atlas> = None;
+        let mut applied = 0usize;
+        let outcome = loop {
+            let base = staged.as_ref().unwrap_or(&self.atlas);
+            match source.fetch_delta(base.day) {
+                Ok(Some(bytes)) => match AtlasDelta::decode(&bytes).and_then(|d| d.apply(base)) {
+                    Ok(next) => {
+                        staged = Some(next);
+                        applied += 1;
+                    }
+                    Err(e) => break Err(e),
+                },
+                Ok(None) => break Ok(applied),
+                Err(e) => break Err(e),
+            }
+        };
+        if let Some(atlas) = staged {
+            self.predictor = None;
+            self.atlas = Arc::new(atlas);
+            // One in-place re-application of every local link for the
+            // whole update, however many deltas were chained.
+            self.apply_links_and_rebuild(|local| local.clone());
         }
-        if applied > 0 {
-            self.rebuild();
-        }
-        Ok(applied)
+        outcome
     }
 
     /// Contribute links from a local traceroute (already mapped to
     /// clusters by the measurement toolkit). They land in the FROM_SRC
     /// plane and survive daily updates.
+    ///
+    /// Only the links passed here are applied to the live atlas — the
+    /// atlas `Arc` is mutated in place (no clone) because the client
+    /// holds the only reference once the predictor is dropped. The old
+    /// behaviour cloned the entire atlas and re-applied *every*
+    /// accumulated local link on each call.
     pub fn add_local_links<I>(&mut self, links: I)
     where
         I: IntoIterator<Item = ((ClusterId, ClusterId), Option<LatencyMs>)>,
     {
-        self.local_links.extend(links);
-        self.rebuild();
+        let new: Vec<((ClusterId, ClusterId), Option<LatencyMs>)> = links.into_iter().collect();
+        if new.is_empty() {
+            return;
+        }
+        self.local_links.extend(new.iter().cloned());
+        self.apply_links_and_rebuild(move |_| new);
     }
 
-    fn rebuild(&mut self) {
-        let mut atlas = (*self.atlas).clone();
-        atlas.add_from_src_links(self.local_links.iter().cloned());
-        self.atlas = Arc::new(atlas);
-        self.predictor = PathPredictor::new(Arc::clone(&self.atlas), self.cfg.clone());
+    /// Apply a batch of FROM_SRC links to the atlas — in place when the
+    /// client holds the only `Arc` (the common case) — then rebuild the
+    /// predictor once.
+    fn apply_links_and_rebuild<F>(&mut self, links: F)
+    where
+        F: FnOnce(
+            &Vec<((ClusterId, ClusterId), Option<LatencyMs>)>,
+        ) -> Vec<((ClusterId, ClusterId), Option<LatencyMs>)>,
+    {
+        // Drop the predictor's Arc first so make_mut can avoid cloning.
+        self.predictor = None;
+        let mut atlas = std::mem::replace(&mut self.atlas, Arc::new(Atlas::default()));
+        Arc::make_mut(&mut atlas).add_from_src_links(links(&self.local_links));
+        self.atlas = atlas;
+        self.predictor = Some(PathPredictor::new(
+            Arc::clone(&self.atlas),
+            self.cfg.clone(),
+        ));
     }
 
     /// Query path information between two IPs.
     pub fn query(&self, src: Ipv4, dst: Ipv4) -> Result<PredictedPath, ModelError> {
-        self.predictor.query(src, dst)
+        self.predictor().query(src, dst)
     }
 
     /// Batched queries.
     pub fn query_batch(&self, pairs: &[(Ipv4, Ipv4)]) -> Vec<Result<PredictedPath, ModelError>> {
-        self.predictor.query_batch(pairs)
+        self.predictor().query_batch(pairs)
     }
 
     /// Direct access to the predictor (ranking helpers etc.).
     pub fn predictor(&self) -> &PathPredictor {
-        &self.predictor
+        self.predictor
+            .as_ref()
+            .expect("predictor is initialised outside mutating methods")
     }
 
     /// Direct access to the loaded atlas.
@@ -181,7 +228,10 @@ mod tests {
         let client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
         assert_eq!(client.day(), 0);
         let r = client
-            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .query(
+                Ipv4::from_octets(10, 0, 0, 1),
+                Ipv4::from_octets(20, 0, 0, 1),
+            )
             .unwrap();
         assert_eq!(r.fwd_clusters.len(), 3);
     }
@@ -213,9 +263,146 @@ mod tests {
         assert_eq!(client.day(), 2);
         // The new direct link is now the predicted route.
         let r = client
-            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .query(
+                Ipv4::from_octets(10, 0, 0, 1),
+                Ipv4::from_octets(20, 0, 0, 1),
+            )
             .unwrap();
         assert_eq!(r.fwd_clusters.len(), 2, "uses the day-1 shortcut");
+    }
+
+    /// Serves one delta, then fails every further fetch.
+    struct FlakyAfterOne {
+        inner: StaticSource,
+        served: usize,
+    }
+
+    impl AtlasSource for FlakyAfterOne {
+        fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError> {
+            self.inner.fetch_full()
+        }
+
+        fn fetch_delta(&mut self, have_day: u32) -> Result<Option<Vec<u8>>, ModelError> {
+            if self.served >= 1 {
+                return Err(ModelError::Decode("source died mid-update".into()));
+            }
+            let r = self.inner.fetch_delta(have_day);
+            if let Ok(Some(_)) = &r {
+                self.served += 1;
+            }
+            r
+        }
+    }
+
+    #[test]
+    fn update_failing_midway_keeps_the_client_serving() {
+        let day0 = base_atlas(0);
+        let mut day1 = base_atlas(1);
+        day1.links.insert(
+            (ClusterId::new(1), ClusterId::new(3)),
+            LinkAnnotation {
+                latency: Some(LatencyMs::new(1.0)),
+                plane: Plane::TO_DST,
+            },
+        );
+        let (full, _) = codec::encode(&day0);
+        let d01 = AtlasDelta::between(&day0, &day1).encode().0;
+        let mut src = FlakyAfterOne {
+            inner: StaticSource {
+                full,
+                deltas: vec![d01],
+            },
+            served: 0,
+        };
+        let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
+        assert!(
+            client.update(&mut src).is_err(),
+            "the source error surfaces"
+        );
+        // The delta that did apply is committed, and — regression — the
+        // client must keep answering queries instead of panicking on a
+        // torn-down predictor.
+        assert_eq!(client.day(), 1);
+        let r = client
+            .query(
+                Ipv4::from_octets(10, 0, 0, 1),
+                Ipv4::from_octets(20, 0, 0, 1),
+            )
+            .unwrap();
+        assert_eq!(r.fwd_clusters.len(), 2, "day-1 shortcut is live");
+    }
+
+    #[test]
+    fn add_local_links_applies_in_place_without_cloning() {
+        let (bytes, _) = codec::encode(&base_atlas(0));
+        let mut src = StaticSource {
+            full: bytes,
+            deltas: vec![],
+        };
+        let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
+        client.add_local_links([(
+            (ClusterId::new(1), ClusterId::new(3)),
+            Some(LatencyMs::new(0.5)),
+        )]);
+        let before = client.atlas() as *const Atlas;
+        client.add_local_links([(
+            (ClusterId::new(3), ClusterId::new(1)),
+            Some(LatencyMs::new(0.5)),
+        )]);
+        // Regression: each add_local_links call used to clone the whole
+        // atlas; the batch is now applied to the same allocation.
+        assert_eq!(
+            before,
+            client.atlas() as *const Atlas,
+            "atlas must be augmented in place, not cloned per call"
+        );
+        // Both incrementally-added links are live.
+        let r = client
+            .query(
+                Ipv4::from_octets(10, 0, 0, 1),
+                Ipv4::from_octets(20, 0, 0, 1),
+            )
+            .unwrap();
+        assert_eq!(r.fwd_clusters.len(), 2, "first local link used");
+        assert_eq!(r.rev_clusters.len(), 2, "second local link used");
+    }
+
+    #[test]
+    fn incremental_adds_match_one_batched_add() {
+        let (bytes, _) = codec::encode(&base_atlas(0));
+        let links = [
+            (
+                (ClusterId::new(1), ClusterId::new(3)),
+                Some(LatencyMs::new(0.5)),
+            ),
+            (
+                (ClusterId::new(3), ClusterId::new(1)),
+                Some(LatencyMs::new(0.4)),
+            ),
+        ];
+        let mut src = StaticSource {
+            full: bytes.clone(),
+            deltas: vec![],
+        };
+        let mut one = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
+        one.add_local_links(links);
+        let mut src2 = StaticSource {
+            full: bytes,
+            deltas: vec![],
+        };
+        let mut two = INanoClient::bootstrap(&mut src2, client_cfg()).unwrap();
+        for l in links {
+            two.add_local_links([l]);
+        }
+        let q = (
+            Ipv4::from_octets(10, 0, 0, 1),
+            Ipv4::from_octets(20, 0, 0, 1),
+        );
+        let a = one.query(q.0, q.1).unwrap();
+        let b = two.query(q.0, q.1).unwrap();
+        assert_eq!(a.fwd_clusters, b.fwd_clusters);
+        assert_eq!(a.rev_clusters, b.rev_clusters);
+        assert!((a.rtt.ms() - b.rtt.ms()).abs() < 1e-12);
     }
 
     #[test]
@@ -239,12 +426,18 @@ mod tests {
             Some(LatencyMs::new(0.5)),
         )]);
         let before = client
-            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .query(
+                Ipv4::from_octets(10, 0, 0, 1),
+                Ipv4::from_octets(20, 0, 0, 1),
+            )
             .unwrap();
         assert_eq!(before.fwd_clusters.len(), 2, "local FROM_SRC link used");
         client.update(&mut src).unwrap();
         let after = client
-            .query(Ipv4::from_octets(10, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 1))
+            .query(
+                Ipv4::from_octets(10, 0, 0, 1),
+                Ipv4::from_octets(20, 0, 0, 1),
+            )
             .unwrap();
         assert_eq!(after.fwd_clusters.len(), 2, "local link survives update");
     }

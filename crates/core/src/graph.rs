@@ -93,22 +93,22 @@ impl PredictionGraph {
         let mut clusters: Vec<ClusterId> = Vec::new();
         let mut cluster_as: Vec<Asn> = Vec::new();
         let intern = |c: ClusterId,
-                          clusters: &mut Vec<ClusterId>,
-                          cluster_as: &mut Vec<Asn>,
-                          cluster_idx: &mut HashMap<ClusterId, u32>,
-                          atlas: &Atlas| {
+                      clusters: &mut Vec<ClusterId>,
+                      cluster_as: &mut Vec<Asn>,
+                      cluster_idx: &mut HashMap<ClusterId, u32>,
+                      atlas: &Atlas| {
             *cluster_idx.entry(c).or_insert_with(|| {
                 clusters.push(c);
                 cluster_as.push(atlas.as_of_cluster(c).unwrap_or_default());
                 (clusters.len() - 1) as u32
             })
         };
-        for (&(a, b), _) in &atlas.links {
+        for &(a, b) in atlas.links.keys() {
             intern(a, &mut clusters, &mut cluster_as, &mut cluster_idx, atlas);
             intern(b, &mut clusters, &mut cluster_as, &mut cluster_idx, atlas);
         }
         // Clusters referenced only by prefix attachments still need nodes.
-        for (_, &c) in &atlas.prefix_cluster {
+        for &c in atlas.prefix_cluster.values() {
             intern(c, &mut clusters, &mut cluster_as, &mut cluster_idx, atlas);
         }
 
@@ -175,8 +175,7 @@ impl PredictionGraph {
             }
         }
         // Second pass: add both directions, marking the unobserved one.
-        let mut added: std::collections::HashSet<(u32, u32, u8)> =
-            std::collections::HashSet::new();
+        let mut added: std::collections::HashSet<(u32, u32, u8)> = std::collections::HashSet::new();
         for (&(from, to), ann) in &atlas.links {
             let (cf, ct) = (self.cluster_idx[&from], self.cluster_idx[&to]);
             let inter = self.cluster_as[cf as usize] != self.cluster_as[ct as usize];
@@ -415,12 +414,7 @@ mod tests {
         // pair (2,4) intra: 4 (two dirs × two layers);
         // self edges: 4. Total 12.
         assert_eq!(g.n_edges(), 12);
-        let phases: Vec<u8> = g
-            .in_edges
-            .iter()
-            .flatten()
-            .map(|e| e.phase)
-            .collect();
+        let phases: Vec<u8> = g.in_edges.iter().flatten().map(|e| e.phase).collect();
         assert!(phases.contains(&3));
         assert!(phases.contains(&2));
     }

@@ -31,5 +31,5 @@ pub mod search;
 
 pub use client::{AtlasSource, INanoClient};
 pub use config::PredictorConfig;
-pub use predict::{PathPredictor, PredictedPath};
+pub use predict::{PathPredictor, PredictedPath, Resolution};
 pub use rank::rank_by_rtt;

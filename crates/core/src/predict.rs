@@ -11,7 +11,9 @@ use crate::config::PredictorConfig;
 use crate::graph::PredictionGraph;
 use crate::search::{search, SearchResult};
 use inano_atlas::Atlas;
-use inano_model::{AsPath, Asn, ClusterId, Ipv4, LatencyMs, LossRate, ModelError, PrefixId, PrefixTrie};
+use inano_model::{
+    AsPath, Asn, ClusterId, Ipv4, LatencyMs, LossRate, ModelError, PrefixId, PrefixTrie,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,6 +33,46 @@ pub struct PredictedPath {
 
 /// Maximum cached destination searches before the cache is cleared.
 const CACHE_CAP: usize = 512;
+
+/// Where an IP address attaches to the atlas — enough to compute a
+/// result-cache key without running the search itself. Produced by
+/// [`PathPredictor::resolve`]; consumed by the serving layer
+/// (`inano-service`), whose cache is keyed on cluster pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolution {
+    /// The atlas prefix covering the address.
+    pub prefix: PrefixId,
+    /// The cluster that prefix attaches to.
+    pub cluster: ClusterId,
+    /// The prefix's origin AS, if the atlas records one.
+    pub origin_as: Option<Asn>,
+    /// The AS of the attachment cluster, if the atlas records one.
+    pub cluster_as: Option<Asn>,
+    /// True when the atlas carries a *per-prefix* provider refinement
+    /// for this prefix (Table 2's eighth dataset): the provider
+    /// constraint then depends on the prefix, not just its cluster.
+    pub refined_providers: bool,
+}
+
+impl Resolution {
+    /// True when a prediction toward (or from) this endpoint is a pure
+    /// function of its cluster, so it may safely be served from a
+    /// cluster-keyed cache. Requires both that the prefix's origin AS
+    /// agrees with its cluster's AS (the origin feeds the provider
+    /// check and the AS-path suffix) and that the prefix has no
+    /// per-prefix provider refinement (which would make two prefixes on
+    /// the same cluster search differently). Non-canonical prefixes
+    /// must bypass such a cache rather than poison it.
+    pub fn canonical(&self) -> bool {
+        if self.refined_providers {
+            return false;
+        }
+        match (self.origin_as, self.cluster_as) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
 
 /// The iNano path predictor.
 ///
@@ -89,9 +131,36 @@ impl PathPredictor {
             .ok_or_else(|| ModelError::UnroutableAddress(ip.to_string()))
     }
 
+    /// Map an IP address to the cluster it attaches to.
+    pub fn cluster_of(&self, ip: Ipv4) -> Result<ClusterId, ModelError> {
+        Ok(self.resolve(ip)?.cluster)
+    }
+
+    /// Resolve an IP address to its atlas attachment point (prefix,
+    /// cluster, origin/cluster AS) without running a search.
+    pub fn resolve(&self, ip: Ipv4) -> Result<Resolution, ModelError> {
+        let prefix = self.prefix_of(ip)?;
+        let cluster = *self
+            .atlas
+            .prefix_cluster
+            .get(&prefix)
+            .ok_or_else(|| ModelError::NoPath(format!("{prefix} has no known cluster")))?;
+        Ok(Resolution {
+            prefix,
+            cluster,
+            origin_as: self.atlas.prefix_as.get(&prefix).map(|&(_, asn)| asn),
+            cluster_as: self.atlas.as_of_cluster(cluster),
+            refined_providers: self.atlas.prefix_providers.contains_key(&prefix),
+        })
+    }
+
     /// The (cached) destination-rooted search toward a prefix, over the
     /// strict or relaxed graph.
-    fn search_to(&self, dst_prefix: PrefixId, relaxed: bool) -> Result<Arc<SearchResult>, ModelError> {
+    fn search_to(
+        &self,
+        dst_prefix: PrefixId,
+        relaxed: bool,
+    ) -> Result<Arc<SearchResult>, ModelError> {
         let graph = if relaxed {
             self.relaxed.as_ref().expect("relaxed graph exists")
         } else {
@@ -111,8 +180,15 @@ impl PathPredictor {
             .prefix_as
             .get(&dst_prefix)
             .ok_or_else(|| ModelError::NoPath(format!("{dst_prefix} has no origin AS")))?;
-        let result = search(graph, &self.atlas, &self.cfg, dst_cluster, dst_prefix, dst_as)
-            .ok_or_else(|| ModelError::NoPath(format!("{dst_prefix}: destination not in graph")))?;
+        let result = search(
+            graph,
+            &self.atlas,
+            &self.cfg,
+            dst_cluster,
+            dst_prefix,
+            dst_as,
+        )
+        .ok_or_else(|| ModelError::NoPath(format!("{dst_prefix}: destination not in graph")))?;
         let result = Arc::new(result);
         let mut cache = self.cache.lock();
         if cache.len() >= CACHE_CAP {
@@ -262,8 +338,7 @@ mod tests {
         for (c, asn) in [(1u32, 1u32), (2, 2), (3, 3)] {
             a.cluster_as.insert(cl(c), Asn::new(asn));
         }
-        a.loss
-            .insert((cl(2), cl(3)), LossRate::new(0.1));
+        a.loss.insert((cl(2), cl(3)), LossRate::new(0.1));
         a.prefix_cluster.insert(PrefixId::new(10), cl(1));
         a.prefix_cluster.insert(PrefixId::new(20), cl(3));
         a.prefix_as.insert(
@@ -304,11 +379,56 @@ mod tests {
     fn query_by_ip_uses_trie() {
         let p = predictor();
         let r = p
-            .query(Ipv4::from_octets(10, 0, 0, 5), Ipv4::from_octets(20, 0, 0, 9))
+            .query(
+                Ipv4::from_octets(10, 0, 0, 5),
+                Ipv4::from_octets(20, 0, 0, 9),
+            )
             .unwrap();
         assert_eq!(r.fwd_clusters.len(), 3);
-        let err = p.query(Ipv4::from_octets(99, 0, 0, 1), Ipv4::from_octets(20, 0, 0, 9));
+        let err = p.query(
+            Ipv4::from_octets(99, 0, 0, 1),
+            Ipv4::from_octets(20, 0, 0, 9),
+        );
         assert!(matches!(err, Err(ModelError::UnroutableAddress(_))));
+    }
+
+    #[test]
+    fn resolution_reports_attachment_and_canonicality() {
+        let p = predictor();
+        let r = p.resolve(Ipv4::from_octets(10, 0, 0, 1)).unwrap();
+        assert_eq!(r.prefix, PrefixId::new(10));
+        assert_eq!(r.cluster, ClusterId::new(1));
+        assert_eq!(r.origin_as, Some(Asn::new(1)));
+        assert_eq!(r.cluster_as, Some(Asn::new(1)));
+        assert!(!r.refined_providers);
+        assert!(r.canonical());
+        assert_eq!(
+            p.cluster_of(Ipv4::from_octets(20, 0, 0, 9)).unwrap(),
+            ClusterId::new(3)
+        );
+    }
+
+    #[test]
+    fn refined_provider_prefixes_are_not_canonical() {
+        // A per-prefix provider refinement makes the search depend on
+        // the prefix, not just its cluster — cluster-keyed caches must
+        // not serve it.
+        let mut atlas = (*toy()).clone();
+        atlas
+            .prefix_providers
+            .insert(PrefixId::new(10), [Asn::new(2)].into_iter().collect());
+        let mut cfg = PredictorConfig::with_tuples();
+        cfg.use_tuples = false;
+        cfg.use_from_src = false;
+        let p = PathPredictor::new(Arc::new(atlas), cfg);
+        let r = p.resolve(Ipv4::from_octets(10, 0, 0, 1)).unwrap();
+        assert!(r.refined_providers);
+        assert!(!r.canonical());
+        // The sibling prefix without a refinement stays canonical.
+        assert!(p
+            .resolve(Ipv4::from_octets(20, 0, 0, 1))
+            .unwrap()
+            .canonical());
     }
 
     #[test]

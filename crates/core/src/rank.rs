@@ -31,12 +31,7 @@ pub fn rank_by_loss_then_rtt(
 ) -> Vec<(PrefixId, LossRate, LatencyMs)> {
     let mut out: Vec<(PrefixId, LossRate, LatencyMs)> = candidates
         .iter()
-        .filter_map(|&d| {
-            predictor
-                .predict(src, d)
-                .ok()
-                .map(|p| (d, p.loss, p.rtt))
-        })
+        .filter_map(|&d| predictor.predict(src, d).ok().map(|p| (d, p.loss, p.rtt)))
         .collect();
     out.sort_by(|a, b| {
         a.1.partial_cmp(&b.1)

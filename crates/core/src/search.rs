@@ -152,8 +152,8 @@ pub fn search(
                             // reverse traversal); otherwise reversed
                             // shortcuts through stubs would fabricate
                             // transit the Internet never provides.
-                            let exempt = !e.reversed
-                                && atlas.degree(node_as) <= cfg.tuple_min_degree;
+                            let exempt =
+                                !e.reversed && atlas.degree(node_as) <= cfg.tuple_min_degree;
                             if !exempt && !atlas.has_triple(u_as, node_as, c_after) {
                                 continue;
                             }
@@ -218,13 +218,7 @@ fn quant(exit: f64) -> u64 {
 }
 
 /// Is `cand` a better label for a node in AS `a` than `cur`?
-fn better(
-    cand: &Label,
-    cur: &Option<Label>,
-    a: Asn,
-    atlas: &Atlas,
-    cfg: &PredictorConfig,
-) -> bool {
+fn better(cand: &Label, cur: &Option<Label>, a: Asn, atlas: &Atlas, cfg: &PredictorConfig) -> bool {
     let Some(cur) = cur else { return true };
     if cand.hops != cur.hops {
         return cand.hops < cur.hops;

@@ -172,7 +172,9 @@ pub fn run_campaign(
 impl MeasurementDay {
     /// All traceroutes, VP first.
     pub fn all_traceroutes(&self) -> impl Iterator<Item = &Traceroute> {
-        self.vp_traceroutes.iter().chain(self.agent_traceroutes.iter())
+        self.vp_traceroutes
+            .iter()
+            .chain(self.agent_traceroutes.iter())
     }
 }
 
@@ -223,7 +225,7 @@ mod tests {
     #[test]
     fn loss_entries_are_lossy() {
         let (_, _, day) = campaign(163);
-        for (_, l) in &day.link_loss {
+        for l in day.link_loss.values() {
             assert!(l.is_lossy());
         }
     }

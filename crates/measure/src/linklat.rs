@@ -51,7 +51,10 @@ impl LinkLatencyEstimator {
             if ca == cb {
                 continue;
             }
-            self.samples.entry((ca, cb)).or_default().push(rtt_b - rtt_a);
+            self.samples
+                .entry((ca, cb))
+                .or_default()
+                .push(rtt_b - rtt_a);
         }
     }
 

@@ -7,10 +7,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelError {
     /// An id referenced an entity that does not exist in the relevant table.
-    UnknownEntity {
-        kind: &'static str,
-        id: u64,
-    },
+    UnknownEntity { kind: &'static str, id: u64 },
     /// An IP address did not match any known prefix.
     UnroutableAddress(String),
     /// A dataset failed to decode (corrupt bytes, bad magic, truncated...).
@@ -44,7 +41,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ModelError::UnknownEntity { kind: "prefix", id: 9 };
+        let e = ModelError::UnknownEntity {
+            kind: "prefix",
+            id: 9,
+        };
         assert_eq!(e.to_string(), "unknown prefix id 9");
         assert!(ModelError::Decode("bad magic".into())
             .to_string()

@@ -126,7 +126,10 @@ mod tests {
         assert!(HostId::new(2) < HostId::new(10));
         let mut v = vec![RouterId::new(5), RouterId::new(1), RouterId::new(3)];
         v.sort();
-        assert_eq!(v, vec![RouterId::new(1), RouterId::new(3), RouterId::new(5)]);
+        assert_eq!(
+            v,
+            vec![RouterId::new(1), RouterId::new(3), RouterId::new(5)]
+        );
     }
 
     #[test]

@@ -257,12 +257,30 @@ mod tests {
     #[test]
     fn trie_longest_prefix_wins() {
         let mut t = PrefixTrie::new();
-        t.insert(Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 8), PrefixId::new(1));
-        t.insert(Prefix::new(Ipv4::from_octets(10, 1, 0, 0), 16), PrefixId::new(2));
-        t.insert(Prefix::new(Ipv4::from_octets(10, 1, 2, 0), 24), PrefixId::new(3));
-        assert_eq!(t.lookup(Ipv4::from_octets(10, 1, 2, 3)), Some(PrefixId::new(3)));
-        assert_eq!(t.lookup(Ipv4::from_octets(10, 1, 9, 9)), Some(PrefixId::new(2)));
-        assert_eq!(t.lookup(Ipv4::from_octets(10, 9, 9, 9)), Some(PrefixId::new(1)));
+        t.insert(
+            Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 8),
+            PrefixId::new(1),
+        );
+        t.insert(
+            Prefix::new(Ipv4::from_octets(10, 1, 0, 0), 16),
+            PrefixId::new(2),
+        );
+        t.insert(
+            Prefix::new(Ipv4::from_octets(10, 1, 2, 0), 24),
+            PrefixId::new(3),
+        );
+        assert_eq!(
+            t.lookup(Ipv4::from_octets(10, 1, 2, 3)),
+            Some(PrefixId::new(3))
+        );
+        assert_eq!(
+            t.lookup(Ipv4::from_octets(10, 1, 9, 9)),
+            Some(PrefixId::new(2))
+        );
+        assert_eq!(
+            t.lookup(Ipv4::from_octets(10, 9, 9, 9)),
+            Some(PrefixId::new(1))
+        );
         assert_eq!(t.lookup(Ipv4::from_octets(11, 0, 0, 1)), None);
         assert_eq!(t.len(), 3);
     }
@@ -280,7 +298,10 @@ mod tests {
     #[test]
     fn trie_exact_get_misses_on_absent() {
         let mut t = PrefixTrie::new();
-        t.insert(Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 8), PrefixId::new(1));
+        t.insert(
+            Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 8),
+            PrefixId::new(1),
+        );
         assert_eq!(t.get(Prefix::new(Ipv4::from_octets(10, 0, 0, 0), 16)), None);
     }
 
@@ -288,6 +309,9 @@ mod tests {
     fn trie_default_route() {
         let mut t = PrefixTrie::new();
         t.insert(Prefix::new(Ipv4(0), 0), PrefixId::new(0));
-        assert_eq!(t.lookup(Ipv4::from_octets(1, 2, 3, 4)), Some(PrefixId::new(0)));
+        assert_eq!(
+            t.lookup(Ipv4::from_octets(1, 2, 3, 4)),
+            Some(PrefixId::new(0))
+        );
     }
 }

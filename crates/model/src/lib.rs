@@ -23,6 +23,6 @@ pub use error::ModelError;
 pub use ids::{Asn, ClusterId, HostId, IfaceId, PopId, PrefixId, RouterId};
 pub use ip::{Ipv4, Prefix, PrefixTrie};
 pub use metrics::{LatencyMs, LossRate};
-pub use path::{AsPath, ClusterPath, path_similarity};
+pub use path::{path_similarity, AsPath, ClusterPath};
 pub use rel::Relationship;
 pub use rng::DeterministicRng;

@@ -19,7 +19,10 @@ impl LatencyMs {
     pub const ZERO: LatencyMs = LatencyMs(0.0);
 
     pub fn new(ms: f64) -> Self {
-        debug_assert!(ms.is_finite() && ms >= 0.0, "latency must be finite and >= 0");
+        debug_assert!(
+            ms.is_finite() && ms >= 0.0,
+            "latency must be finite and >= 0"
+        );
         LatencyMs(ms)
     }
 

@@ -146,13 +146,17 @@ mod tests {
     #[test]
     fn valley_free_accepts_up_peer_down() {
         // up, up, peer, down, down
-        assert!(is_valley_free(&[Provider, Provider, Peer, Customer, Customer]));
+        assert!(is_valley_free(&[
+            Provider, Provider, Peer, Customer, Customer
+        ]));
         // pure down
         assert!(is_valley_free(&[Customer, Customer]));
         // pure up
         assert!(is_valley_free(&[Provider]));
         // sibling is transparent anywhere
-        assert!(is_valley_free(&[Provider, Sibling, Peer, Sibling, Customer]));
+        assert!(is_valley_free(&[
+            Provider, Sibling, Peer, Sibling, Customer
+        ]));
         assert!(is_valley_free(&[]));
     }
 

@@ -73,8 +73,7 @@ impl<'a> ImprovedComposer<'a> {
             v
         };
         for w in ases.windows(3) {
-            if atlas.degree(w[1]) > self.tuple_min_degree && !atlas.has_triple(w[0], w[1], w[2])
-            {
+            if atlas.degree(w[1]) > self.tuple_min_degree && !atlas.has_triple(w[0], w[1], w[2]) {
                 return false;
             }
         }

@@ -100,13 +100,8 @@ fn varint_len(v: u64) -> usize {
 
 /// Convert a traceroute into a stored path (the source cluster is known
 /// to the measuring host; unresponsive hops are dropped).
-fn stored_path(
-    net: &Internet,
-    clustering: &Clustering,
-    tr: &Traceroute,
-) -> Option<StoredPath> {
-    let src_cluster =
-        clustering.cluster_of_pop(net.prefix(net.host(tr.src).prefix).home_pop);
+fn stored_path(net: &Internet, clustering: &Clustering, tr: &Traceroute) -> Option<StoredPath> {
+    let src_cluster = clustering.cluster_of_pop(net.prefix(net.host(tr.src).prefix).home_pop);
     let mut clusters = vec![src_cluster];
     let mut rtts: Vec<Option<f64>> = vec![None];
     let n = tr.hops.len();

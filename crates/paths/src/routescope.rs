@@ -38,7 +38,7 @@ impl RouteScope {
                 .unwrap_or(Relationship::Peer);
             adj.entry(a).or_default().push((b, rel));
         };
-        for (&(x, y), _) in &atlas.links {
+        for &(x, y) in atlas.links.keys() {
             let (Some(a), Some(b)) = (atlas.as_of_cluster(x), atlas.as_of_cluster(y)) else {
                 continue;
             };

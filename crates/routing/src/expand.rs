@@ -292,13 +292,9 @@ mod tests {
         let net = build_internet(&TopologyConfig::tiny(63)).unwrap();
         let multi = net.ases.iter().find(|a| a.pops.len() >= 2).unwrap();
         let empty: Vec<LinkId> = Vec::new();
-        let path = expand(
-            &net,
-            &[multi.asn],
-            multi.pops[0],
-            multi.pops[1],
-            |_, _| empty.as_slice(),
-        )
+        let path = expand(&net, &[multi.asn], multi.pops[0], multi.pops[1], |_, _| {
+            empty.as_slice()
+        })
         .unwrap();
         for &l in &path.links {
             assert_eq!(net.link(l).kind, LinkKind::Intra);

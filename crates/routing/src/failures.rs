@@ -36,10 +36,7 @@ impl FailureScenario {
     /// cut at a carrier hotel...). This is the canonical "partial outage":
     /// sources routed through the PoP lose the destination, others don't.
     pub fn pop_outage(net: &Internet, pop: PopId) -> Self {
-        let down: Vec<LinkId> = net.pop_adj[pop.index()]
-            .iter()
-            .map(|&(l, _)| l)
-            .collect();
+        let down: Vec<LinkId> = net.pop_adj[pop.index()].iter().map(|&(l, _)| l).collect();
         FailureScenario {
             description: format!("outage of {pop}"),
             down_links: down,

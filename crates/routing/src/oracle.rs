@@ -249,10 +249,7 @@ mod tests {
                     found += 1;
                     assert_eq!(p.pops.len(), p.links.len() + 1);
                     assert_eq!(*p.pops.first().unwrap(), n.host(a).pop);
-                    assert_eq!(
-                        *p.pops.last().unwrap(),
-                        n.prefix(n.host(b).prefix).home_pop
-                    );
+                    assert_eq!(*p.pops.last().unwrap(), n.prefix(n.host(b).prefix).home_pop);
                     // AS path of the PoP path matches the reported chain.
                     let seq: Vec<Asn> = p.pops.iter().map(|&x| n.pop_as(x)).collect();
                     let collapsed = AsPath::new(seq);

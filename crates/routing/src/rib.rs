@@ -317,11 +317,7 @@ mod tests {
                         .windows(2)
                         .map(|w| net.as_info(w[0]).rel_to(w[1]).unwrap())
                         .collect();
-                    assert!(
-                        is_valley_free(&rels),
-                        "valley in {:?} (from {v} to {d})",
-                        p
-                    );
+                    assert!(is_valley_free(&rels), "valley in {:?} (from {v} to {d})", p);
                 }
             }
         }

@@ -1,0 +1,361 @@
+//! The query engine: a worker pool fanning batches across cores, a
+//! sharded result cache, and a hot-swappable predictor generation.
+//!
+//! ## Threading model
+//!
+//! `QueryEngine::new` spawns `workers` OS threads which block on a
+//! shared MPMC job queue (an `mpsc` channel behind a mutex — workers
+//! contend only for the *pop*, not the work). [`QueryEngine::query_batch`]
+//! splits the batch into chunks, enqueues them, and reassembles replies
+//! in order; [`QueryEngine::query`] serves inline on the caller's
+//! thread, sharing the same cache and generation.
+//!
+//! ## Hot swap
+//!
+//! The current atlas generation lives behind
+//! `RwLock<Arc<Generation>>`. Queries take the read lock just long
+//! enough to clone the `Arc` — they never hold it while searching — so
+//! a daily-delta swap (write lock held only for the pointer store)
+//! neither stalls in-flight queries nor is starved by them. Queries
+//! already running finish against the generation they snapshotted; every
+//! query that starts after the swap sees the new day. The heavy work
+//! (delta application, graph construction) happens *before* the write
+//! lock is taken.
+
+use crate::cache::ShardedCache;
+use crate::stats::{Metrics, ServiceStats};
+use inano_atlas::{codec, Atlas, AtlasDelta};
+use inano_core::{AtlasSource, PathPredictor, PredictedPath, PredictorConfig};
+use inano_model::{Ipv4, ModelError};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Instant;
+
+/// Tuning knobs for the engine.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads serving batched queries.
+    pub workers: usize,
+    /// Total result-cache entry budget across all shards.
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Pairs per work item when fanning a batch across workers.
+    pub chunk: usize,
+    /// Predictor configuration used for every generation.
+    pub predictor: PredictorConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let cores = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServiceConfig {
+            workers: cores.max(4),
+            cache_capacity: 65_536,
+            cache_shards: 16,
+            chunk: 64,
+            predictor: PredictorConfig::full(),
+        }
+    }
+}
+
+/// One immutable atlas generation. Workers snapshot an `Arc` to it per
+/// work item; swaps replace the pointer, never mutate.
+pub struct Generation {
+    /// Bumped on every applied delta; part of every cache key, so a
+    /// swap implicitly invalidates the whole cache.
+    pub epoch: u64,
+    pub predictor: Arc<PathPredictor>,
+}
+
+impl Generation {
+    pub fn day(&self) -> u32 {
+        self.predictor.atlas().day
+    }
+}
+
+/// A chunk of a batch, dispatched to the worker pool.
+struct Job {
+    pairs: Vec<(Ipv4, Ipv4)>,
+    offset: usize,
+    reply: mpsc::Sender<(usize, Vec<Result<PredictedPath, ModelError>>)>,
+}
+
+/// The concurrent, hot-swappable query engine (§5 scaled up: the same
+/// local-library semantics as [`inano_core::INanoClient`], behind a
+/// thread pool and a result cache).
+pub struct QueryEngine {
+    current: Arc<RwLock<Arc<Generation>>>,
+    cache: Arc<ShardedCache>,
+    metrics: Arc<Metrics>,
+    cfg: ServiceConfig,
+    /// Serialises swap *builders*; never blocks readers.
+    swap_lock: Mutex<()>,
+    job_tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// Build an engine over an already-decoded atlas.
+    pub fn new(atlas: Arc<Atlas>, cfg: ServiceConfig) -> QueryEngine {
+        let predictor = Arc::new(PathPredictor::new(atlas, cfg.predictor.clone()));
+        let generation = Arc::new(Generation {
+            epoch: 0,
+            predictor,
+        });
+        let current = Arc::new(RwLock::new(generation));
+        let cache = Arc::new(ShardedCache::new(cfg.cache_capacity, cfg.cache_shards));
+        let metrics = Arc::new(Metrics::default());
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let n_workers = cfg.workers.max(1);
+        let workers = (0..n_workers)
+            .map(|i| {
+                let rx = Arc::clone(&job_rx);
+                let current = Arc::clone(&current);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                thread::Builder::new()
+                    .name(format!("inano-svc-{i}"))
+                    .spawn(move || loop {
+                        // Pop under the mutex, then release it before
+                        // doing any work.
+                        let job = rx.lock().recv();
+                        let Ok(job) = job else {
+                            return; // channel closed: engine dropped
+                        };
+                        let generation = Arc::clone(&current.read());
+                        let results = job
+                            .pairs
+                            .iter()
+                            .map(|&(s, d)| serve_one(&generation, &cache, &metrics, s, d))
+                            .collect();
+                        // The batch caller may have given up (it never
+                        // does today); a dead reply port is not an error.
+                        let _ = job.reply.send((job.offset, results));
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+
+        QueryEngine {
+            current,
+            cache,
+            metrics,
+            cfg,
+            swap_lock: Mutex::new(()),
+            job_tx: Some(job_tx),
+            workers,
+        }
+    }
+
+    /// Bootstrap from an [`AtlasSource`] (swarm, mirror, file, ...).
+    pub fn bootstrap(
+        source: &mut dyn AtlasSource,
+        cfg: ServiceConfig,
+    ) -> Result<QueryEngine, ModelError> {
+        let bytes = source.fetch_full()?;
+        let atlas = codec::decode(&bytes)?;
+        Ok(QueryEngine::new(Arc::new(atlas), cfg))
+    }
+
+    /// The generation queries are currently served from.
+    pub fn generation(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Day of the currently-served atlas.
+    pub fn day(&self) -> u32 {
+        self.generation().day()
+    }
+
+    /// Current configuration epoch (one per applied delta).
+    pub fn epoch(&self) -> u64 {
+        self.generation().epoch
+    }
+
+    /// Serve one query inline on the caller's thread.
+    pub fn query(&self, src: Ipv4, dst: Ipv4) -> Result<PredictedPath, ModelError> {
+        let generation = self.generation();
+        serve_one(&generation, &self.cache, &self.metrics, src, dst)
+    }
+
+    /// Serve a batch by fanning chunks across the worker pool; results
+    /// come back in input order. Chunks snapshot the generation
+    /// independently, so a swap mid-batch is visible from the first
+    /// chunk that starts after it — exactly the freshness a client
+    /// polling a daily delta would see.
+    pub fn query_batch(&self, pairs: &[(Ipv4, Ipv4)]) -> Vec<Result<PredictedPath, ModelError>> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        // Small batches aren't worth a channel round-trip.
+        if pairs.len() <= self.cfg.chunk {
+            let generation = self.generation();
+            return pairs
+                .iter()
+                .map(|&(s, d)| serve_one(&generation, &self.cache, &self.metrics, s, d))
+                .collect();
+        }
+        let tx = self
+            .job_tx
+            .as_ref()
+            .expect("pool alive while engine exists");
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut jobs = 0usize;
+        for (i, chunk) in pairs.chunks(self.cfg.chunk).enumerate() {
+            tx.send(Job {
+                pairs: chunk.to_vec(),
+                offset: i * self.cfg.chunk,
+                reply: reply_tx.clone(),
+            })
+            .expect("workers outlive the engine");
+            jobs += 1;
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<Result<PredictedPath, ModelError>>> =
+            (0..pairs.len()).map(|_| None).collect();
+        for _ in 0..jobs {
+            let (offset, results) = reply_rx.recv().expect("worker reply");
+            for (k, r) in results.into_iter().enumerate() {
+                out[offset + k] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every chunk replied"))
+            .collect()
+    }
+
+    /// Apply one daily delta and swap the serving generation. All heavy
+    /// work (delta application, graph construction) happens before the
+    /// write lock; the lock is held only to store the new pointer.
+    pub fn apply_delta(&self, delta: &AtlasDelta) -> Result<u32, ModelError> {
+        let _builder = self.swap_lock.lock();
+        self.swap_locked(delta)
+    }
+
+    /// The swap itself; caller must hold `swap_lock` so concurrent
+    /// builders can't interleave between the generation read and the
+    /// pointer store.
+    fn swap_locked(&self, delta: &AtlasDelta) -> Result<u32, ModelError> {
+        let base = self.generation();
+        let next_atlas = Arc::new(delta.apply(base.predictor.atlas())?);
+        let predictor = Arc::new(PathPredictor::new(next_atlas, self.cfg.predictor.clone()));
+        let next = Arc::new(Generation {
+            epoch: base.epoch + 1,
+            predictor,
+        });
+        let day = next.day();
+        *self.current.write() = next;
+        self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(day)
+    }
+
+    /// Fetch and apply every delta the source has beyond the current
+    /// day (the client-side daily update of §5, against the live
+    /// engine). Returns how many deltas were applied.
+    ///
+    /// The builder lock is held across the whole chain: a concurrent
+    /// `apply_delta`/`update` can't swap between this loop's day read
+    /// and its apply, which would otherwise surface as a spurious
+    /// wrong-base error from a delta that is simply already applied.
+    pub fn update(&self, source: &mut dyn AtlasSource) -> Result<usize, ModelError> {
+        let _builder = self.swap_lock.lock();
+        let mut applied = 0;
+        while let Some(bytes) = source.fetch_delta(self.day())? {
+            let delta = AtlasDelta::decode(&bytes)?;
+            self.swap_locked(&delta)?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Snapshot the engine's counters.
+    pub fn stats(&self) -> ServiceStats {
+        let (hits, misses, evictions, _inserts) = self.cache.counter_snapshot();
+        let generation = self.generation();
+        let queries = self.metrics.queries.load(Ordering::Relaxed);
+        let probed = hits + misses;
+        ServiceStats {
+            queries,
+            errors: self.metrics.errors.load(Ordering::Relaxed),
+            qps: queries as f64 / self.metrics.elapsed_secs().max(1e-9),
+            p50_us: self.metrics.latency.quantile_us(0.50),
+            p99_us: self.metrics.latency.quantile_us(0.99),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_evictions: evictions,
+            cache_hit_rate: if probed == 0 {
+                0.0
+            } else {
+                hits as f64 / probed as f64
+            },
+            swaps: self.metrics.swaps.load(Ordering::Relaxed),
+            epoch: generation.epoch,
+            day: generation.day(),
+            workers: self.workers.len(),
+        }
+    }
+
+    /// The result cache (for diagnostics and tests).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        // Close the queue; workers drain and exit.
+        self.job_tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serve one (src, dst) query against a snapshotted generation: resolve
+/// both endpoints, consult the cluster-keyed cache, fall back to the
+/// predictor, and record latency.
+fn serve_one(
+    generation: &Generation,
+    cache: &ShardedCache,
+    metrics: &Metrics,
+    src: Ipv4,
+    dst: Ipv4,
+) -> Result<PredictedPath, ModelError> {
+    let start = Instant::now();
+    let result = serve_inner(generation, cache, src, dst);
+    metrics.record_query(start.elapsed().as_micros() as u64, result.is_ok());
+    result
+}
+
+fn serve_inner(
+    generation: &Generation,
+    cache: &ShardedCache,
+    src: Ipv4,
+    dst: Ipv4,
+) -> Result<PredictedPath, ModelError> {
+    let p = &generation.predictor;
+    let s = p.resolve(src)?;
+    let d = p.resolve(dst)?;
+    // Predictions are a pure function of the cluster pair only when both
+    // prefixes agree with their cluster's AS (the overwhelmingly common
+    // case); anomalous prefixes bypass the cache rather than poison it.
+    let cacheable = s.canonical() && d.canonical();
+    let key = (s.cluster, d.cluster, generation.epoch);
+    if cacheable {
+        if let Some(hit) = cache.get(&key) {
+            return Ok((*hit).clone());
+        }
+    }
+    let result = p.predict(s.prefix, d.prefix)?;
+    if cacheable {
+        cache.insert(key, Arc::new(result.clone()));
+    }
+    Ok(result)
+}

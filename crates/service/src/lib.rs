@@ -1,0 +1,38 @@
+//! # inano-service
+//!
+//! The serving layer above `inano-core`: an embeddable, multi-threaded
+//! query engine that turns the paper's single-threaded library
+//! (§5 — "a library runnable at every peer") into something that serves
+//! heavy traffic on a multicore host.
+//!
+//! Three pieces, separable and individually tested:
+//!
+//! * [`QueryEngine`] — a worker pool (std threads + channels, no
+//!   external runtime) fanning [`QueryEngine::query_batch`] chunks
+//!   across cores, with an inline fast path for single queries;
+//! * [`ShardedCache`] — a sharded LRU over full bidirectional
+//!   predictions keyed `(src_cluster, dst_cluster, epoch)`, riding the
+//!   paper's observation that predictions are stable within a
+//!   measurement day, with hit/miss/eviction counters;
+//! * hot swap — the serving generation is an `Arc` behind a `RwLock`
+//!   taken for writing only during the pointer store of a daily-delta
+//!   apply ([`QueryEngine::apply_delta`] /
+//!   [`QueryEngine::update`], fed by any [`inano_core::AtlasSource`],
+//!   including the swarm's `SwarmSource`), so updates never stall
+//!   in-flight queries.
+//!
+//! [`ServiceStats`] snapshots QPS, p50/p99 service latency and cache
+//! hit rate; `inano-bench`'s `svc_throughput` binary drives all of this
+//! under a zipf query mix and emits the numbers as a BENCH JSON line.
+//!
+//! See DESIGN.md ("The service layer") for the full architecture
+//! discussion: threading model, cache-key soundness argument, and the
+//! swap protocol.
+
+pub mod cache;
+pub mod engine;
+pub mod stats;
+
+pub use cache::{CacheCounters, CacheKey, ShardedCache};
+pub use engine::{Generation, QueryEngine, ServiceConfig};
+pub use stats::{LatencyHistogram, Metrics, ServiceStats};

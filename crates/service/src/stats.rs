@@ -1,0 +1,156 @@
+//! Service metrics: lock-free counters plus a log₂-bucketed latency
+//! histogram, snapshotted into a [`ServiceStats`] value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds, so 40 buckets reach ~12 days.
+const BUCKETS: usize = 40;
+
+/// Lock-free latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn record_us(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The quantile's bucket, reported as the bucket's geometric
+    /// midpoint (`1.5 × 2^i` µs) — bucket-resolution, which is all a
+    /// power-of-two histogram can honestly claim.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << i) + (1u64 << i) / 2;
+            }
+        }
+        (1u64 << (BUCKETS - 1)) * 3 / 2
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// The engine's live metric registers.
+#[derive(Debug)]
+pub struct Metrics {
+    pub queries: AtomicU64,
+    pub errors: AtomicU64,
+    pub swaps: AtomicU64,
+    pub latency: LatencyHistogram,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn record_query(&self, us: u64, ok: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record_us(us);
+    }
+
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A point-in-time view of the engine, cheap to take while serving.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Total queries answered (including errors).
+    pub queries: u64,
+    /// Queries that returned an error (unroutable address, no path...).
+    pub errors: u64,
+    /// Queries per second since the engine started.
+    pub qps: f64,
+    /// Median per-query service latency, microseconds (bucket resolution).
+    pub p50_us: u64,
+    /// 99th-percentile per-query service latency, microseconds.
+    pub p99_us: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    /// hits / (hits + misses), 0 when idle.
+    pub cache_hit_rate: f64,
+    /// Atlas generations applied since start (delta swaps).
+    pub swaps: u64,
+    /// Current configuration epoch (bumped by every swap).
+    pub epoch: u64,
+    /// Day of the currently-served atlas.
+    pub day: u32,
+    /// Worker threads serving batches.
+    pub workers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
+            h.record_us(us);
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((8..=16).contains(&p50), "p50 bucket ~10us, got {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((4096..=8192).contains(&p99), "p99 bucket ~5ms, got {p99}");
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn metrics_record() {
+        let m = Metrics::default();
+        m.record_query(100, true);
+        m.record_query(200, false);
+        assert_eq!(m.queries.load(Ordering::Relaxed), 2);
+        assert_eq!(m.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(m.latency.count(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Integration tests for the query engine: concurrency under hot swap,
+//! cache-hit correctness against the bare predictor, and serving
+//! updates through the swarm's `AtlasSource`.
+
+use inano_atlas::{Atlas, AtlasDelta, LinkAnnotation, Plane};
+use inano_core::{PathPredictor, PredictedPath, PredictorConfig};
+use inano_model::{Asn, ClusterId, Ipv4, LatencyMs, Prefix, PrefixId};
+use inano_service::{QueryEngine, ServiceConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A bidirectional ring of `n` clusters, one AS and one /16 prefix per
+/// cluster. Every pair is routable.
+fn ring_atlas(n: u32, day: u32) -> Atlas {
+    let mut a = Atlas {
+        day,
+        ..Atlas::default()
+    };
+    for i in 0..n {
+        let j = (i + 1) % n;
+        for (x, y) in [(i, j), (j, i)] {
+            a.links.insert(
+                (ClusterId::new(x), ClusterId::new(y)),
+                LinkAnnotation {
+                    latency: Some(LatencyMs::new(1.0 + x as f64 * 0.1)),
+                    plane: Plane::TO_DST,
+                },
+            );
+        }
+        a.cluster_as.insert(ClusterId::new(i), Asn::new(i));
+        a.as_degree.insert(Asn::new(i), 2);
+        a.prefix_cluster.insert(PrefixId::new(i), ClusterId::new(i));
+        a.prefix_as.insert(
+            PrefixId::new(i),
+            (Prefix::new(Ipv4(i << 16), 16), Asn::new(i)),
+        );
+    }
+    a
+}
+
+fn ip(cluster: u32) -> Ipv4 {
+    Ipv4((cluster << 16) | 7)
+}
+
+/// Ring-friendly config: no tuples/prefs/providers (the synthetic atlas
+/// records no policy evidence) and no FROM_SRC plane.
+fn ring_cfg() -> PredictorConfig {
+    let mut cfg = PredictorConfig::full();
+    cfg.use_tuples = false;
+    cfg.use_prefs = false;
+    cfg.use_providers = false;
+    cfg.use_from_src = false;
+    cfg
+}
+
+fn engine_over(atlas: Atlas, workers: usize) -> QueryEngine {
+    let cfg = ServiceConfig {
+        workers,
+        cache_capacity: 4096,
+        cache_shards: 8,
+        chunk: 16,
+        predictor: ring_cfg(),
+    };
+    QueryEngine::new(Arc::new(atlas), cfg)
+}
+
+fn assert_same_path(a: &PredictedPath, b: &PredictedPath) {
+    assert_eq!(a.fwd_clusters, b.fwd_clusters);
+    assert_eq!(a.rev_clusters, b.rev_clusters);
+    assert_eq!(a.fwd_as_path, b.fwd_as_path);
+    assert_eq!(a.rev_as_path, b.rev_as_path);
+    assert!((a.rtt.ms() - b.rtt.ms()).abs() < 1e-12);
+    assert!((a.loss.rate() - b.loss.rate()).abs() < 1e-12);
+}
+
+#[test]
+fn batches_fan_across_workers_in_order() {
+    let n = 10;
+    let engine = engine_over(ring_atlas(n, 0), 4);
+    let pairs: Vec<(Ipv4, Ipv4)> = (0..n)
+        .flat_map(|s| (0..n).filter(move |&d| d != s).map(move |d| (ip(s), ip(d))))
+        .collect();
+    let batched = engine.query_batch(&pairs);
+    assert_eq!(batched.len(), pairs.len());
+    for (i, &(s, d)) in pairs.iter().enumerate() {
+        let inline = engine.query(s, d).expect("ring is fully routable");
+        assert_same_path(batched[i].as_ref().expect("batch result ok"), &inline);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.queries >= pairs.len() as u64 * 2);
+}
+
+#[test]
+fn cache_hit_equals_fresh_predictor_query() {
+    let n = 12;
+    let atlas = ring_atlas(n, 0);
+    let engine = engine_over(atlas.clone(), 2);
+    let fresh = PathPredictor::new(Arc::new(atlas), ring_cfg());
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let cold = engine.query(ip(s), ip(d)).expect("routable");
+            let warm = engine.query(ip(s), ip(d)).expect("routable");
+            let reference = fresh.query(ip(s), ip(d)).expect("routable");
+            assert_same_path(&cold, &reference);
+            assert_same_path(&warm, &reference);
+        }
+    }
+    let stats = engine.stats();
+    assert!(stats.cache_hits > 0, "second pass must hit: {stats:?}");
+    assert!(stats.cache_hit_rate > 0.0);
+}
+
+#[test]
+fn zipf_mix_sees_positive_hit_rate() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let n = 16u32;
+    let engine = engine_over(ring_atlas(n, 0), 4);
+    let mut rng = SmallRng::seed_from_u64(42);
+    // Zipf(s≈1) over destination clusters: weight 1/(rank+1).
+    let weights: Vec<f64> = (0..n).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut pairs = Vec::new();
+    for _ in 0..2000 {
+        let src = rng.gen_range(0..n);
+        let mut pick = rng.gen_range(0.0..total);
+        let mut dst = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                dst = i as u32;
+                break;
+            }
+            pick -= w;
+        }
+        if src != dst {
+            pairs.push((ip(src), ip(dst)));
+        }
+    }
+    for r in engine.query_batch(&pairs) {
+        r.expect("ring is fully routable");
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.cache_hit_rate > 0.5,
+        "zipf mix over {} cluster pairs must mostly hit: {stats:?}",
+        n * (n - 1)
+    );
+}
+
+#[test]
+fn hammering_queries_while_applying_deltas_never_errors() {
+    let n = 12u32;
+    let day0 = ring_atlas(n, 0);
+    // Day 1 adds a direct shortcut 0 ↔ n/2, halving that path.
+    let far = n / 2;
+    let mut day1 = ring_atlas(n, 1);
+    for (x, y) in [(0, far), (far, 0)] {
+        day1.links.insert(
+            (ClusterId::new(x), ClusterId::new(y)),
+            LinkAnnotation {
+                latency: Some(LatencyMs::new(0.5)),
+                plane: Plane::TO_DST,
+            },
+        );
+    }
+    let delta = AtlasDelta::between(&day0, &day1);
+
+    let engine = Arc::new(engine_over(day0, 4));
+    let before = engine.query(ip(0), ip(far)).expect("routable");
+    assert_eq!(
+        before.fwd_clusters.len(),
+        far as usize + 1,
+        "pre-swap: the long way around"
+    );
+
+    let pairs: Vec<(Ipv4, Ipv4)> = (0..n)
+        .flat_map(|s| (0..n).filter(move |&d| d != s).map(move |d| (ip(s), ip(d))))
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let issued = Arc::new(AtomicU64::new(0));
+    let hammers: Vec<_> = (0..6)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let issued = Arc::clone(&issued);
+            let pairs = pairs.clone();
+            thread::spawn(move || {
+                let mut failures = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for r in engine.query_batch(&pairs) {
+                        if r.is_err() {
+                            failures += 1;
+                        }
+                    }
+                    issued.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                }
+                failures
+            })
+        })
+        .collect();
+
+    // Let the hammers warm up, then swap mid-load.
+    thread::sleep(Duration::from_millis(50));
+    let day = engine.apply_delta(&delta).expect("delta applies");
+    assert_eq!(day, 1);
+    thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    let failures: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+
+    assert_eq!(failures, 0, "no query may error across the swap");
+    assert!(issued.load(Ordering::Relaxed) > 0);
+    let stats = engine.stats();
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.day, 1);
+
+    // Post-swap queries must reflect the new day, not a stale cache
+    // entry: the shortcut is now the route.
+    let after = engine.query(ip(0), ip(far)).expect("routable");
+    assert_eq!(after.fwd_clusters.len(), 2, "post-swap: the day-1 shortcut");
+    let reference = PathPredictor::new(Arc::new(day1), ring_cfg());
+    assert_same_path(&after, &reference.query(ip(0), ip(far)).unwrap());
+}
+
+#[test]
+fn serves_and_updates_through_the_swarm() {
+    use inano_core::AtlasSource;
+    use inano_swarm::{SwarmConfig, SwarmSource};
+    let day0 = ring_atlas(8, 0);
+    let mut day1 = ring_atlas(8, 1);
+    day1.links.insert(
+        (ClusterId::new(0), ClusterId::new(4)),
+        LinkAnnotation {
+            latency: Some(LatencyMs::new(0.5)),
+            plane: Plane::TO_DST,
+        },
+    );
+    let mut source = SwarmSource::new(
+        &day0,
+        &[day1],
+        SwarmConfig {
+            n_peers: 10,
+            ..SwarmConfig::default()
+        },
+    );
+    let cfg = ServiceConfig {
+        workers: 4,
+        predictor: ring_cfg(),
+        ..ServiceConfig::default()
+    };
+    let engine = QueryEngine::bootstrap(&mut source, cfg).expect("bootstrap via swarm");
+    assert_eq!(engine.day(), 0);
+    engine.query(ip(1), ip(5)).expect("routable at day 0");
+    assert_eq!(engine.update(&mut source).expect("update"), 1);
+    assert_eq!(engine.day(), 1);
+    assert_eq!(engine.epoch(), 1);
+    // Both the full fetch and the delta fetch went through the swarm.
+    assert_eq!(source.downloads.len(), 2);
+    assert!(source.fetch_delta(1).unwrap().is_none());
+    let r = engine.query(ip(0), ip(4)).expect("routable at day 1");
+    assert_eq!(r.fwd_clusters.len(), 2, "served from the day-1 atlas");
+}

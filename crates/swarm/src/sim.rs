@@ -102,7 +102,13 @@ pub fn simulate_swarm(cfg: &SwarmConfig) -> SwarmReport {
         t += cfg.dt;
         // Download budget per peer this step.
         let mut down_budget: Vec<f64> = (0..n)
-            .map(|p| if done[p].is_some() { 0.0 } else { cfg.peer_down * cfg.dt })
+            .map(|p| {
+                if done[p].is_some() {
+                    0.0
+                } else {
+                    cfg.peer_down * cfg.dt
+                }
+            })
             .collect();
 
         // Seed serves the peer(s) with the fewest complete chunks.

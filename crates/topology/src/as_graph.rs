@@ -171,9 +171,7 @@ fn pick_providers(
     if picks.len() < n {
         let mut far: Vec<Asn> = pool
             .iter()
-            .filter(|&&p| {
-                p != a && ases[a.index()].rel_to(p).is_none() && !picks.contains(&p)
-            })
+            .filter(|&&p| p != a && ases[a.index()].rel_to(p).is_none() && !picks.contains(&p))
             .copied()
             .collect();
         far.shuffle(rng);
@@ -221,13 +219,10 @@ mod tests {
     #[test]
     fn tier1_is_peer_clique() {
         let (cfg, ases) = gen(6);
-        for i in 0..cfg.n_tier1 {
+        for (i, a) in ases.iter().enumerate().take(cfg.n_tier1) {
             for j in 0..cfg.n_tier1 {
                 if i != j {
-                    assert_eq!(
-                        ases[i].rel_to(Asn::from_index(j)),
-                        Some(Relationship::Peer)
-                    );
+                    assert_eq!(a.rel_to(Asn::from_index(j)), Some(Relationship::Peer));
                 }
             }
         }
@@ -242,7 +237,11 @@ mod tests {
                     .neighbors
                     .iter()
                     .any(|(_, r)| *r == Relationship::Provider);
-                assert!(has_provider, "{} (tier {:?}) has no provider", a.asn, a.tier);
+                assert!(
+                    has_provider,
+                    "{} (tier {:?}) has no provider",
+                    a.asn, a.tier
+                );
             }
         }
     }
@@ -253,7 +252,9 @@ mod tests {
         for a in &ases {
             if a.tier == Tier::Stub {
                 assert!(
-                    a.neighbors.iter().all(|(_, r)| *r != Relationship::Customer),
+                    a.neighbors
+                        .iter()
+                        .all(|(_, r)| *r != Relationship::Customer),
                     "stub {} has customers",
                     a.asn
                 );

@@ -80,7 +80,10 @@ mod tests {
         let b = build_internet(&TopologyConfig::tiny(2)).unwrap();
         // Same sizes are possible but identical link tables are not.
         let same = a.links.len() == b.links.len()
-            && a.links.iter().zip(&b.links).all(|(x, y)| x.a == y.a && x.b == y.b);
+            && a.links
+                .iter()
+                .zip(&b.links)
+                .all(|(x, y)| x.a == y.a && x.b == y.b);
         assert!(!same, "seeds 1 and 2 generated identical internets");
     }
 

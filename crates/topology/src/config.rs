@@ -205,8 +205,10 @@ mod tests {
 
     #[test]
     fn invalid_probability_rejected() {
-        let mut c = TopologyConfig::default();
-        c.p_export_filter = 1.5;
+        let c = TopologyConfig {
+            p_export_filter: 1.5,
+            ..TopologyConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -7,8 +7,8 @@
 //! propagation but not queueing ("our link latencies do not capture
 //! transmission and queueing delays", §6.2).
 
-use inano_model::LatencyMs;
 use inano_model::rng::DeterministicRng;
+use inano_model::LatencyMs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -106,7 +106,10 @@ mod tests {
         let near = link_latency(10.0);
         let far = link_latency(6000.0);
         assert!(near.ms() < 1.0, "metro link should be sub-ms-ish: {near}");
-        assert!(far.ms() > 30.0 && far.ms() < 60.0, "transcontinental: {far}");
+        assert!(
+            far.ms() > 30.0 && far.ms() < 60.0,
+            "transcontinental: {far}"
+        );
     }
 
     #[test]

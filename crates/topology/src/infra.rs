@@ -8,9 +8,7 @@ use crate::internet::{
     AsInfo, HostInfo, IfaceInfo, Link, LinkId, LinkKind, PopInfo, PrefixInfo, RouterInfo, Tier,
 };
 use inano_model::rng::DeterministicRng;
-use inano_model::{
-    HostId, IfaceId, Ipv4, LossRate, PopId, Prefix, PrefixId, PrefixTrie, RouterId,
-};
+use inano_model::{HostId, IfaceId, Ipv4, LossRate, PopId, Prefix, PrefixId, PrefixTrie, RouterId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashMap;
@@ -97,11 +95,11 @@ pub fn generate(
     let dummy_iface = IfaceId::new(u32::MAX);
 
     let push_link = |links: &mut Vec<Link>,
-                         pop_adj: &mut Vec<Vec<(LinkId, PopId)>>,
-                         a: PopId,
-                         b: PopId,
-                         kind: LinkKind,
-                         km: f64| {
+                     pop_adj: &mut Vec<Vec<(LinkId, PopId)>>,
+                     a: PopId,
+                     b: PopId,
+                     kind: LinkKind,
+                     km: f64| {
         debug_assert_ne!(a, b);
         let id = LinkId(links.len() as u32);
         links.push(Link {
@@ -133,7 +131,10 @@ pub fn generate(
             .iter()
             .enumerate()
             .flat_map(|(ri, &r)| {
-                in_tree.iter().enumerate().map(move |(ti, &t)| (ri, ti, r, t))
+                in_tree
+                    .iter()
+                    .enumerate()
+                    .map(move |(ti, &t)| (ri, ti, r, t))
             })
             .map(|(ri, ti, r, t)| (ri, ti, pops[r.index()].loc.distance_km(pops[t.index()].loc)))
             .min_by(|x, y| x.2.partial_cmp(&y.2).unwrap())
@@ -148,9 +149,7 @@ pub fn generate(
         for _ in 0..extra {
             let x = *ps.choose(rng).unwrap();
             let y = *ps.choose(rng).unwrap();
-            if x != y
-                && !pop_adj[x.index()].iter().any(|&(_, o)| o == y)
-            {
+            if x != y && !pop_adj[x.index()].iter().any(|&(_, o)| o == y) {
                 let km = pops[x.index()].loc.distance_km(pops[y.index()].loc);
                 push_link(&mut links, &mut pop_adj, x, y, LinkKind::Intra, km);
             }
@@ -197,9 +196,7 @@ pub fn generate(
                 let (&x, &y, km) = pa
                     .iter()
                     .flat_map(|x| pb.iter().map(move |y| (x, y)))
-                    .map(|(x, y)| {
-                        (x, y, pops[x.index()].loc.distance_km(pops[y.index()].loc))
-                    })
+                    .map(|(x, y)| (x, y, pops[x.index()].loc.distance_km(pops[y.index()].loc)))
                     .min_by(|p, q| p.2.partial_cmp(&q.2).unwrap())
                     .unwrap();
                 push_link(&mut links, &mut pop_adj, x, y, LinkKind::Inter, km);
@@ -221,7 +218,9 @@ pub fn generate(
 
     for a in ases.iter_mut() {
         // Infrastructure prefix, sized to the interface count.
-        let need = (endpoints_per_as[a.asn.index()] + 2).next_power_of_two().max(256);
+        let need = (endpoints_per_as[a.asn.index()] + 2)
+            .next_power_of_two()
+            .max(256);
         let len = 32 - need.trailing_zeros() as u8;
         let infra = alloc.alloc(len);
         let pid = PrefixId::from_index(prefixes.len());
@@ -271,8 +270,8 @@ pub fn generate(
         .map(|a| prefixes[a.prefixes[0].index()].prefix)
         .collect();
 
-    for li in 0..links.len() {
-        let (a, b) = (links[li].a, links[li].b);
+    for (li, link) in links.iter_mut().enumerate() {
+        let (a, b) = (link.a, link.b);
         let ia = make_iface(
             a,
             LinkId(li as u32),
@@ -293,8 +292,8 @@ pub fn generate(
             &mut ifaces,
             &mut iface_by_ip,
         );
-        links[li].iface_a = ia;
-        links[li].iface_b = ib;
+        link.iface_a = ia;
+        link.iface_b = ib;
     }
 
     // --- hosts ---
@@ -419,10 +418,7 @@ mod tests {
         for a in &ases {
             for &(b, _) in &a.neighbors {
                 let linked = infra.links.iter().any(|l| {
-                    let (x, y) = (
-                        infra.pops[l.a.index()].asn,
-                        infra.pops[l.b.index()].asn,
-                    );
+                    let (x, y) = (infra.pops[l.a.index()].asn, infra.pops[l.b.index()].asn);
                     (x == a.asn && y == b) || (x == b && y == a.asn)
                 });
                 assert!(linked, "{} ~ {} adjacency has no link", a.asn, b);

@@ -32,7 +32,7 @@ pub use churn::{ChurnModel, DayState};
 pub use config::TopologyConfig;
 pub use geo::GeoPoint;
 pub use internet::{
-    AsInfo, HostInfo, IfaceInfo, Internet, Link, LinkId, LinkKind, PopInfo, PrefixInfo,
-    RouterInfo, Tier,
+    AsInfo, HostInfo, IfaceInfo, Internet, Link, LinkId, LinkKind, PopInfo, PrefixInfo, RouterInfo,
+    Tier,
 };
 pub use policy::PolicySet;

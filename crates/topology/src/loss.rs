@@ -67,7 +67,11 @@ impl LossProcess {
                 let p = p_lossy[d];
                 // clean→lossy rate b chosen so stationary fraction is p:
                 // p = b / (b + 1 - a)  ⇒  b = p (1 - a) / (1 - p)
-                let b = if p >= 1.0 { 1.0 } else { (p * (1.0 - a)) / (1.0 - p) };
+                let b = if p >= 1.0 {
+                    1.0
+                } else {
+                    (p * (1.0 - a)) / (1.0 - p)
+                };
                 lossy[d] = if lossy[d] {
                     rng.gen_bool(a)
                 } else {

@@ -40,7 +40,10 @@ fn main() {
     );
 
     let applied = client.update(&mut source).expect("updates apply");
-    println!("applied {applied} daily deltas; now at day {}", client.day());
+    println!(
+        "applied {applied} daily deltas; now at day {}",
+        client.day()
+    );
     for (i, dl) in source.downloads.iter().enumerate().skip(1) {
         println!(
             "  delta {}: swarm median download {:.0}s, seed uploaded {:.2} MB",

@@ -24,7 +24,10 @@ fn main() {
     replicas.truncate(5);
 
     let client_info = world.net.host(client);
-    println!("client {} picks among 5 replicas (1.5MB file):\n", client_info.ip);
+    println!(
+        "client {} picks among 5 replicas (1.5MB file):\n",
+        client_info.ip
+    );
     println!(
         "{:<16} {:>12} {:>10} {:>14}",
         "replica", "pred RTT", "pred loss", "actual DL time"
@@ -54,7 +57,7 @@ fn main() {
             actual.map_or("unreachable".into(), |t| format!("{t:.2}s")),
         );
         if let Some(thr) = score {
-            if best_pred.map_or(true, |(_, b)| thr > b) {
+            if best_pred.is_none_or(|(_, b)| thr > b) {
                 best_pred = Some((r, thr));
             }
         }
@@ -76,8 +79,6 @@ fn main() {
             })
             .sum::<f64>()
             / replicas.len() as f64;
-        println!(
-            "\niNano's pick downloads in {t_pick:.2}s; a random pick averages {t_rand:.2}s"
-        );
+        println!("\niNano's pick downloads in {t_pick:.2}s; a random pick averages {t_rand:.2}s");
     }
 }

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use inano::core::{AtlasSource, INanoClient, PredictorConfig};
 use inano::core::client::StaticSource;
+use inano::core::{INanoClient, PredictorConfig};
 use inano::demo::DemoWorld;
 
 fn main() {
@@ -35,8 +35,8 @@ fn main() {
         full: bytes,
         deltas: vec![],
     };
-    let client = INanoClient::bootstrap(&mut source, PredictorConfig::full())
-        .expect("atlas decodes");
+    let client =
+        INanoClient::bootstrap(&mut source, PredictorConfig::full()).expect("atlas decodes");
     println!("client bootstrapped at day {}", client.day());
 
     // Predict between two arbitrary end-hosts.

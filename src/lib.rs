@@ -21,6 +21,7 @@
 //! | [`paths`] | iPlane path composition, improved composition, RouteScope |
 //! | [`apps`] | CDN, VoIP and detour-routing case studies |
 //! | [`swarm`] | atlas dissemination swarm simulation |
+//! | [`service`] | concurrent, hot-swappable query engine over [`core`] |
 //!
 //! Start with `examples/quickstart.rs`; DESIGN.md documents the
 //! architecture and every substitution made for the paper's
@@ -35,6 +36,7 @@ pub use inano_measure as measure;
 pub use inano_model as model;
 pub use inano_paths as paths;
 pub use inano_routing as routing;
+pub use inano_service as service;
 pub use inano_swarm as swarm;
 pub use inano_topology as topology;
 

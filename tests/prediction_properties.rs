@@ -9,8 +9,8 @@ use inano::model::{Asn, ClusterId, Ipv4, LatencyMs, Prefix, PrefixId};
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// A random connected-ish atlas: clusters 0..n on a ring plus random
-/// chords, each cluster its own AS, one prefix per cluster.
+// A random connected-ish atlas: clusters 0..n on a ring plus random
+// chords, each cluster its own AS, one prefix per cluster.
 prop_compose! {
     fn arb_routed_atlas()(
         n in 4usize..20,
@@ -19,7 +19,7 @@ prop_compose! {
     ) -> Atlas {
         let mut a = Atlas::default();
         let n = n as u32;
-        let mut add = |a: &mut Atlas, x: u32, y: u32| {
+        let add = |a: &mut Atlas, x: u32, y: u32| {
             if x == y { return; }
             a.links.insert(
                 (ClusterId::new(x), ClusterId::new(y)),

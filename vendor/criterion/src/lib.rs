@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion`: times each `bench_function` over a
+//! fixed number of timed iterations after a short warm-up and prints
+//! mean/min per iteration. No statistics engine, no HTML reports — just
+//! enough to keep `cargo bench` meaningful offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the stand-in runs setup once per
+/// iteration regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        let total: Duration = bencher.samples.iter().sum();
+        let n = bencher.samples.len().max(1) as u32;
+        let mean = total / n;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {name:<40} mean {:>12?}  min {:>12?}  ({} iters)",
+            mean, min, n
+        );
+        self
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few untimed runs.
+        for _ in 0..3.min(self.iters) {
+            std_black_box(f());
+        }
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            std_black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..3.min(self.iters) {
+            std_black_box(routine(setup()));
+        }
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = routine
+    }
+
+    criterion_group!(plain, routine);
+
+    #[test]
+    fn groups_run() {
+        benches();
+        plain();
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for `serde_derive`, written directly against
+//! `proc_macro` (no syn/quote available offline). Supports exactly the
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs,
+//! * unit structs,
+//! * enums whose variants are all unit variants (serialised as their
+//!   name).
+//!
+//! Generics and data-carrying enum variants are rejected with a
+//! `compile_error!` so unsupported uses fail loudly at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under the derive.
+enum Item {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let code = if serialize {
+        gen_serialize(&item)
+    } else {
+        let name = match &item {
+            Item::Named { name, .. }
+            | Item::Tuple { name, .. }
+            | Item::Unit { name }
+            | Item::UnitEnum { name, .. } => name,
+        };
+        format!("impl serde::Deserialize for {name} {{}}")
+    };
+    code.parse().expect("derive emitted invalid Rust")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Named { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Unit { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?}"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(String::from(match self {{ {} }}))\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+/// Parse the derive input far enough to know name + shape.
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive: generic type {name} not supported"
+        ));
+    }
+
+    if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Named {
+                name,
+                fields: named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Tuple {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Unit { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::UnitEnum {
+                variants: unit_variants(g.stream(), &name)?,
+                name,
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        }
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub` /
+/// `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a braced struct body.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected ':' after {name}, found {other:?}")),
+        }
+        fields.push(name);
+        skip_type(&tokens, &mut pos);
+    }
+    Ok(fields)
+}
+
+/// Consume a type up to (and including) the next top-level `,`,
+/// tracking `<`/`>` nesting so generic-argument commas don't split.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Count fields of a tuple-struct body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        arity += 1;
+        skip_type(&tokens, &mut pos);
+    }
+    arity
+}
+
+/// Variant names of an all-unit enum; data variants are an error.
+fn unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde stand-in derive: {enum_name}::{name} carries data, only unit \
+                     variants are supported"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: consume until the next comma.
+                pos += 1;
+                skip_type(&tokens, &mut pos);
+            }
+            None => {}
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `serde_json`: renders any `serde::Serialize`
+//! (the stand-in trait) to compact or pretty JSON text.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Mirrors `serde_json::Error` shape-wise; rendering through the
+/// stand-in value model cannot actually fail.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write(&mut out, None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().write(&mut out, Some(2), 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![1u32, 2];
+        assert_eq!(super::to_string(&v).unwrap(), "[1,2]");
+        assert_eq!(super::to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
