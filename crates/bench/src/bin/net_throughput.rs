@@ -1,0 +1,318 @@
+//! `net_throughput`: load-generate the `inano-net` wire protocol end
+//! to end — real TCP sockets, pipelined `QueryBatch` frames — and
+//! report the numbers as a single BENCH JSON line.
+//!
+//! Two modes:
+//!
+//! * **in-process** (default): builds a scenario atlas, starts a
+//!   `NetServer` on an ephemeral loopback port, drives it from
+//!   `--clients` threads, and lands the day-1 delta on the live engine
+//!   once half the load has been issued — so the reported qps includes
+//!   a hot swap under full remote load, and the run asserts that the
+//!   post-swap epoch is visible over the wire.
+//! * **`--connect ADDR`**: drives an external server started
+//!   separately (e.g. `inano-serve --ring 64`); `--ring N` tells the
+//!   loadgen the remote ring's size so it can generate routable pairs.
+//!   No swap is asserted (the loadgen does not own the remote engine).
+//!
+//! Latency percentiles are client-observed *request* (batch)
+//! round-trip times; `batch` and `depth` in the JSON record say how
+//! much work one request carries and how many were kept in flight.
+//!
+//! Usage: `net_throughput [--queries N] [--clients C] [--batch B]
+//!         [--depth D] [--workers W] [--scale test|experiment]
+//!         [--connect ADDR] [--ring N]`
+
+use inano_atlas::AtlasDelta;
+use inano_bench::{Scenario, ScenarioConfig};
+use inano_core::{PathPredictor, PredictorConfig};
+use inano_model::rng::rng_for;
+use inano_model::Ipv4;
+use inano_net::cli::arg;
+use inano_net::demo::ring_ip;
+use inano_net::{Frame, NetClient, NetServer, ServerConfig};
+use inano_service::{QueryEngine, ServiceConfig};
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Draw `n` scenario pairs — sources uniform, destinations zipf(s=1.0)
+/// by prefix rank — validated routable against scratch predictors for
+/// *both* days, so percentiles measure real predictions and the run
+/// can assert zero faults across the swap (a pair the day-1 delta
+/// unroutes would otherwise fail legitimately mid-run).
+fn scenario_pairs(sc: &Scenario, day1: &inano_atlas::Atlas, n: usize) -> Vec<(Ipv4, Ipv4)> {
+    let mut by_prefix: Vec<_> = sc
+        .atlas
+        .prefix_as
+        .iter()
+        .map(|(&pid, &(prefix, _))| (pid, prefix.nth(1)))
+        .collect();
+    by_prefix.sort_by_key(|&(pid, _)| pid);
+    let ips: Vec<Ipv4> = by_prefix.into_iter().map(|(_, ip)| ip).collect();
+    assert!(ips.len() > 2, "scenario must expose prefixes to query");
+
+    let weights: Vec<f64> = (0..ips.len()).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total_weight = *cumulative.last().unwrap();
+
+    let scratch0 = PathPredictor::new(Arc::new(sc.atlas.clone()), PredictorConfig::full());
+    let scratch1 = PathPredictor::new(Arc::new(day1.clone()), PredictorConfig::full());
+    let mut routable_memo: std::collections::HashMap<(Ipv4, Ipv4), bool> =
+        std::collections::HashMap::new();
+    let mut rng = rng_for(99, "net-throughput-load");
+    let mut rejected = 0usize;
+    let mut pairs: Vec<(Ipv4, Ipv4)> = Vec::with_capacity(n);
+    while pairs.len() < n && rejected < n * 20 {
+        let src = ips[rng.gen_range(0..ips.len())];
+        let pick = rng.gen_range(0.0..total_weight);
+        let dst = ips[cumulative.partition_point(|&c| c < pick).min(ips.len() - 1)];
+        let ok = *routable_memo.entry((src, dst)).or_insert_with(|| {
+            scratch0.query(src, dst).is_ok() && scratch1.query(src, dst).is_ok()
+        });
+        if ok {
+            pairs.push((src, dst));
+        } else {
+            rejected += 1;
+        }
+    }
+    assert!(
+        pairs.len() == n,
+        "atlas too sparse: only {} of {n} requested pairs routable",
+        pairs.len(),
+    );
+    pairs
+}
+
+/// Uniform pairs over an `inano-serve --ring N` world.
+fn ring_pairs(ring: u32, n: usize) -> Vec<(Ipv4, Ipv4)> {
+    assert!(ring >= 3, "--ring must be at least 3");
+    let mut rng = rng_for(99, "net-throughput-ring");
+    (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0..ring);
+            let d = (s + rng.gen_range(1..ring)) % ring;
+            (ring_ip(s), ring_ip(d))
+        })
+        .collect()
+}
+
+struct ClientTally {
+    served: u64,
+    faults: u64,
+    /// Per-request (batch) round-trip times, microseconds.
+    request_us: Vec<u64>,
+}
+
+/// Drive one connection: keep `depth` batches in flight, submit the
+/// next on every receive.
+fn drive(
+    addr: std::net::SocketAddr,
+    pairs: &[(Ipv4, Ipv4)],
+    batch: usize,
+    depth: usize,
+    issued_total: &AtomicU64,
+) -> ClientTally {
+    let mut client = NetClient::connect(addr).expect("connect to server");
+    let chunks: Vec<&[(Ipv4, Ipv4)]> = pairs.chunks(batch).collect();
+    let mut tally = ClientTally {
+        served: 0,
+        faults: 0,
+        request_us: Vec::with_capacity(chunks.len()),
+    };
+    let mut in_flight: std::collections::VecDeque<(u64, usize, Instant)> =
+        std::collections::VecDeque::with_capacity(depth);
+    let mut next = 0usize;
+    while next < chunks.len() || !in_flight.is_empty() {
+        while next < chunks.len() && in_flight.len() < depth {
+            let id = client.submit_batch(chunks[next]).expect("submit batch");
+            issued_total.fetch_add(chunks[next].len() as u64, Ordering::Relaxed);
+            in_flight.push_back((id, next, Instant::now()));
+            next += 1;
+        }
+        let (got_id, frame) = client.recv().expect("receive reply");
+        let (want_id, chunk_idx, t0) = in_flight.pop_front().expect("a reply implies a request");
+        assert_eq!(got_id, want_id, "pipelined replies arrive in order");
+        tally.request_us.push(t0.elapsed().as_micros() as u64);
+        match frame {
+            Frame::PathBatch { results } => {
+                assert_eq!(results.len(), chunks[chunk_idx].len());
+                for (k, r) in results.into_iter().enumerate() {
+                    match r {
+                        Ok(_) => tally.served += 1,
+                        Err(fault) => {
+                            if tally.faults < 3 {
+                                let (s, d) = chunks[chunk_idx][k];
+                                eprintln!("fault on {s:?} -> {d:?}: {fault}");
+                            }
+                            tally.faults += 1;
+                        }
+                    }
+                }
+            }
+            Frame::Error { fault } => panic!("batch-level fault: {fault}"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    tally
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn main() {
+    let n_queries: usize = arg("--queries", 200_000);
+    let clients: usize = arg("--clients", 4);
+    let batch: usize = arg("--batch", 512);
+    let depth: usize = arg("--depth", 4);
+    let workers: usize = arg("--workers", 0); // 0 = ServiceConfig default
+    let scale: String = arg("--scale", "test".to_string());
+    let connect: String = arg("--connect", String::new());
+    let ring: u32 = arg("--ring", 64);
+    assert!(clients >= 1 && batch >= 1 && depth >= 1);
+
+    // An owned server (in-process mode) plus the delta to land on it
+    // mid-run; --connect mode drives a remote instead.
+    let mut server: Option<NetServer> = None;
+    let mut delta: Option<AtlasDelta> = None;
+    let (addr, pairs) = if connect.is_empty() {
+        let sc = Scenario::build(match scale.as_str() {
+            "experiment" => ScenarioConfig::experiment(99),
+            _ => ScenarioConfig::test(99),
+        });
+        eprintln!("scenario: {}", sc.summary());
+        let (_, atlas1) = sc.atlas_for_day(1);
+        let d = AtlasDelta::between(&sc.atlas, &atlas1);
+        // Validate against the atlas the delta *produces* (deltas
+        // quantise), which is what the engine serves post-swap.
+        let atlas1_applied = d.apply(&sc.atlas).expect("delta applies to day 0");
+        delta = Some(d);
+        let pairs = scenario_pairs(&sc, &atlas1_applied, n_queries);
+
+        let mut cfg = ServiceConfig {
+            predictor: PredictorConfig::full(),
+            ..ServiceConfig::default()
+        };
+        if workers > 0 {
+            cfg.workers = workers;
+        }
+        cfg.workers = cfg.workers.max(4);
+        let engine = Arc::new(QueryEngine::new(Arc::new(sc.atlas.clone()), cfg));
+        let srv = NetServer::bind("127.0.0.1:0", engine, ServerConfig::default())
+            .expect("bind loopback server");
+        let addr = srv.local_addr();
+        eprintln!("in-process server on {addr}");
+        server = Some(srv);
+        (addr, pairs)
+    } else {
+        let addr = connect.parse().expect("--connect ADDR must be ip:port");
+        eprintln!("driving external server {addr} (ring {ring})");
+        (addr, ring_pairs(ring, n_queries))
+    };
+
+    // Split the pair stream across client threads.
+    let shares: Vec<Vec<(Ipv4, Ipv4)>> = (0..clients)
+        .map(|c| {
+            pairs
+                .iter()
+                .skip(c)
+                .step_by(clients)
+                .copied()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let issued_total = Arc::new(AtomicU64::new(0));
+
+    // In-process: land the day-1 delta once half the load is issued,
+    // from its own thread, so the swap genuinely overlaps remote
+    // batches in flight.
+    let swap_thread = server.as_ref().map(|srv| {
+        let engine = Arc::clone(srv.engine());
+        let delta = delta.take().expect("in-process mode built a delta");
+        let issued = Arc::clone(&issued_total);
+        let trigger = (n_queries / 2) as u64;
+        std::thread::spawn(move || {
+            while issued.load(Ordering::Relaxed) < trigger {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let t0 = Instant::now();
+            let day = engine.apply_delta(&delta).expect("delta applies");
+            eprintln!(
+                "hot swap to day {day} in {:.1} ms, {} queries issued",
+                t0.elapsed().as_secs_f64() * 1e3,
+                issued.load(Ordering::Relaxed),
+            );
+        })
+    });
+
+    let t0 = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                let issued_total = Arc::clone(&issued_total);
+                scope.spawn(move || drive(addr, share, batch, depth, &issued_total))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    if let Some(h) = swap_thread {
+        h.join().expect("swap thread");
+    }
+
+    let served: u64 = tallies.iter().map(|t| t.served).sum();
+    let faults: u64 = tallies.iter().map(|t| t.faults).sum();
+    let mut request_us: Vec<u64> = tallies.iter().flat_map(|t| t.request_us.clone()).collect();
+    request_us.sort_unstable();
+    let qps = (served + faults) as f64 / elapsed;
+    let p50 = quantile(&request_us, 0.50);
+    let p99 = quantile(&request_us, 0.99);
+
+    let mut swaps = 0u64;
+    let mut epoch = 0u64;
+    if let Some(srv) = &server {
+        // The swap must be visible over the wire: a fresh client sees
+        // the bumped epoch and the day-1 atlas.
+        let mut probe = NetClient::connect(addr).expect("probe connect");
+        let (e, day) = probe.epoch().expect("epoch over the wire");
+        assert_eq!(e, 1, "post-swap epoch visible to remote clients");
+        assert_eq!(day, 1, "post-swap day visible to remote clients");
+        let stats = probe.stats().expect("stats over the wire");
+        assert!(stats.swaps >= 1, "the mid-load swap must have happened");
+        assert_eq!(faults, 0, "no query may fail across the swap");
+        swaps = stats.swaps;
+        epoch = e;
+        eprintln!(
+            "server counters: {} queries, cache hit rate {:.3}, epoch {}, day {}",
+            stats.queries, stats.cache_hit_rate, stats.epoch, stats.day
+        );
+        srv.shutdown();
+    }
+
+    eprintln!(
+        "served {served} queries ({faults} faults) in {elapsed:.2}s over {clients} \
+         connections: {qps:.0} qps, request p50 {p50}us / p99 {p99}us \
+         (batch {batch}, depth {depth})",
+    );
+
+    // The contract line: exactly one JSON record on stdout.
+    println!(
+        "{{\"bench\":\"net_throughput\",\"qps\":{qps:.1},\"p50_us\":{p50},\"p99_us\":{p99},\
+         \"queries\":{},\"errors\":{faults},\"clients\":{clients},\"batch\":{batch},\
+         \"depth\":{depth},\"swaps\":{swaps},\"epoch\":{epoch}}}",
+        served + faults,
+    );
+}

@@ -16,19 +16,11 @@ use inano_bench::{Scenario, ScenarioConfig};
 use inano_core::PredictorConfig;
 use inano_model::rng::rng_for;
 use inano_model::Ipv4;
+use inano_net::cli::arg;
 use inano_service::{QueryEngine, ServiceConfig};
 use rand::Rng;
 use std::sync::Arc;
 use std::time::Instant;
-
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let n_queries: usize = arg("--queries", 200_000);

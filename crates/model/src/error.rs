@@ -35,6 +35,120 @@ impl fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
+/// Stable numeric error codes for the wire protocol (`inano-net`).
+///
+/// Two ranges: `1..=15` mirror [`ModelError`] variants (a query that
+/// fails inside the engine crosses the wire as one of these), `16..`
+/// are transport-level faults the server raises itself (framing,
+/// limits, admission). The numeric values are part of the protocol —
+/// append, never renumber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// [`ModelError::UnknownEntity`].
+    UnknownEntity = 1,
+    /// [`ModelError::UnroutableAddress`].
+    UnroutableAddress = 2,
+    /// [`ModelError::Decode`].
+    Decode = 3,
+    /// [`ModelError::PatchMismatch`].
+    PatchMismatch = 4,
+    /// [`ModelError::NoPath`].
+    NoPath = 5,
+    /// [`ModelError::Config`].
+    Config = 6,
+    /// Frame header did not start with the protocol magic.
+    BadMagic = 16,
+    /// Frame header carried an unsupported protocol version.
+    BadVersion = 17,
+    /// Declared payload length exceeds the receiver's frame limit.
+    FrameTooLarge = 18,
+    /// A `QueryBatch` carried more pairs than the receiver allows.
+    BatchTooLarge = 19,
+    /// Frame type byte is not part of the protocol.
+    UnknownFrame = 20,
+    /// Payload failed to parse (truncated, trailing bytes, bad tag...).
+    Malformed = 21,
+    /// Admission gate: the server is at its connection limit.
+    Overloaded = 22,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown = 23,
+    /// A syntactically valid frame that makes no sense in this
+    /// direction (e.g. a client sending a reply type).
+    UnexpectedFrame = 24,
+}
+
+impl ErrorCode {
+    /// Every defined code, for exhaustive round-trip tests.
+    pub const ALL: [ErrorCode; 15] = [
+        ErrorCode::UnknownEntity,
+        ErrorCode::UnroutableAddress,
+        ErrorCode::Decode,
+        ErrorCode::PatchMismatch,
+        ErrorCode::NoPath,
+        ErrorCode::Config,
+        ErrorCode::BadMagic,
+        ErrorCode::BadVersion,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::BatchTooLarge,
+        ErrorCode::UnknownFrame,
+        ErrorCode::Malformed,
+        ErrorCode::Overloaded,
+        ErrorCode::ShuttingDown,
+        ErrorCode::UnexpectedFrame,
+    ];
+
+    pub const fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    pub fn from_u16(code: u16) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_u16() == code)
+    }
+
+    /// True for faults raised by the transport itself rather than
+    /// carried over from a [`ModelError`].
+    pub const fn is_transport(self) -> bool {
+        self.as_u16() >= 16
+    }
+}
+
+impl From<&ModelError> for ErrorCode {
+    fn from(e: &ModelError) -> ErrorCode {
+        match e {
+            ModelError::UnknownEntity { .. } => ErrorCode::UnknownEntity,
+            ModelError::UnroutableAddress(_) => ErrorCode::UnroutableAddress,
+            ModelError::Decode(_) => ErrorCode::Decode,
+            ModelError::PatchMismatch(_) => ErrorCode::PatchMismatch,
+            ModelError::NoPath(_) => ErrorCode::NoPath,
+            ModelError::Config(_) => ErrorCode::Config,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::UnknownEntity => "unknown-entity",
+            ErrorCode::UnroutableAddress => "unroutable-address",
+            ErrorCode::Decode => "decode",
+            ErrorCode::PatchMismatch => "patch-mismatch",
+            ErrorCode::NoPath => "no-path",
+            ErrorCode::Config => "config",
+            ErrorCode::BadMagic => "bad-magic",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::BatchTooLarge => "batch-too-large",
+            ErrorCode::UnknownFrame => "unknown-frame",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::UnexpectedFrame => "unexpected-frame",
+        };
+        write!(f, "{name}({})", self.as_u16())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +169,28 @@ mod tests {
     fn is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&ModelError::NoPath("x".into()));
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_stay_stable() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(9999), None);
+        // Protocol constants: renumbering is a wire break.
+        assert_eq!(ErrorCode::UnknownEntity.as_u16(), 1);
+        assert_eq!(ErrorCode::Config.as_u16(), 6);
+        assert_eq!(ErrorCode::BadMagic.as_u16(), 16);
+        assert_eq!(ErrorCode::UnexpectedFrame.as_u16(), 24);
+    }
+
+    #[test]
+    fn model_errors_map_onto_codes() {
+        let e = ModelError::NoPath("x".into());
+        assert_eq!(ErrorCode::from(&e), ErrorCode::NoPath);
+        assert!(!ErrorCode::from(&e).is_transport());
+        assert!(ErrorCode::Overloaded.is_transport());
+        assert!(ErrorCode::NoPath.to_string().contains("no-path"));
     }
 }

@@ -19,7 +19,7 @@ pub mod rel;
 pub mod rng;
 pub mod stats;
 
-pub use error::ModelError;
+pub use error::{ErrorCode, ModelError};
 pub use ids::{Asn, ClusterId, HostId, IfaceId, PopId, PrefixId, RouterId};
 pub use ip::{Ipv4, Prefix, PrefixTrie};
 pub use metrics::{LatencyMs, LossRate};

@@ -1,0 +1,81 @@
+//! `inano-serve`: the standalone query server.
+//!
+//! Serves a codec-encoded atlas file (`--atlas PATH`) or, for demos
+//! and smoke tests, a synthetic ring world (`--ring N`). Prints one
+//! `LISTENING <addr>` line once the socket is bound, then serves until
+//! killed.
+//!
+//! Usage:
+//!   inano-serve [--bind 127.0.0.1] [--port 4711]
+//!               [--atlas FILE | --ring N]
+//!               [--workers W] [--max-conns C]
+//!               [--max-frame-bytes B] [--max-batch Q]
+
+use inano_core::PredictorConfig;
+use inano_net::cli::arg;
+use inano_net::demo::{ring_atlas, ring_predictor_config};
+use inano_net::{Limits, NetServer, ServerConfig};
+use inano_service::{QueryEngine, ServiceConfig};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let bind: String = arg("--bind", "127.0.0.1".to_string());
+    let port: u16 = arg("--port", 4711);
+    let atlas_path: String = arg("--atlas", String::new());
+    let ring: u32 = arg("--ring", 64);
+    let workers: usize = arg("--workers", 0); // 0 = ServiceConfig default
+    let max_conns: usize = arg("--max-conns", 256);
+    let max_frame_bytes: u32 = arg("--max-frame-bytes", Limits::default().max_frame_bytes);
+    let max_batch: u32 = arg("--max-batch", Limits::default().max_batch);
+
+    let (atlas, predictor) = if atlas_path.is_empty() {
+        eprintln!("serving a synthetic {ring}-cluster ring (pass --atlas FILE for real data)");
+        (ring_atlas(ring, 0), ring_predictor_config())
+    } else {
+        let bytes =
+            std::fs::read(&atlas_path).unwrap_or_else(|e| panic!("read atlas {atlas_path:?}: {e}"));
+        let atlas = inano_atlas::codec::decode(&bytes)
+            .unwrap_or_else(|e| panic!("decode atlas {atlas_path:?}: {e}"));
+        eprintln!("serving atlas {atlas_path:?} (day {})", atlas.day);
+        (atlas, PredictorConfig::full())
+    };
+
+    let mut svc = ServiceConfig {
+        predictor,
+        ..ServiceConfig::default()
+    };
+    if workers > 0 {
+        svc.workers = workers;
+    }
+    let engine = Arc::new(QueryEngine::new(Arc::new(atlas), svc));
+
+    let server = NetServer::bind(
+        format!("{bind}:{port}"),
+        Arc::clone(&engine),
+        ServerConfig {
+            max_conns,
+            limits: Limits {
+                max_frame_bytes,
+                max_batch,
+            },
+        },
+    )
+    .expect("bind server socket");
+
+    // The contract line smoke tests wait for; flush so a pipe sees it.
+    println!("LISTENING {}", server.local_addr());
+    std::io::stdout().flush().expect("flush stdout");
+
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+        let c = server.counters();
+        let s = engine.stats();
+        eprintln!(
+            "up: {} conns active ({} accepted, {} rejected, {} faults), \
+             {} queries, epoch {}, day {}",
+            c.active, c.accepted, c.rejected, c.faults, s.queries, s.epoch, s.day,
+        );
+    }
+}

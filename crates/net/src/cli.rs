@@ -1,0 +1,14 @@
+//! Minimal flag parsing shared by the workspace's binaries
+//! (`inano-serve`, the bench loadgens): `--name value` pairs, typed by
+//! the caller, defaulting on absence or parse failure.
+
+/// Value of `--name` from `std::env::args()`, or `default` when the
+/// flag is absent or its value does not parse as `T`.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

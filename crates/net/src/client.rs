@@ -1,0 +1,202 @@
+//! The client library: a blocking connection to an `inano-serve`
+//! instance with synchronous calls *and* pipelined batch submission.
+//!
+//! Pipelining is plain request ids: [`NetClient::submit`] writes a
+//! request and returns immediately with its id; [`NetClient::recv`]
+//! reads the next reply off the stream (the server answers in request
+//! order, and every reply echoes its request's id). A loadgen keeps
+//! `depth` batches in flight by submitting `depth` requests up front
+//! and then re-submitting after every receive — that hides a full
+//! round-trip time behind server-side work.
+
+use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault};
+use crate::wire::{WirePath, WireResolution, WireStats};
+use inano_model::Ipv4;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// A client-side failure: transport, a typed server fault, or a
+/// protocol violation (reply the client did not expect).
+#[derive(Debug)]
+pub enum NetError {
+    Io(io::Error),
+    /// The server answered with a typed error frame.
+    Remote(WireFault),
+    /// The server broke the protocol (wrong reply type, bad id...).
+    Protocol(String),
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Remote(fault) => write!(f, "server fault: {fault}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A connection to a server speaking the `inano-net` wire protocol.
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    addr: SocketAddr,
+    limits: Limits,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connect with client-appropriate default limits: same
+    /// `max_batch` as the server default, but a much larger receive
+    /// frame bound — a `PathBatch` reply to a full `max_batch` query
+    /// batch carries whole paths and can legitimately exceed the
+    /// *request*-side 1 MiB default.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let reply_limits = Limits {
+            max_frame_bytes: 32 << 20,
+            ..Limits::default()
+        };
+        NetClient::connect_with(addr, reply_limits)
+    }
+
+    /// Connect with explicit limits (must admit the server's replies:
+    /// a reply to a `max_batch` query batch is well over the request's
+    /// size once paths are attached).
+    pub fn connect_with(addr: impl ToSocketAddrs, limits: Limits) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let addr = stream.peer_addr()?;
+        Ok(NetClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            addr,
+            limits,
+            next_id: 1,
+        })
+    }
+
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Write one request and flush, without waiting for the reply.
+    /// Returns the request id to match against [`NetClient::recv`].
+    pub fn submit(&mut self, frame: &Frame) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, id, frame)?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Read the next reply off the stream. Error frames come back as
+    /// `Ok` here — pipelined callers need the id to know *which*
+    /// request faulted; [`NetClient::call`] folds them into
+    /// [`NetError::Remote`] for the synchronous path.
+    pub fn recv(&mut self) -> Result<(u64, Frame), NetError> {
+        match read_frame(&mut self.reader, &self.limits) {
+            Ok(Some(reply)) => Ok(reply),
+            Ok(None) => Err(NetError::Protocol("server closed mid-conversation".into())),
+            Err(ReadError::Io(e)) => Err(NetError::Io(e)),
+            Err(ReadError::Fatal(fault)) | Err(ReadError::Frame { fault, .. }) => {
+                Err(NetError::Protocol(format!("unreadable reply: {fault}")))
+            }
+        }
+    }
+
+    /// Synchronous round trip: submit, wait for the matching reply,
+    /// surface error frames as [`NetError::Remote`].
+    pub fn call(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        let id = self.submit(frame)?;
+        let (got_id, reply) = self.recv()?;
+        // Typed faults first: connection-level error frames (admission
+        // refusals, fatal framing answers) arrive with request id 0,
+        // and the caller needs their code — Overloaded vs ShuttingDown
+        // drives backoff — not an id-mismatch complaint.
+        if let Frame::Error { fault } = reply {
+            return Err(NetError::Remote(fault));
+        }
+        if got_id != id {
+            return Err(NetError::Protocol(format!(
+                "reply id {got_id} for request {id}"
+            )));
+        }
+        Ok(reply)
+    }
+
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.call(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Predict every pair; per-pair failures come back as typed faults
+    /// in the result vector, batch-level failures as `Err`.
+    pub fn query_batch(
+        &mut self,
+        pairs: &[(Ipv4, Ipv4)],
+    ) -> Result<Vec<Result<WirePath, WireFault>>, NetError> {
+        let request = Frame::QueryBatch {
+            pairs: pairs.to_vec(),
+        };
+        match self.call(&request)? {
+            Frame::PathBatch { results } => {
+                if results.len() != pairs.len() {
+                    return Err(NetError::Protocol(format!(
+                        "{} results for {} pairs",
+                        results.len(),
+                        pairs.len()
+                    )));
+                }
+                Ok(results)
+            }
+            other => Err(unexpected("PathBatch", &other)),
+        }
+    }
+
+    /// Pipelined submission of a query batch; pair with
+    /// [`NetClient::recv`].
+    pub fn submit_batch(&mut self, pairs: &[(Ipv4, Ipv4)]) -> io::Result<u64> {
+        self.submit(&Frame::QueryBatch {
+            pairs: pairs.to_vec(),
+        })
+    }
+
+    pub fn resolve(&mut self, ip: Ipv4) -> Result<WireResolution, NetError> {
+        match self.call(&Frame::Resolve { ip })? {
+            Frame::ResolveReply { resolution } => Ok(resolution),
+            other => Err(unexpected("ResolveReply", &other)),
+        }
+    }
+
+    pub fn stats(&mut self) -> Result<WireStats, NetError> {
+        match self.call(&Frame::Stats)? {
+            Frame::StatsReply { stats } => Ok(stats),
+            other => Err(unexpected("StatsReply", &other)),
+        }
+    }
+
+    /// The serving generation's `(epoch, day)`.
+    pub fn epoch(&mut self) -> Result<(u64, u32), NetError> {
+        match self.call(&Frame::Epoch)? {
+            Frame::EpochReply { epoch, day } => Ok((epoch, day)),
+            other => Err(unexpected("EpochReply", &other)),
+        }
+    }
+}
+
+fn unexpected(want: &str, got: &Frame) -> NetError {
+    NetError::Protocol(format!(
+        "want {want}, got frame type {:#04x}",
+        got.frame_type()
+    ))
+}

@@ -1,0 +1,38 @@
+//! # inano-net
+//!
+//! The network front end over `inano-service`: what turns the paper's
+//! per-peer library into a deployable service a remote peer can query
+//! without embedding the predictor or the atlas.
+//!
+//! Three layers, separable and individually tested:
+//!
+//! * [`wire`] — a compact length-prefixed binary protocol (magic,
+//!   version, request id, typed frames: `QueryBatch`, `Resolve`,
+//!   `Stats`, `Epoch`, `Ping`, plus typed error frames carrying
+//!   [`inano_model::ErrorCode`]s), with receiver-side [`Limits`] on
+//!   frame and batch size;
+//! * [`server`] — a threaded TCP server ([`NetServer`], shipped as the
+//!   `inano-serve` binary) with per-connection request pipelining, a
+//!   max-connection admission gate, and graceful shutdown, fanning
+//!   decoded batches into a shared [`inano_service::QueryEngine`] so
+//!   remote queries ride the same cache and hot-swap semantics as
+//!   embedded ones;
+//! * [`client`] — [`NetClient`], synchronous calls plus pipelined
+//!   batch submission (`submit_batch`/`recv`), which is what
+//!   `inano-bench`'s `net_throughput` loadgen drives.
+//!
+//! [`demo`] carries the tiny ring world the `inano-serve --ring` mode,
+//! the integration tests and the loadgen's `--connect` mode share.
+//!
+//! See DESIGN.md ("The wire protocol") for framing, pipelining,
+//! limits and versioning.
+
+pub mod cli;
+pub mod client;
+pub mod demo;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClient, NetError};
+pub use server::{NetServer, ServerConfig, ServerCounters};
+pub use wire::{Frame, Limits, WireFault, WirePath, WireResolution, WireStats};

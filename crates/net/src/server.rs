@@ -1,0 +1,341 @@
+//! The threaded TCP server: accept loop + one handler thread per
+//! connection, all requests fanned into a shared [`QueryEngine`].
+//!
+//! ## Concurrency model
+//!
+//! `std::net` blocking I/O throughout — one OS thread per connection,
+//! which is the right trade at the scale the admission gate allows
+//! (hundreds of connections, each pipelining batches; the *query*
+//! parallelism lives in the engine's worker pool, not here). Handler
+//! threads call [`QueryEngine::query_batch`] directly, so remote
+//! batches share the result cache, the worker pool and the hot-swap
+//! semantics with embedded callers: a mid-load `apply_delta` never
+//! stalls remote queries, and the first frame decoded after a swap is
+//! answered from the new epoch.
+//!
+//! ## Admission and limits
+//!
+//! * At most [`ServerConfig::max_conns`] concurrent connections; the
+//!   gate answers excess connects with a typed `Overloaded` error
+//!   frame and closes, so clients fail fast instead of queueing.
+//! * Frames are bounded by [`Limits`]: an oversized declared payload
+//!   or broken framing is answered once and the connection closed
+//!   (the stream can no longer be trusted); a parse failure inside a
+//!   well-framed payload is answered with a typed error and the
+//!   connection keeps serving — a pipelined client loses one request,
+//!   not the stream.
+//!
+//! ## Shutdown
+//!
+//! [`NetServer::shutdown`] (also run on drop) stops the accept loop
+//! with a self-connect, force-closes the registered connection
+//! sockets so blocked reads return, and joins every thread. The
+//! engine is shared and is *not* shut down — that's its owner's call.
+
+use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault};
+use crate::wire::{WirePath, WireResolution, WireStats};
+use inano_model::ErrorCode;
+use inano_service::QueryEngine;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Concurrent-connection admission gate.
+    pub max_conns: usize,
+    /// Per-frame protocol limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_conns: 256,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Counters for observability and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerCounters {
+    /// Connections currently being served.
+    pub active: usize,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections refused by the admission gate.
+    pub rejected: u64,
+    /// Frames answered with an error (fatal or per-frame).
+    pub faults: u64,
+}
+
+struct Shared {
+    engine: Arc<QueryEngine>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    faults: AtomicU64,
+    /// Clones of live connection sockets, so shutdown can unblock
+    /// their reader threads.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A running server; dropping it shuts it down.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// serving `engine`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<QueryEngine>,
+        cfg: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            streams: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("inano-net-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts (shared; `apply_delta` through
+    /// this handle is visible to remote queries immediately).
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.shared.engine
+    }
+
+    pub fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            active: self.shared.active.load(Ordering::Relaxed),
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            faults: self.shared.faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, close every live connection, join all threads.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; it checks the flag before serving.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+        for (_, s) in self.shared.streams.lock().drain() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<_> = self.shared.handlers.lock().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut next_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (fd exhaustion, say) must
+                // not busy-spin a core; back off and say why.
+                eprintln!("inano-net: accept failed, retrying: {e}");
+                thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        // Reap finished handler threads so a long-lived server with
+        // connection churn doesn't accumulate JoinHandles forever.
+        shared.handlers.lock().retain(|h| !h.is_finished());
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Answer a genuine late client rather than hanging it; the
+            // shutdown self-connect just gets dropped.
+            let _ = refuse(stream, ErrorCode::ShuttingDown, "server is shutting down");
+            return;
+        }
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.faults.fetch_add(1, Ordering::Relaxed);
+            let _ = refuse(
+                stream,
+                ErrorCode::Overloaded,
+                format!("connection limit {} reached", shared.cfg.max_conns),
+            );
+            continue;
+        }
+        // A connection we cannot register is one shutdown cannot
+        // unblock later (its handler would block in read forever and
+        // hang the join); refuse it rather than serve it.
+        let clone = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.faults.fetch_add(1, Ordering::Relaxed);
+                let _ = refuse(
+                    stream,
+                    ErrorCode::Overloaded,
+                    "cannot register connection (out of descriptors?)",
+                );
+                continue;
+            }
+        };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_id = next_id;
+        next_id += 1;
+        shared.streams.lock().insert(conn_id, clone);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("inano-net-conn-{conn_id}"))
+                .spawn(move || {
+                    let _ = serve_connection(&stream, &shared);
+                    shared.streams.lock().remove(&conn_id);
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                })
+                .expect("spawn connection handler")
+        };
+        shared.handlers.lock().push(worker);
+    }
+}
+
+/// Send a single error frame on a connection we won't serve, then close.
+fn refuse(stream: TcpStream, code: ErrorCode, message: impl Into<String>) -> io::Result<()> {
+    let mut w = BufWriter::new(&stream);
+    write_frame(
+        &mut w,
+        0,
+        &Frame::Error {
+            fault: WireFault::new(code, message),
+        },
+    )?;
+    w.flush()?;
+    stream.shutdown(Shutdown::Both)
+}
+
+/// Serve one connection until EOF, a fatal framing error, or shutdown.
+fn serve_connection(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader, &shared.cfg.limits) {
+            Ok(Some((request_id, frame))) => {
+                let reply = respond(&shared.engine, &frame);
+                if matches!(reply, Frame::Error { .. }) {
+                    shared.faults.fetch_add(1, Ordering::Relaxed);
+                }
+                write_frame(&mut writer, request_id, &reply)?;
+                writer.flush()?;
+            }
+            Ok(None) => return Ok(()),
+            Err(ReadError::Io(e)) => return Err(e),
+            Err(ReadError::Fatal(fault)) => {
+                shared.faults.fetch_add(1, Ordering::Relaxed);
+                write_frame(&mut writer, 0, &Frame::Error { fault })?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Err(ReadError::Frame { request_id, fault }) => {
+                shared.faults.fetch_add(1, Ordering::Relaxed);
+                write_frame(&mut writer, request_id, &Frame::Error { fault })?;
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+/// Map one decoded request to its reply frame.
+fn respond(engine: &QueryEngine, frame: &Frame) -> Frame {
+    match frame {
+        Frame::Ping => Frame::Pong,
+        Frame::QueryBatch { pairs } => Frame::PathBatch {
+            results: engine
+                .query_batch(pairs)
+                .iter()
+                .map(|r| match r {
+                    Ok(p) => Ok(WirePath::from(p)),
+                    Err(e) => Err(WireFault::from(e)),
+                })
+                .collect(),
+        },
+        Frame::Resolve { ip } => match engine.generation().predictor.resolve(*ip) {
+            Ok(r) => Frame::ResolveReply {
+                resolution: WireResolution::from(&r),
+            },
+            Err(e) => Frame::Error {
+                fault: WireFault::from(&e),
+            },
+        },
+        Frame::Stats => Frame::StatsReply {
+            stats: WireStats::from(&engine.stats()),
+        },
+        Frame::Epoch => {
+            let generation = engine.generation();
+            Frame::EpochReply {
+                epoch: generation.epoch,
+                day: generation.day(),
+            }
+        }
+        // Reply-direction (or error) frames are not requests.
+        Frame::Pong
+        | Frame::PathBatch { .. }
+        | Frame::ResolveReply { .. }
+        | Frame::StatsReply { .. }
+        | Frame::EpochReply { .. }
+        | Frame::Error { .. } => Frame::Error {
+            fault: WireFault::new(
+                ErrorCode::UnexpectedFrame,
+                format!("frame type {:#04x} is not a request", frame.frame_type()),
+            ),
+        },
+    }
+}

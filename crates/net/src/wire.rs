@@ -1,0 +1,790 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! ## Framing
+//!
+//! Every frame is an 18-byte header followed by a payload:
+//!
+//! ```text
+//! magic      u32  0x694E614E ("iNaN")
+//! version    u8   1
+//! frame type u8   see the FT_* constants
+//! request id u64  echoed verbatim in the reply
+//! payload    u32  payload length in bytes
+//! ```
+//!
+//! All integers are big-endian; floats travel as IEEE-754 bit patterns
+//! (`f64::to_bits`). The request id is chosen by the client and echoed
+//! by the server, which is what makes pipelining work: a client may
+//! write any number of requests before reading replies, and matches
+//! them back up by id (the server also answers strictly in request
+//! order per connection).
+//!
+//! ## Error handling
+//!
+//! Decoding distinguishes two failure severities, and the distinction
+//! is load-bearing for pipelining:
+//!
+//! * **fatal** ([`ReadError::Fatal`]) — the stream can no longer be
+//!   trusted to be frame-aligned (bad magic, bad version, a declared
+//!   payload length over the limit). The server replies with one
+//!   [`Frame::Error`] (request id 0) and closes the connection.
+//! * **per-frame** ([`ReadError::Frame`]) — the header was sound and
+//!   the payload was fully consumed, but its contents don't parse (or a
+//!   batch exceeds [`Limits::max_batch`]). The server replies with a
+//!   typed [`Frame::Error`] carrying the request id and keeps serving
+//!   the connection.
+//!
+//! Error *codes* live in [`inano_model::ErrorCode`] so the engine's own
+//! `ModelError`s cross the wire losslessly typed.
+
+use inano_core::{PredictedPath, Resolution};
+use inano_model::{Asn, ClusterId, ErrorCode, Ipv4, LatencyMs, LossRate, ModelError, PrefixId};
+use inano_service::ServiceStats;
+use std::io::{self, Read, Write};
+
+/// `"iNaN"` in ASCII.
+pub const MAGIC: u32 = 0x694E_614E;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_BYTES: usize = 18;
+
+pub const FT_PING: u8 = 0x01;
+pub const FT_QUERY_BATCH: u8 = 0x02;
+pub const FT_RESOLVE: u8 = 0x03;
+pub const FT_STATS: u8 = 0x04;
+pub const FT_EPOCH: u8 = 0x05;
+pub const FT_PONG: u8 = 0x81;
+pub const FT_PATH_BATCH: u8 = 0x82;
+pub const FT_RESOLVE_REPLY: u8 = 0x83;
+pub const FT_STATS_REPLY: u8 = 0x84;
+pub const FT_EPOCH_REPLY: u8 = 0x85;
+pub const FT_ERROR: u8 = 0xEE;
+
+/// Receiver-side protocol limits. Senders should stay within the
+/// defaults; a server may advertise different ones out of band.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Largest accepted payload, bytes. A header declaring more is a
+    /// fatal framing error (the receiver refuses to buffer it).
+    pub max_frame_bytes: u32,
+    /// Most pairs in one `QueryBatch` / results in one `PathBatch`.
+    pub max_batch: u32,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_frame_bytes: 1 << 20,
+            max_batch: 4096,
+        }
+    }
+}
+
+/// A typed fault: stable code plus a short human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireFault {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl WireFault {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireFault {
+        WireFault {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<&ModelError> for WireFault {
+    fn from(e: &ModelError) -> WireFault {
+        WireFault {
+            code: ErrorCode::from(e),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// A predicted path in wire form — everything `PredictedPath` carries,
+/// with ids flattened to raw `u32`s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WirePath {
+    pub fwd_clusters: Vec<u32>,
+    pub rev_clusters: Vec<u32>,
+    pub fwd_as: Vec<u32>,
+    pub rev_as: Vec<u32>,
+    pub rtt_ms: f64,
+    pub loss: f64,
+}
+
+impl From<&PredictedPath> for WirePath {
+    fn from(p: &PredictedPath) -> WirePath {
+        WirePath {
+            fwd_clusters: p.fwd_clusters.iter().map(|c| c.raw()).collect(),
+            rev_clusters: p.rev_clusters.iter().map(|c| c.raw()).collect(),
+            fwd_as: p.fwd_as_path.iter().map(|a| a.raw()).collect(),
+            rev_as: p.rev_as_path.iter().map(|a| a.raw()).collect(),
+            rtt_ms: p.rtt.ms(),
+            loss: p.loss.rate(),
+        }
+    }
+}
+
+impl WirePath {
+    /// Reconstruct the library-side type (AS prepending was already
+    /// collapsed on the server, so `AsPath::new` is the identity here).
+    pub fn into_predicted(self) -> PredictedPath {
+        PredictedPath {
+            fwd_clusters: self.fwd_clusters.into_iter().map(ClusterId::new).collect(),
+            rev_clusters: self.rev_clusters.into_iter().map(ClusterId::new).collect(),
+            fwd_as_path: self.fwd_as.into_iter().map(Asn::new).collect(),
+            rev_as_path: self.rev_as.into_iter().map(Asn::new).collect(),
+            rtt: LatencyMs::new(self.rtt_ms),
+            loss: LossRate::new(self.loss),
+        }
+    }
+}
+
+/// An endpoint resolution in wire form (see [`inano_core::Resolution`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireResolution {
+    pub prefix: u32,
+    pub cluster: u32,
+    pub origin_as: Option<u32>,
+    pub cluster_as: Option<u32>,
+    pub refined_providers: bool,
+}
+
+impl From<&Resolution> for WireResolution {
+    fn from(r: &Resolution) -> WireResolution {
+        WireResolution {
+            prefix: r.prefix.raw(),
+            cluster: r.cluster.raw(),
+            origin_as: r.origin_as.map(|a| a.raw()),
+            cluster_as: r.cluster_as.map(|a| a.raw()),
+            refined_providers: r.refined_providers,
+        }
+    }
+}
+
+impl WireResolution {
+    pub fn into_resolution(self) -> Resolution {
+        Resolution {
+            prefix: PrefixId::new(self.prefix),
+            cluster: ClusterId::new(self.cluster),
+            origin_as: self.origin_as.map(Asn::new),
+            cluster_as: self.cluster_as.map(Asn::new),
+            refined_providers: self.refined_providers,
+        }
+    }
+}
+
+/// Engine counters in wire form (see [`inano_service::ServiceStats`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireStats {
+    pub queries: u64,
+    pub errors: u64,
+    pub qps: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_hit_rate: f64,
+    pub swaps: u64,
+    pub epoch: u64,
+    pub day: u32,
+    pub workers: u32,
+}
+
+impl From<&ServiceStats> for WireStats {
+    fn from(s: &ServiceStats) -> WireStats {
+        WireStats {
+            queries: s.queries,
+            errors: s.errors,
+            qps: s.qps,
+            p50_us: s.p50_us,
+            p99_us: s.p99_us,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            cache_evictions: s.cache_evictions,
+            cache_hit_rate: s.cache_hit_rate,
+            swaps: s.swaps,
+            epoch: s.epoch,
+            day: s.day,
+            workers: s.workers as u32,
+        }
+    }
+}
+
+/// One protocol frame (request or reply), minus the request id that
+/// travels in the header.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    Ping,
+    Pong,
+    QueryBatch {
+        pairs: Vec<(Ipv4, Ipv4)>,
+    },
+    PathBatch {
+        results: Vec<Result<WirePath, WireFault>>,
+    },
+    Resolve {
+        ip: Ipv4,
+    },
+    ResolveReply {
+        resolution: WireResolution,
+    },
+    Stats,
+    StatsReply {
+        stats: WireStats,
+    },
+    Epoch,
+    EpochReply {
+        epoch: u64,
+        day: u32,
+    },
+    Error {
+        fault: WireFault,
+    },
+}
+
+/// Why a frame could not be read. See the module docs for how the two
+/// decode severities drive connection handling.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying stream failed (including EOF mid-frame).
+    Io(io::Error),
+    /// Stream desynchronised; answer once and close.
+    Fatal(WireFault),
+    /// This frame is bad but the stream is still aligned.
+    Frame { request_id: u64, fault: WireFault },
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+// ---- primitive writers/readers -------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_vec_u32(buf: &mut Vec<u8>, v: &[u32]) {
+    // Paths are graph-diameter-bounded in practice; if one ever
+    // exceeds the u16 length prefix, truncate count *and* elements
+    // together so the frame stays well-formed instead of corrupting
+    // the stream with a wrapped count.
+    let n = v.len().min(u16::MAX as usize);
+    debug_assert_eq!(n, v.len(), "path far beyond wire bounds");
+    put_u16(buf, n as u16);
+    for &x in &v[..n] {
+        put_u32(buf, x);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    // Messages are diagnostics; truncate rather than fail at a char
+    // boundary safe cut.
+    let bytes = s.as_bytes();
+    let mut n = bytes.len().min(512);
+    while n > 0 && !s.is_char_boundary(n) {
+        n -= 1;
+    }
+    put_u16(buf, n as u16);
+    buf.extend_from_slice(&bytes[..n]);
+}
+
+fn put_fault(buf: &mut Vec<u8>, fault: &WireFault) {
+    put_u16(buf, fault.code.as_u16());
+    put_str(buf, &fault.message);
+}
+
+/// A bounds-checked big-endian payload cursor.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireFault> {
+        if self.buf.len() - self.at < n {
+            return Err(WireFault::new(
+                ErrorCode::Malformed,
+                format!("payload truncated at byte {}", self.at),
+            ));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireFault> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireFault> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireFault> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireFault> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireFault> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn vec_u32(&mut self) -> Result<Vec<u32>, WireFault> {
+        let n = self.u16()? as usize;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, WireFault> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| WireFault::new(ErrorCode::Malformed, "message is not UTF-8"))
+    }
+
+    fn fault(&mut self) -> Result<WireFault, WireFault> {
+        let raw = self.u16()?;
+        let code = ErrorCode::from_u16(raw)
+            .ok_or_else(|| WireFault::new(ErrorCode::Malformed, format!("unknown code {raw}")))?;
+        let message = self.string()?;
+        Ok(WireFault { code, message })
+    }
+
+    fn done(&self) -> Result<(), WireFault> {
+        if self.at != self.buf.len() {
+            return Err(WireFault::new(
+                ErrorCode::Malformed,
+                format!("{} trailing bytes", self.buf.len() - self.at),
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---- frame codec ----------------------------------------------------
+
+impl Frame {
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Frame::Ping => FT_PING,
+            Frame::Pong => FT_PONG,
+            Frame::QueryBatch { .. } => FT_QUERY_BATCH,
+            Frame::PathBatch { .. } => FT_PATH_BATCH,
+            Frame::Resolve { .. } => FT_RESOLVE,
+            Frame::ResolveReply { .. } => FT_RESOLVE_REPLY,
+            Frame::Stats => FT_STATS,
+            Frame::StatsReply { .. } => FT_STATS_REPLY,
+            Frame::Epoch => FT_EPOCH,
+            Frame::EpochReply { .. } => FT_EPOCH_REPLY,
+            Frame::Error { .. } => FT_ERROR,
+        }
+    }
+
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Ping | Frame::Pong | Frame::Stats | Frame::Epoch => {}
+            Frame::QueryBatch { pairs } => {
+                put_u32(buf, pairs.len() as u32);
+                for &(s, d) in pairs {
+                    put_u32(buf, s.0);
+                    put_u32(buf, d.0);
+                }
+            }
+            Frame::PathBatch { results } => {
+                put_u32(buf, results.len() as u32);
+                for r in results {
+                    match r {
+                        Ok(p) => {
+                            buf.push(0);
+                            put_f64(buf, p.rtt_ms);
+                            put_f64(buf, p.loss);
+                            put_vec_u32(buf, &p.fwd_clusters);
+                            put_vec_u32(buf, &p.rev_clusters);
+                            put_vec_u32(buf, &p.fwd_as);
+                            put_vec_u32(buf, &p.rev_as);
+                        }
+                        Err(fault) => {
+                            buf.push(1);
+                            put_fault(buf, fault);
+                        }
+                    }
+                }
+            }
+            Frame::Resolve { ip } => put_u32(buf, ip.0),
+            Frame::ResolveReply { resolution } => {
+                put_u32(buf, resolution.prefix);
+                put_u32(buf, resolution.cluster);
+                let flags = resolution.origin_as.is_some() as u8
+                    | (resolution.cluster_as.is_some() as u8) << 1
+                    | (resolution.refined_providers as u8) << 2;
+                buf.push(flags);
+                if let Some(a) = resolution.origin_as {
+                    put_u32(buf, a);
+                }
+                if let Some(a) = resolution.cluster_as {
+                    put_u32(buf, a);
+                }
+            }
+            Frame::StatsReply { stats } => {
+                put_u64(buf, stats.queries);
+                put_u64(buf, stats.errors);
+                put_f64(buf, stats.qps);
+                put_u64(buf, stats.p50_us);
+                put_u64(buf, stats.p99_us);
+                put_u64(buf, stats.cache_hits);
+                put_u64(buf, stats.cache_misses);
+                put_u64(buf, stats.cache_evictions);
+                put_f64(buf, stats.cache_hit_rate);
+                put_u64(buf, stats.swaps);
+                put_u64(buf, stats.epoch);
+                put_u32(buf, stats.day);
+                put_u32(buf, stats.workers);
+            }
+            Frame::EpochReply { epoch, day } => {
+                put_u64(buf, *epoch);
+                put_u32(buf, *day);
+            }
+            Frame::Error { fault } => put_fault(buf, fault),
+        }
+    }
+
+    /// Encode the full frame (header + payload) for `request_id`.
+    pub fn encode(&self, request_id: u64) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        put_u32(&mut out, MAGIC);
+        out.push(VERSION);
+        out.push(self.frame_type());
+        put_u64(&mut out, request_id);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode a payload whose header has already been validated.
+    pub fn decode_payload(
+        frame_type: u8,
+        payload: &[u8],
+        limits: &Limits,
+    ) -> Result<Frame, WireFault> {
+        let mut c = Cursor::new(payload);
+        let frame = match frame_type {
+            FT_PING => Frame::Ping,
+            FT_PONG => Frame::Pong,
+            FT_QUERY_BATCH => {
+                let n = c.u32()?;
+                if n > limits.max_batch {
+                    return Err(WireFault::new(
+                        ErrorCode::BatchTooLarge,
+                        format!("batch of {n} exceeds limit {}", limits.max_batch),
+                    ));
+                }
+                let pairs = (0..n)
+                    .map(|_| Ok((Ipv4(c.u32()?), Ipv4(c.u32()?))))
+                    .collect::<Result<_, WireFault>>()?;
+                Frame::QueryBatch { pairs }
+            }
+            FT_PATH_BATCH => {
+                let n = c.u32()?;
+                if n > limits.max_batch {
+                    return Err(WireFault::new(
+                        ErrorCode::BatchTooLarge,
+                        format!("batch of {n} exceeds limit {}", limits.max_batch),
+                    ));
+                }
+                let results = (0..n)
+                    .map(|_| {
+                        Ok(match c.u8()? {
+                            0 => Ok(WirePath {
+                                rtt_ms: c.f64()?,
+                                loss: c.f64()?,
+                                fwd_clusters: c.vec_u32()?,
+                                rev_clusters: c.vec_u32()?,
+                                fwd_as: c.vec_u32()?,
+                                rev_as: c.vec_u32()?,
+                            }),
+                            1 => Err(c.fault()?),
+                            tag => {
+                                return Err(WireFault::new(
+                                    ErrorCode::Malformed,
+                                    format!("bad result tag {tag}"),
+                                ))
+                            }
+                        })
+                    })
+                    .collect::<Result<_, WireFault>>()?;
+                Frame::PathBatch { results }
+            }
+            FT_RESOLVE => Frame::Resolve { ip: Ipv4(c.u32()?) },
+            FT_RESOLVE_REPLY => {
+                let prefix = c.u32()?;
+                let cluster = c.u32()?;
+                let flags = c.u8()?;
+                if flags & !0b111 != 0 {
+                    return Err(WireFault::new(
+                        ErrorCode::Malformed,
+                        format!("bad resolution flags {flags:#x}"),
+                    ));
+                }
+                let origin_as = (flags & 1 != 0).then(|| c.u32()).transpose()?;
+                let cluster_as = (flags & 2 != 0).then(|| c.u32()).transpose()?;
+                Frame::ResolveReply {
+                    resolution: WireResolution {
+                        prefix,
+                        cluster,
+                        origin_as,
+                        cluster_as,
+                        refined_providers: flags & 4 != 0,
+                    },
+                }
+            }
+            FT_STATS => Frame::Stats,
+            FT_STATS_REPLY => Frame::StatsReply {
+                stats: WireStats {
+                    queries: c.u64()?,
+                    errors: c.u64()?,
+                    qps: c.f64()?,
+                    p50_us: c.u64()?,
+                    p99_us: c.u64()?,
+                    cache_hits: c.u64()?,
+                    cache_misses: c.u64()?,
+                    cache_evictions: c.u64()?,
+                    cache_hit_rate: c.f64()?,
+                    swaps: c.u64()?,
+                    epoch: c.u64()?,
+                    day: c.u32()?,
+                    workers: c.u32()?,
+                },
+            },
+            FT_EPOCH => Frame::Epoch,
+            FT_EPOCH_REPLY => Frame::EpochReply {
+                epoch: c.u64()?,
+                day: c.u32()?,
+            },
+            FT_ERROR => Frame::Error { fault: c.fault()? },
+            t => {
+                return Err(WireFault::new(
+                    ErrorCode::UnknownFrame,
+                    format!("unknown frame type {t:#04x}"),
+                ))
+            }
+        };
+        c.done()?;
+        Ok(frame)
+    }
+}
+
+/// Write one frame to `w` (no flush; callers batch and flush).
+pub fn write_frame(w: &mut impl Write, request_id: u64, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode(request_id))
+}
+
+/// Read one frame from `r`. `Ok(None)` is a clean EOF at a frame
+/// boundary; EOF inside a frame is an [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read, limits: &Limits) -> Result<Option<(u64, Frame)>, ReadError> {
+    let mut header = [0u8; HEADER_BYTES];
+    // First byte separately: a clean close between frames is not an error.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            return read_frame(r, limits);
+        }
+        Err(e) => return Err(ReadError::Io(e)),
+    }
+    r.read_exact(&mut header[1..])?;
+    let magic = u32::from_be_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(ReadError::Fatal(WireFault::new(
+            ErrorCode::BadMagic,
+            format!("got {magic:#010x}, want {MAGIC:#010x}"),
+        )));
+    }
+    let version = header[4];
+    if version != VERSION {
+        return Err(ReadError::Fatal(WireFault::new(
+            ErrorCode::BadVersion,
+            format!("got version {version}, want {VERSION}"),
+        )));
+    }
+    let frame_type = header[5];
+    let request_id = u64::from_be_bytes(header[6..14].try_into().unwrap());
+    let payload_len = u32::from_be_bytes(header[14..18].try_into().unwrap());
+    if payload_len > limits.max_frame_bytes {
+        return Err(ReadError::Fatal(WireFault::new(
+            ErrorCode::FrameTooLarge,
+            format!(
+                "declared payload of {payload_len} bytes exceeds limit {}",
+                limits.max_frame_bytes
+            ),
+        )));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    match Frame::decode_payload(frame_type, &payload, limits) {
+        Ok(frame) => Ok(Some((request_id, frame))),
+        Err(fault) => Err(ReadError::Frame { request_id, fault }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame, id: u64) {
+        let bytes = frame.encode(id);
+        let limits = Limits::default();
+        let (got_id, got) = read_frame(&mut &bytes[..], &limits)
+            .expect("decodes")
+            .expect("not EOF");
+        assert_eq!(got_id, id);
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn empty_payload_frames_round_trip() {
+        for f in [Frame::Ping, Frame::Pong, Frame::Stats, Frame::Epoch] {
+            round_trip(f, 7);
+        }
+    }
+
+    #[test]
+    fn query_batch_round_trips() {
+        round_trip(
+            Frame::QueryBatch {
+                pairs: vec![(Ipv4(1), Ipv4(2)), (Ipv4(0xffff_ffff), Ipv4(0))],
+            },
+            u64::MAX,
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let limits = Limits::default();
+        assert!(matches!(read_frame(&mut &[][..], &limits), Ok(None)));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_io_error() {
+        let bytes = Frame::Ping.encode(1);
+        let limits = Limits::default();
+        match read_frame(&mut &bytes[..HEADER_BYTES - 3], &limits) {
+            Err(ReadError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("want io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut bytes = Frame::Ping.encode(1);
+        bytes[0] ^= 0xff;
+        let limits = Limits::default();
+        match read_frame(&mut &bytes[..], &limits) {
+            Err(ReadError::Fatal(fault)) => assert_eq!(fault.code, ErrorCode::BadMagic),
+            other => panic!("want fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declared_payload_is_fatal() {
+        let limits = Limits {
+            max_frame_bytes: 64,
+            max_batch: 8,
+        };
+        let bytes = Frame::QueryBatch {
+            pairs: vec![(Ipv4(1), Ipv4(2)); 16],
+        }
+        .encode(3);
+        match read_frame(&mut &bytes[..], &limits) {
+            Err(ReadError::Fatal(fault)) => assert_eq!(fault.code, ErrorCode::FrameTooLarge),
+            other => panic!("want fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_limit_batch_is_per_frame_error() {
+        let limits = Limits {
+            max_frame_bytes: 1 << 20,
+            max_batch: 4,
+        };
+        let bytes = Frame::QueryBatch {
+            pairs: vec![(Ipv4(1), Ipv4(2)); 5],
+        }
+        .encode(9);
+        match read_frame(&mut &bytes[..], &limits) {
+            Err(ReadError::Frame { request_id, fault }) => {
+                assert_eq!(request_id, 9);
+                assert_eq!(fault.code, ErrorCode::BatchTooLarge);
+            }
+            other => panic!("want frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut bytes = Frame::Resolve { ip: Ipv4(5) }.encode(2);
+        // Grow the payload by one byte and fix up the declared length.
+        bytes.push(0);
+        let len = (bytes.len() - HEADER_BYTES) as u32;
+        bytes[14..18].copy_from_slice(&len.to_be_bytes());
+        let limits = Limits::default();
+        match read_frame(&mut &bytes[..], &limits) {
+            Err(ReadError::Frame { fault, .. }) => assert_eq!(fault.code, ErrorCode::Malformed),
+            other => panic!("want frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn long_fault_messages_truncate_on_char_boundary() {
+        let fault = WireFault::new(ErrorCode::NoPath, "é".repeat(600));
+        let bytes = Frame::Error {
+            fault: fault.clone(),
+        }
+        .encode(1);
+        let limits = Limits::default();
+        let (_, got) = read_frame(&mut &bytes[..], &limits).unwrap().unwrap();
+        match got {
+            Frame::Error { fault: got } => {
+                assert_eq!(got.code, fault.code);
+                assert!(got.message.len() <= 512);
+                assert!(fault.message.starts_with(&got.message));
+            }
+            other => panic!("want error frame, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Integration tests for the network front end: a live server over a
+//! ring-world engine, driven by real sockets.
+//!
+//! Covers the acceptance surface of the net subsystem: remote answers
+//! equal embedded answers, pipelining preserves order and ids,
+//! malformed/oversized frames come back as typed errors (never a
+//! panic, never a hang), the admission gate refuses with `Overloaded`,
+//! and a mid-load `apply_delta` is visible to remote clients as a new
+//! epoch without a single failed query.
+
+use inano_model::{ErrorCode, Ipv4};
+use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
+use inano_net::wire::{read_frame, Frame, Limits, HEADER_BYTES, MAGIC, VERSION};
+use inano_net::{NetClient, NetError, NetServer, ServerConfig};
+use inano_service::{QueryEngine, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const RING: u32 = 12;
+
+fn ring_server(cfg: ServerConfig) -> NetServer {
+    let engine = Arc::new(QueryEngine::new(
+        Arc::new(ring_atlas(RING, 0)),
+        ServiceConfig {
+            workers: 4,
+            chunk: 16,
+            predictor: ring_predictor_config(),
+            ..ServiceConfig::default()
+        },
+    ));
+    NetServer::bind("127.0.0.1:0", engine, cfg).expect("bind ephemeral port")
+}
+
+fn all_pairs() -> Vec<(Ipv4, Ipv4)> {
+    (0..RING)
+        .flat_map(|s| {
+            (0..RING)
+                .filter(move |&d| d != s)
+                .map(move |d| (ring_ip(s), ring_ip(d)))
+        })
+        .collect()
+}
+
+#[test]
+fn remote_answers_equal_embedded_answers() {
+    let server = ring_server(ServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let pairs = all_pairs();
+    let remote = client.query_batch(&pairs).expect("batch");
+    for (i, r) in remote.into_iter().enumerate() {
+        let wire = r.unwrap_or_else(|f| panic!("pair {i} faulted: {f}"));
+        let local = server
+            .engine()
+            .query(pairs[i].0, pairs[i].1)
+            .expect("embedded query");
+        let got = wire.into_predicted();
+        assert_eq!(got.fwd_clusters, local.fwd_clusters);
+        assert_eq!(got.rev_clusters, local.rev_clusters);
+        assert_eq!(got.fwd_as_path, local.fwd_as_path);
+        assert_eq!(got.rev_as_path, local.rev_as_path);
+        assert!((got.rtt.ms() - local.rtt.ms()).abs() < 1e-12);
+        assert!((got.loss.rate() - local.loss.rate()).abs() < 1e-12);
+    }
+
+    // Resolve agrees with the engine's resolution.
+    let r = client.resolve(ring_ip(3)).expect("resolve");
+    let local = server
+        .engine()
+        .generation()
+        .predictor
+        .resolve(ring_ip(3))
+        .unwrap();
+    assert_eq!(r.into_resolution(), local);
+
+    // Stats flow over the wire and reflect the served load.
+    let stats = client.stats().expect("stats");
+    assert!(stats.queries >= pairs.len() as u64);
+    assert_eq!(stats.epoch, 0);
+    assert_eq!(stats.day, 0);
+    assert_eq!(client.epoch().expect("epoch"), (0, 0));
+}
+
+#[test]
+fn per_pair_failures_are_typed_not_batch_fatal() {
+    let server = ring_server(ServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    // An address outside every ring prefix fails its pair only.
+    let unroutable = Ipv4(0xf000_0001);
+    let results = client
+        .query_batch(&[
+            (ring_ip(0), ring_ip(1)),
+            (ring_ip(0), unroutable),
+            (ring_ip(1), ring_ip(2)),
+        ])
+        .expect("batch itself succeeds");
+    assert!(results[0].is_ok());
+    assert_eq!(
+        results[1].as_ref().unwrap_err().code,
+        ErrorCode::UnroutableAddress
+    );
+    assert!(results[2].is_ok());
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order_with_matching_ids() {
+    let server = ring_server(ServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let pairs = all_pairs();
+    let chunks: Vec<&[(Ipv4, Ipv4)]> = pairs.chunks(7).collect();
+    let ids: Vec<u64> = chunks
+        .iter()
+        .map(|c| client.submit_batch(c).expect("submit"))
+        .collect();
+    for (k, &id) in ids.iter().enumerate() {
+        let (got_id, frame) = client.recv().expect("reply");
+        assert_eq!(got_id, id, "replies arrive in request order");
+        match frame {
+            Frame::PathBatch { results } => {
+                assert_eq!(results.len(), chunks[k].len());
+                assert!(results.iter().all(|r| r.is_ok()));
+            }
+            other => panic!("want PathBatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_gets_a_typed_error_then_close() {
+    let server = ring_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    let reply = read_frame(&mut raw, &Limits::default())
+        .expect("server answers before closing")
+        .expect("one frame");
+    match reply.1 {
+        Frame::Error { fault } => assert_eq!(fault.code, ErrorCode::BadMagic),
+        other => panic!("want error frame, got {other:?}"),
+    }
+    // ... and then the connection is closed on the server's side.
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty());
+}
+
+#[test]
+fn bad_version_gets_a_typed_error_then_close() {
+    let server = ring_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut bytes = Frame::Ping.encode(1);
+    bytes[4] = VERSION + 9;
+    raw.write_all(&bytes).expect("write");
+    let (_, reply) = read_frame(&mut raw, &Limits::default())
+        .expect("answered")
+        .expect("one frame");
+    match reply {
+        Frame::Error { fault } => assert_eq!(fault.code, ErrorCode::BadVersion),
+        other => panic!("want error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_declared_frame_is_refused_without_reading_it() {
+    let limits = Limits {
+        max_frame_bytes: 1024,
+        max_batch: 64,
+    };
+    let server = ring_server(ServerConfig {
+        max_conns: 4,
+        limits,
+    });
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    // A header declaring a 16MB payload we never send: the server must
+    // answer from the header alone instead of trying to buffer it.
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC.to_be_bytes());
+    header.push(VERSION);
+    header.push(0x02); // QueryBatch
+    header.extend_from_slice(&77u64.to_be_bytes());
+    header.extend_from_slice(&(16u32 << 20).to_be_bytes());
+    assert_eq!(header.len(), HEADER_BYTES);
+    raw.write_all(&header).expect("write");
+    let (_, reply) = read_frame(&mut raw, &Limits::default())
+        .expect("answered")
+        .expect("one frame");
+    match reply {
+        Frame::Error { fault } => assert_eq!(fault.code, ErrorCode::FrameTooLarge),
+        other => panic!("want error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn over_limit_batch_faults_but_the_connection_survives() {
+    let limits = Limits {
+        max_frame_bytes: 1 << 20,
+        max_batch: 8,
+    };
+    let server = ring_server(ServerConfig {
+        max_conns: 4,
+        limits,
+    });
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let too_many = vec![(ring_ip(0), ring_ip(1)); 9];
+    match client.query_batch(&too_many) {
+        Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::BatchTooLarge),
+        other => panic!("want typed remote fault, got {other:?}"),
+    }
+    // Same connection, pipelining intact: the next request works.
+    client.ping().expect("connection survives a batch fault");
+    let ok = client
+        .query_batch(&[(ring_ip(0), ring_ip(1))])
+        .expect("small batch");
+    assert!(ok[0].is_ok());
+    assert!(server.counters().faults >= 1);
+}
+
+#[test]
+fn reply_direction_frames_are_rejected_as_requests() {
+    let server = ring_server(ServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    match client.call(&Frame::Pong) {
+        Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::UnexpectedFrame),
+        other => panic!("want typed remote fault, got {other:?}"),
+    }
+    client.ping().expect("connection survives");
+}
+
+#[test]
+fn admission_gate_refuses_with_overloaded() {
+    let server = ring_server(ServerConfig {
+        max_conns: 2,
+        limits: Limits::default(),
+    });
+    let mut a = NetClient::connect(server.local_addr()).expect("first");
+    let mut b = NetClient::connect(server.local_addr()).expect("second");
+    a.ping().expect("first served");
+    b.ping().expect("second served");
+
+    // The third connection must be answered with Overloaded and closed.
+    let mut raw = TcpStream::connect(server.local_addr()).expect("third connects at TCP level");
+    let (_, reply) = read_frame(&mut raw, &Limits::default())
+        .expect("gate answers")
+        .expect("one frame");
+    match reply {
+        Frame::Error { fault } => assert_eq!(fault.code, ErrorCode::Overloaded),
+        other => panic!("want error frame, got {other:?}"),
+    }
+    assert_eq!(server.counters().rejected, 1);
+
+    // The same refusal is observable through NetClient as a typed
+    // frame (request id 0), so callers can implement backoff on the
+    // code. recv() rather than ping(): the gate closes right after
+    // writing, and a request racing the close could die to an RST
+    // before the refusal is read.
+    let mut refused = NetClient::connect(server.local_addr()).expect("TCP connect succeeds");
+    match refused.recv() {
+        Ok((0, Frame::Error { fault })) => assert_eq!(fault.code, ErrorCode::Overloaded),
+        other => panic!("want typed Overloaded through NetClient, got {other:?}"),
+    }
+
+    // Dropping one admitted client frees a slot.
+    drop(a);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut admitted = None;
+    while std::time::Instant::now() < deadline {
+        let mut c = match NetClient::connect(server.local_addr()) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if c.ping().is_ok() {
+            admitted = Some(c);
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    admitted.expect("slot frees after a client disconnects");
+    b.ping().expect("existing client unaffected");
+}
+
+#[test]
+fn swap_under_remote_load_is_lossless_and_bumps_the_epoch() {
+    let server = Arc::new(ring_server(ServerConfig::default()));
+    let far = RING / 2;
+
+    {
+        let mut probe = NetClient::connect(server.local_addr()).expect("connect");
+        assert_eq!(probe.epoch().expect("epoch"), (0, 0));
+        let before = probe
+            .query_batch(&[(ring_ip(0), ring_ip(far))])
+            .expect("pre-swap query")[0]
+            .clone()
+            .expect("routable");
+        assert_eq!(
+            before.fwd_clusters.len(),
+            far as usize + 1,
+            "pre-swap: the long way around"
+        );
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..3)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut client = NetClient::connect(server.local_addr()).expect("connect");
+                let pairs = all_pairs();
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for r in client.query_batch(&pairs).expect("batch keeps working") {
+                        r.expect("no pair may fail across the swap");
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(30));
+    let day = server
+        .engine()
+        .apply_delta(&ring_shortcut_delta(RING, 0))
+        .expect("delta applies");
+    assert_eq!(day, 1);
+    thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(served > 0);
+
+    // Remote clients see the new generation: epoch bumped, and the
+    // day-1 shortcut is the served route.
+    let mut probe = NetClient::connect(server.local_addr()).expect("connect");
+    assert_eq!(probe.epoch().expect("epoch"), (1, 1));
+    let after = probe
+        .query_batch(&[(ring_ip(0), ring_ip(far))])
+        .expect("post-swap query")[0]
+        .clone()
+        .expect("routable");
+    assert_eq!(after.fwd_clusters.len(), 2, "post-swap: the shortcut");
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn call_surfaces_connection_level_faults_as_typed_remote_errors() {
+    use inano_net::WireFault;
+    use std::net::TcpListener;
+    // A fake server that answers any request with a connection-level
+    // fault: an Error frame carrying request id 0, the way NetServer
+    // answers fatal framing errors and admission refusals.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let fake = thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Consume the request fully so the later close is a clean FIN.
+        read_frame(&mut &stream, &Limits::default())
+            .expect("request decodes")
+            .expect("one frame");
+        let frame = Frame::Error {
+            fault: WireFault::new(ErrorCode::ShuttingDown, "going away"),
+        };
+        stream.write_all(&frame.encode(0)).expect("write fault");
+    });
+    let mut client = NetClient::connect(addr).expect("connect");
+    match client.ping() {
+        Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::ShuttingDown),
+        other => panic!("want typed remote fault, got {other:?}"),
+    }
+    fake.join().unwrap();
+}
+
+#[test]
+fn server_shutdown_is_clean_and_idempotent() {
+    let server = ring_server(ServerConfig::default());
+    let addr = server.local_addr();
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.ping().expect("served");
+    server.shutdown();
+    server.shutdown(); // idempotent
+                       // The old connection is gone...
+    assert!(client.ping().is_err());
+    // ...and nobody listens anymore (a refused connect or an
+    // immediately-dead socket are both acceptable outcomes).
+    if let Ok(mut c) = NetClient::connect(addr) {
+        assert!(c.ping().is_err());
+    }
+}

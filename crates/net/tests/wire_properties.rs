@@ -1,0 +1,211 @@
+//! Property tests for the wire codec: encode → decode is the identity
+//! for every frame type (request id included), error frames round-trip
+//! every defined code, and the limit edges behave exactly at the
+//! boundary — a batch of `max_batch` pairs decodes, `max_batch + 1`
+//! is a typed per-frame error, a payload of `max_frame_bytes` decodes,
+//! one byte more is fatal.
+
+use inano_model::{ErrorCode, Ipv4};
+use inano_net::wire::{read_frame, Frame, Limits, ReadError, HEADER_BYTES};
+use inano_net::{WireFault, WirePath, WireResolution, WireStats};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_fault()(
+        code_idx in 0usize..ErrorCode::ALL.len(),
+        message in proptest::collection::vec(32u8..127, 0..80),
+    ) -> WireFault {
+        WireFault::new(
+            ErrorCode::ALL[code_idx],
+            String::from_utf8(message).expect("printable ASCII"),
+        )
+    }
+}
+
+prop_compose! {
+    fn arb_path()(
+        fwd_clusters in proptest::collection::vec(any::<u32>(), 0..12),
+        rev_clusters in proptest::collection::vec(any::<u32>(), 0..12),
+        fwd_as in proptest::collection::vec(any::<u32>(), 0..8),
+        rev_as in proptest::collection::vec(any::<u32>(), 0..8),
+        rtt_ms in 0.0f64..1e4,
+        loss in 0.0f64..1.0,
+    ) -> WirePath {
+        WirePath { fwd_clusters, rev_clusters, fwd_as, rev_as, rtt_ms, loss }
+    }
+}
+
+prop_compose! {
+    fn arb_resolution()(
+        prefix in any::<u32>(),
+        cluster in any::<u32>(),
+        origin_as in proptest::option::of(any::<u32>()),
+        cluster_as in proptest::option::of(any::<u32>()),
+        refined_providers in any::<bool>(),
+    ) -> WireResolution {
+        WireResolution { prefix, cluster, origin_as, cluster_as, refined_providers }
+    }
+}
+
+prop_compose! {
+    fn arb_stats()(
+        queries in any::<u64>(),
+        errors in any::<u64>(),
+        qps in 0.0f64..1e9,
+        p50_us in any::<u64>(),
+        p99_us in any::<u64>(),
+        cache_hits in any::<u64>(),
+        cache_misses in any::<u64>(),
+        cache_evictions in any::<u64>(),
+        cache_hit_rate in 0.0f64..1.0,
+        swaps in any::<u64>(),
+        epoch in any::<u64>(),
+        day in any::<u32>(),
+        workers in any::<u32>(),
+    ) -> WireStats {
+        WireStats {
+            queries, errors, qps, p50_us, p99_us, cache_hits, cache_misses,
+            cache_evictions, cache_hit_rate, swaps, epoch, day, workers,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_result()(
+        is_ok in any::<bool>(),
+        path in arb_path(),
+        fault in arb_fault(),
+    ) -> Result<WirePath, WireFault> {
+        if is_ok { Ok(path) } else { Err(fault) }
+    }
+}
+
+// One strategy per frame type, selected by index so every variant is
+// exercised (the stand-in proptest has no `prop_oneof!`).
+prop_compose! {
+    fn arb_frame()(
+        variant in 0usize..11,
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+        results in proptest::collection::vec(arb_result(), 0..20),
+        ip in any::<u32>(),
+        resolution in arb_resolution(),
+        stats in arb_stats(),
+        epoch in any::<u64>(),
+        day in any::<u32>(),
+        fault in arb_fault(),
+    ) -> Frame {
+        match variant {
+            0 => Frame::Ping,
+            1 => Frame::Pong,
+            2 => Frame::QueryBatch {
+                pairs: pairs.into_iter().map(|(s, d)| (Ipv4(s), Ipv4(d))).collect(),
+            },
+            3 => Frame::PathBatch { results },
+            4 => Frame::Resolve { ip: Ipv4(ip) },
+            5 => Frame::ResolveReply { resolution },
+            6 => Frame::Stats,
+            7 => Frame::StatsReply { stats },
+            8 => Frame::Epoch,
+            9 => Frame::EpochReply { epoch, day },
+            _ => Frame::Error { fault },
+        }
+    }
+}
+
+fn decode(bytes: &[u8], limits: &Limits) -> Result<Option<(u64, Frame)>, ReadError> {
+    read_frame(&mut &bytes[..], limits)
+}
+
+proptest! {
+    #[test]
+    fn every_frame_type_round_trips(frame in arb_frame(), id in any::<u64>()) {
+        let bytes = frame.encode(id);
+        let (got_id, got) = decode(&bytes, &Limits::default())
+            .expect("well-formed frame decodes")
+            .expect("not EOF");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn error_frames_round_trip_every_code(fault in arb_fault(), id in any::<u64>()) {
+        let frame = Frame::Error { fault };
+        let bytes = frame.encode(id);
+        let (got_id, got) = decode(&bytes, &Limits::default()).unwrap().unwrap();
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn batch_limit_edge_is_exact(spare in 0u32..4) {
+        // Small limit so the test is cheap; the check is on the count,
+        // not the byte size.
+        let limits = Limits { max_frame_bytes: 1 << 20, max_batch: 64 + spare };
+        let at_limit = Frame::QueryBatch {
+            pairs: vec![(Ipv4(1), Ipv4(2)); limits.max_batch as usize],
+        };
+        let (_, got) = decode(&at_limit.encode(1), &limits)
+            .expect("at the limit decodes")
+            .unwrap();
+        prop_assert_eq!(got, at_limit);
+
+        let over = Frame::QueryBatch {
+            pairs: vec![(Ipv4(1), Ipv4(2)); limits.max_batch as usize + 1],
+        };
+        match decode(&over.encode(2), &limits) {
+            Err(ReadError::Frame { request_id, fault }) => {
+                prop_assert_eq!(request_id, 2);
+                prop_assert_eq!(fault.code, ErrorCode::BatchTooLarge);
+            }
+            other => prop_assert!(false, "want per-frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_size_limit_edge_is_exact(pad in 0u32..32) {
+        // An Error frame whose payload lands exactly on the limit.
+        let msg_len = 100 + pad as usize;
+        let frame = Frame::Error {
+            fault: WireFault::new(ErrorCode::NoPath, "x".repeat(msg_len)),
+        };
+        let bytes = frame.encode(5);
+        let payload_len = (bytes.len() - HEADER_BYTES) as u32;
+
+        let exact = Limits { max_frame_bytes: payload_len, max_batch: 16 };
+        let (_, got) = decode(&bytes, &exact).expect("exactly at the limit").unwrap();
+        prop_assert_eq!(got, frame);
+
+        let tight = Limits { max_frame_bytes: payload_len - 1, max_batch: 16 };
+        match decode(&bytes, &tight) {
+            Err(ReadError::Fatal(fault)) => {
+                prop_assert_eq!(fault.code, ErrorCode::FrameTooLarge);
+            }
+            other => prop_assert!(false, "want fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic(frame in arb_frame(), cut in 1usize..24) {
+        let bytes = frame.encode(9);
+        if bytes.len() > HEADER_BYTES {
+            let cut_at = HEADER_BYTES + (bytes.len() - HEADER_BYTES).saturating_sub(cut);
+            // Mid-frame EOF must surface as an io error, never a panic.
+            match decode(&bytes[..cut_at], &Limits::default()) {
+                Err(ReadError::Io(_)) | Ok(Some(_)) => {}
+                other => prop_assert!(false, "unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_bytes_never_panic(frame in arb_frame(), pos in 0usize..64, bit in 0u8..8) {
+        let mut bytes = frame.encode(3);
+        if bytes.len() > HEADER_BYTES {
+            let idx = HEADER_BYTES + pos % (bytes.len() - HEADER_BYTES);
+            bytes[idx] ^= 1 << bit;
+            // Any outcome is fine except a panic: the flip may still
+            // parse (a changed id), fail typed, or look truncated.
+            let _ = decode(&bytes, &Limits::default());
+        }
+    }
+}

@@ -9,6 +9,10 @@
 //! splits the batch into chunks, enqueues them, and reassembles replies
 //! in order; [`QueryEngine::query`] serves inline on the caller's
 //! thread, sharing the same cache and generation.
+//! [`QueryEngine::shutdown`] (also run on drop) closes the queue,
+//! drains it, and joins the pool; batches accepted before the call are
+//! fully answered and later ones serve inline, so no accepted query is
+//! lost.
 //!
 //! ## Hot swap
 //!
@@ -95,8 +99,12 @@ pub struct QueryEngine {
     cfg: ServiceConfig,
     /// Serialises swap *builders*; never blocks readers.
     swap_lock: Mutex<()>,
-    job_tx: Option<mpsc::Sender<Job>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    /// `None` once [`QueryEngine::shutdown`] has run; batch submission
+    /// takes the read lock just long enough to clone the sender.
+    job_tx: RwLock<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Configured pool size (stable across shutdown, for stats).
+    n_workers: usize,
 }
 
 impl QueryEngine {
@@ -149,8 +157,9 @@ impl QueryEngine {
             metrics,
             cfg,
             swap_lock: Mutex::new(()),
-            job_tx: Some(job_tx),
-            workers,
+            job_tx: RwLock::new(Some(job_tx)),
+            workers: Mutex::new(workers),
+            n_workers,
         }
     }
 
@@ -194,18 +203,21 @@ impl QueryEngine {
         if pairs.is_empty() {
             return Vec::new();
         }
-        // Small batches aren't worth a channel round-trip.
-        if pairs.len() <= self.cfg.chunk {
+        // Small batches aren't worth a channel round-trip; after
+        // shutdown every batch serves inline — accepted queries are
+        // still answered, just without the pool.
+        let tx = if pairs.len() <= self.cfg.chunk {
+            None
+        } else {
+            self.job_tx.read().clone()
+        };
+        let Some(tx) = tx else {
             let generation = self.generation();
             return pairs
                 .iter()
                 .map(|&(s, d)| serve_one(&generation, &self.cache, &self.metrics, s, d))
                 .collect();
-        }
-        let tx = self
-            .job_tx
-            .as_ref()
-            .expect("pool alive while engine exists");
+        };
         let (reply_tx, reply_rx) = mpsc::channel();
         let mut jobs = 0usize;
         for (i, chunk) in pairs.chunks(self.cfg.chunk).enumerate() {
@@ -214,10 +226,13 @@ impl QueryEngine {
                 offset: i * self.cfg.chunk,
                 reply: reply_tx.clone(),
             })
-            .expect("workers outlive the engine");
+            .expect("workers drain the queue before exiting");
             jobs += 1;
         }
         drop(reply_tx);
+        // Let a concurrent `shutdown` finish as soon as our jobs are
+        // queued: workers exit when every sender is gone.
+        drop(tx);
         let mut out: Vec<Option<Result<PredictedPath, ModelError>>> =
             (0..pairs.len()).map(|_| None).collect();
         for _ in 0..jobs {
@@ -275,6 +290,32 @@ impl QueryEngine {
         Ok(applied)
     }
 
+    /// Drain and stop the worker pool: every batch whose jobs were
+    /// accepted before this call is still fully answered (workers only
+    /// exit once the job queue is empty and closed), and every batch
+    /// submitted afterwards serves inline on its caller's thread — no
+    /// accepted query is ever lost. Idempotent; also run on drop.
+    ///
+    /// Blocks until in-flight batches have been answered and every
+    /// worker thread has been joined.
+    pub fn shutdown(&self) {
+        let tx = self.job_tx.write().take();
+        // Dropping the engine's sender closes the queue once in-flight
+        // batches drop their clones; workers drain what's left, then
+        // their `recv` errors and they exit.
+        drop(tx);
+        let mut workers = self.workers.lock();
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// True once [`QueryEngine::shutdown`] has run (queries still
+    /// work — they serve inline).
+    pub fn is_shut_down(&self) -> bool {
+        self.job_tx.read().is_none()
+    }
+
     /// Snapshot the engine's counters.
     pub fn stats(&self) -> ServiceStats {
         let (hits, misses, evictions, _inserts) = self.cache.counter_snapshot();
@@ -298,7 +339,7 @@ impl QueryEngine {
             swaps: self.metrics.swaps.load(Ordering::Relaxed),
             epoch: generation.epoch,
             day: generation.day(),
-            workers: self.workers.len(),
+            workers: self.n_workers,
         }
     }
 
@@ -310,11 +351,7 @@ impl QueryEngine {
 
 impl Drop for QueryEngine {
     fn drop(&mut self) {
-        // Close the queue; workers drain and exit.
-        self.job_tx = None;
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.shutdown();
     }
 }
 

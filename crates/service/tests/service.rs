@@ -231,6 +231,56 @@ fn hammering_queries_while_applying_deltas_never_errors() {
 }
 
 #[test]
+fn shutdown_under_load_loses_no_accepted_queries() {
+    let n = 12u32;
+    let engine = Arc::new(engine_over(ring_atlas(n, 0), 4));
+    let pairs: Vec<(Ipv4, Ipv4)> = (0..n)
+        .flat_map(|s| (0..n).filter(move |&d| d != s).map(move |d| (ip(s), ip(d))))
+        .collect();
+
+    // Hammer from several threads; partway through, the engine shuts
+    // its pool down underneath them. Every accepted batch must still
+    // come back complete and correct (post-shutdown batches serve
+    // inline), so the totals must match exactly.
+    let rounds = 30usize;
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let pairs = pairs.clone();
+            thread::spawn(move || {
+                let mut ok = 0u64;
+                for _ in 0..rounds {
+                    let results = engine.query_batch(&pairs);
+                    assert_eq!(results.len(), pairs.len(), "batches never come back short");
+                    ok += results.iter().filter(|r| r.is_ok()).count() as u64;
+                }
+                ok
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(10));
+    engine.shutdown();
+    assert!(engine.is_shut_down());
+
+    let ok: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    let expected = 4 * rounds as u64 * pairs.len() as u64;
+    assert_eq!(ok, expected, "every accepted query answered, none lost");
+
+    // The engine still serves (inline) after shutdown, and shutdown
+    // stays idempotent.
+    engine.shutdown();
+    engine
+        .query(ip(0), ip(3))
+        .expect("inline serving still works");
+    let batch = engine.query_batch(&pairs);
+    assert!(batch.iter().all(|r| r.is_ok()));
+    let stats = engine.stats();
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.workers, 4, "stats report the configured pool size");
+}
+
+#[test]
 fn serves_and_updates_through_the_swarm() {
     use inano_core::AtlasSource;
     use inano_swarm::{SwarmConfig, SwarmSource};
@@ -263,7 +313,8 @@ fn serves_and_updates_through_the_swarm() {
     assert_eq!(engine.day(), 1);
     assert_eq!(engine.epoch(), 1);
     // Both the full fetch and the delta fetch went through the swarm.
-    assert_eq!(source.downloads.len(), 2);
+    assert_eq!(source.downloads().len(), 2);
+    assert_eq!(source.total_fetches(), 2);
     assert!(source.fetch_delta(1).unwrap().is_none());
     let r = engine.query(ip(0), ip(4)).expect("routable at day 1");
     assert_eq!(r.fwd_clusters.len(), 2, "served from the day-1 atlas");

@@ -14,4 +14,4 @@ pub mod sim;
 pub mod source;
 
 pub use sim::{simulate_swarm, SwarmConfig, SwarmReport};
-pub use source::SwarmSource;
+pub use source::{SwarmSource, DOWNLOAD_LOG_CAP};

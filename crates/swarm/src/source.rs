@@ -6,6 +6,13 @@ use crate::sim::{simulate_swarm, SwarmConfig, SwarmReport};
 use inano_atlas::{codec, Atlas, AtlasDelta};
 use inano_core::AtlasSource;
 use inano_model::ModelError;
+use std::collections::VecDeque;
+
+/// Most recent download reports retained by a [`SwarmSource`]. A
+/// long-lived engine fetches a delta per day forever; an unbounded log
+/// is a slow leak, so older reports are dropped once consumers had
+/// [`SwarmSource::take_downloads`] available to drain them.
+pub const DOWNLOAD_LOG_CAP: usize = 64;
 
 /// Serves a full atlas plus a chain of daily deltas, simulating a swarm
 /// download for each fetch.
@@ -13,8 +20,10 @@ pub struct SwarmSource {
     full: Vec<u8>,
     deltas: Vec<Vec<u8>>,
     swarm: SwarmConfig,
-    /// Reports of every simulated download, in fetch order.
-    pub downloads: Vec<SwarmReport>,
+    /// Reports of the most recent downloads, in fetch order, capped at
+    /// [`DOWNLOAD_LOG_CAP`].
+    downloads: VecDeque<SwarmReport>,
+    fetches: u64,
 }
 
 impl SwarmSource {
@@ -31,7 +40,8 @@ impl SwarmSource {
             full,
             deltas,
             swarm,
-            downloads: Vec::new(),
+            downloads: VecDeque::new(),
+            fetches: 0,
         }
     }
 
@@ -44,12 +54,35 @@ impl SwarmSource {
             chunk_bytes: (bytes as f64 / 8.0).clamp(4.0e3, self.swarm.chunk_bytes),
             ..self.swarm.clone()
         };
-        self.downloads.push(simulate_swarm(&cfg));
+        self.fetches += 1;
+        if self.downloads.len() == DOWNLOAD_LOG_CAP {
+            self.downloads.pop_front();
+        }
+        self.downloads.push_back(simulate_swarm(&cfg));
+    }
+
+    /// The retained download reports, oldest first (at most
+    /// [`DOWNLOAD_LOG_CAP`]; see [`SwarmSource::total_fetches`] for the
+    /// uncapped count).
+    pub fn downloads(&self) -> &VecDeque<SwarmReport> {
+        &self.downloads
+    }
+
+    /// Drain the retained reports (oldest first), leaving the buffer
+    /// empty — the polling pattern for a long-lived updater that wants
+    /// every report without the source holding them forever.
+    pub fn take_downloads(&mut self) -> Vec<SwarmReport> {
+        self.downloads.drain(..).collect()
+    }
+
+    /// Fetches served over this source's lifetime (never capped).
+    pub fn total_fetches(&self) -> u64 {
+        self.fetches
     }
 
     /// Completion time of the most recent fetch, seconds.
     pub fn last_fetch_secs(&self) -> Option<f64> {
-        self.downloads.last().map(|r| r.median_completion())
+        self.downloads.back().map(|r| r.median_completion())
     }
 }
 
@@ -120,12 +153,39 @@ mod tests {
         );
         let full = src.fetch_full().unwrap();
         assert!(!full.is_empty());
-        assert_eq!(src.downloads.len(), 1);
+        assert_eq!(src.downloads().len(), 1);
         let delta = src.fetch_delta(0).unwrap();
         assert!(delta.is_some());
-        assert_eq!(src.downloads.len(), 2);
+        assert_eq!(src.downloads().len(), 2);
         // The delta is smaller, so it downloads faster.
-        assert!(src.downloads[1].makespan <= src.downloads[0].makespan);
+        assert!(src.downloads()[1].makespan <= src.downloads()[0].makespan);
         assert!(src.fetch_delta(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn download_log_is_bounded_and_drainable() {
+        let d0 = atlas(0, false);
+        let mut src = SwarmSource::new(
+            &d0,
+            &[],
+            SwarmConfig {
+                n_peers: 4,
+                ..SwarmConfig::default()
+            },
+        );
+        for _ in 0..(DOWNLOAD_LOG_CAP + 40) {
+            src.fetch_full().unwrap();
+        }
+        assert_eq!(src.downloads().len(), DOWNLOAD_LOG_CAP);
+        assert_eq!(src.total_fetches(), (DOWNLOAD_LOG_CAP + 40) as u64);
+        assert!(src.last_fetch_secs().is_some());
+        let drained = src.take_downloads();
+        assert_eq!(drained.len(), DOWNLOAD_LOG_CAP);
+        assert!(src.downloads().is_empty());
+        assert_eq!(src.last_fetch_secs(), None);
+        // The counter survives the drain; the buffer refills.
+        src.fetch_full().unwrap();
+        assert_eq!(src.downloads().len(), 1);
+        assert_eq!(src.total_fetches(), (DOWNLOAD_LOG_CAP + 41) as u64);
     }
 }

@@ -44,7 +44,7 @@ fn main() {
         "applied {applied} daily deltas; now at day {}",
         client.day()
     );
-    for (i, dl) in source.downloads.iter().enumerate().skip(1) {
+    for (i, dl) in source.take_downloads().iter().enumerate().skip(1) {
         println!(
             "  delta {}: swarm median download {:.0}s, seed uploaded {:.2} MB",
             i,

@@ -1,0 +1,85 @@
+//! The network front end end to end: start a `NetServer` over a demo
+//! ring world on an ephemeral loopback port, talk to it with
+//! `NetClient` — ping, a query batch, a resolution, epoch metadata —
+//! then land a daily delta on the live engine and watch remote clients
+//! see the new epoch.
+//!
+//! Run with: `cargo run --release --example net_quickstart`
+//!
+//! (For a long-lived server use the `inano-serve` binary; this example
+//! is the same stack in one process.)
+
+use inano::net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
+use inano::net::{NetClient, NetServer, ServerConfig};
+use inano::service::{QueryEngine, ServiceConfig};
+use std::sync::Arc;
+
+fn main() {
+    let ring = 16u32;
+    let engine = Arc::new(QueryEngine::new(
+        Arc::new(ring_atlas(ring, 0)),
+        ServiceConfig {
+            predictor: ring_predictor_config(),
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+        .expect("bind an ephemeral loopback port");
+    println!("server on {}", server.local_addr());
+
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    let (epoch, day) = client.epoch().expect("epoch");
+    println!("connected; serving epoch {epoch}, day {day}");
+
+    let far = ring / 2;
+    let pairs = [(ring_ip(0), ring_ip(far)), (ring_ip(3), ring_ip(11))];
+    for (i, result) in client
+        .query_batch(&pairs)
+        .expect("batch")
+        .into_iter()
+        .enumerate()
+    {
+        let path = result.expect("ring pairs are routable").into_predicted();
+        println!(
+            "  {:?} -> {:?}: {} cluster hops, rtt {:.2} ms",
+            pairs[i].0,
+            pairs[i].1,
+            path.fwd_clusters.len(),
+            path.rtt.ms()
+        );
+    }
+    let resolution = client.resolve(ring_ip(far)).expect("resolve");
+    println!(
+        "resolve({:?}): prefix pfx{}, cluster cl{}",
+        ring_ip(far),
+        resolution.prefix,
+        resolution.cluster
+    );
+
+    // A daily delta lands on the live engine; remote queries never
+    // stop, and the next batch is served from the new generation.
+    engine
+        .apply_delta(&ring_shortcut_delta(ring, 0))
+        .expect("delta applies");
+    let (epoch, day) = client.epoch().expect("epoch");
+    let after = client.query_batch(&pairs[..1]).expect("batch")[0]
+        .clone()
+        .expect("still routable")
+        .into_predicted();
+    println!(
+        "after the swap: epoch {epoch}, day {day}; {:?} -> {:?} is now {} hops (the new shortcut)",
+        pairs[0].0,
+        pairs[0].1,
+        after.fwd_clusters.len()
+    );
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "server served {} queries, cache hit rate {:.2}",
+        stats.queries, stats.cache_hit_rate
+    );
+    server.shutdown();
+    engine.shutdown();
+    println!("clean shutdown");
+}

@@ -22,6 +22,7 @@
 //! | [`apps`] | CDN, VoIP and detour-routing case studies |
 //! | [`swarm`] | atlas dissemination swarm simulation |
 //! | [`service`] | concurrent, hot-swappable query engine over [`core`] |
+//! | [`net`] | wire protocol, TCP server (`inano-serve`) and client over [`service`] |
 //!
 //! Start with `examples/quickstart.rs`; DESIGN.md documents the
 //! architecture and every substitution made for the paper's
@@ -34,6 +35,7 @@ pub use inano_coords as coords;
 pub use inano_core as core;
 pub use inano_measure as measure;
 pub use inano_model as model;
+pub use inano_net as net;
 pub use inano_paths as paths;
 pub use inano_routing as routing;
 pub use inano_service as service;
