@@ -5,23 +5,27 @@
 //! Two modes:
 //!
 //! * **in-process** (default): builds a scenario atlas, starts a
-//!   `NetServer` on an ephemeral loopback port, drives it from
-//!   `--clients` threads, and lands the day-1 delta on the live engine
-//!   once half the load has been issued — so the reported qps includes
-//!   a hot swap under full remote load, and the run asserts that the
-//!   post-swap epoch is visible over the wire.
+//!   `NetServer` over `--shards N` independent shards (all serving the
+//!   scenario's day-0 atlas) on an ephemeral loopback port, drives it
+//!   from `--clients` threads round-robined across the shards, and
+//!   lands the day-1 delta on *shard 0 only* once half the load has
+//!   been issued — so the reported qps includes a hot swap under full
+//!   remote load, and the run asserts both that the post-swap epoch is
+//!   visible over the wire and that no other shard's epoch moved.
 //! * **`--connect ADDR`**: drives an external server started
-//!   separately (e.g. `inano-serve --ring 64`); `--ring N` tells the
-//!   loadgen the remote ring's size so it can generate routable pairs.
-//!   No swap is asserted (the loadgen does not own the remote engine).
+//!   separately (e.g. `inano-serve --ring 64 --ring 64`); `--ring N`
+//!   tells the loadgen the remote rings' size so it can generate
+//!   routable pairs, and `--shards` how many ring shards to spread the
+//!   clients over (each shard's epoch is probed before the run). No
+//!   swap is asserted (the loadgen does not own the remote engines).
 //!
 //! Latency percentiles are client-observed *request* (batch)
 //! round-trip times; `batch` and `depth` in the JSON record say how
 //! much work one request carries and how many were kept in flight.
 //!
 //! Usage: `net_throughput [--queries N] [--clients C] [--batch B]
-//!         [--depth D] [--workers W] [--scale test|experiment]
-//!         [--connect ADDR] [--ring N]`
+//!         [--depth D] [--workers W] [--shards S]
+//!         [--scale test|experiment] [--connect ADDR] [--ring N]`
 
 use inano_atlas::AtlasDelta;
 use inano_bench::{Scenario, ScenarioConfig};
@@ -31,7 +35,7 @@ use inano_model::Ipv4;
 use inano_net::cli::arg;
 use inano_net::demo::ring_ip;
 use inano_net::{Frame, NetClient, NetServer, ServerConfig};
-use inano_service::{QueryEngine, ServiceConfig};
+use inano_service::{RegistryConfig, ServiceConfig, ShardId, ShardRegistry, ShardSpec};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -107,6 +111,10 @@ fn ring_pairs(ring: u32, n: usize) -> Vec<(Ipv4, Ipv4)> {
 struct ClientTally {
     served: u64,
     faults: u64,
+    /// Whole requests refused by the server's per-connection
+    /// in-flight cap (typed `Overloaded`) — possible whenever
+    /// `--depth` exceeds the server's `max_inflight`.
+    rejected: u64,
     /// Per-request (batch) round-trip times, microseconds.
     request_us: Vec<u64>,
 }
@@ -115,6 +123,7 @@ struct ClientTally {
 /// next on every receive.
 fn drive(
     addr: std::net::SocketAddr,
+    shard: ShardId,
     pairs: &[(Ipv4, Ipv4)],
     batch: usize,
     depth: usize,
@@ -125,6 +134,7 @@ fn drive(
     let mut tally = ClientTally {
         served: 0,
         faults: 0,
+        rejected: 0,
         request_us: Vec::with_capacity(chunks.len()),
     };
     let mut in_flight: std::collections::VecDeque<(u64, usize, Instant)> =
@@ -132,7 +142,9 @@ fn drive(
     let mut next = 0usize;
     while next < chunks.len() || !in_flight.is_empty() {
         while next < chunks.len() && in_flight.len() < depth {
-            let id = client.submit_batch(chunks[next]).expect("submit batch");
+            let id = client
+                .submit_batch_on(shard, chunks[next])
+                .expect("submit batch");
             issued_total.fetch_add(chunks[next].len() as u64, Ordering::Relaxed);
             in_flight.push_back((id, next, Instant::now()));
             next += 1;
@@ -140,9 +152,12 @@ fn drive(
         let (got_id, frame) = client.recv().expect("receive reply");
         let (want_id, chunk_idx, t0) = in_flight.pop_front().expect("a reply implies a request");
         assert_eq!(got_id, want_id, "pipelined replies arrive in order");
-        tally.request_us.push(t0.elapsed().as_micros() as u64);
         match frame {
             Frame::PathBatch { results } => {
+                // Only genuinely served requests enter the latency
+                // percentiles; an instant Overloaded rejection did no
+                // engine work and would skew them low.
+                tally.request_us.push(t0.elapsed().as_micros() as u64);
                 assert_eq!(results.len(), chunks[chunk_idx].len());
                 for (k, r) in results.into_iter().enumerate() {
                     match r {
@@ -156,6 +171,12 @@ fn drive(
                         }
                     }
                 }
+            }
+            // The server's in-flight cap answers excess pipelined
+            // requests with a typed rejection; count it, don't die —
+            // the loadgen may legitimately be configured to outrun it.
+            Frame::Error { fault } if fault.code == inano_model::ErrorCode::Overloaded => {
+                tally.rejected += 1;
             }
             Frame::Error { fault } => panic!("batch-level fault: {fault}"),
             other => panic!("unexpected reply {other:?}"),
@@ -178,10 +199,15 @@ fn main() {
     let batch: usize = arg("--batch", 512);
     let depth: usize = arg("--depth", 4);
     let workers: usize = arg("--workers", 0); // 0 = ServiceConfig default
+    let shards: usize = arg("--shards", 1);
     let scale: String = arg("--scale", "test".to_string());
     let connect: String = arg("--connect", String::new());
     let ring: u32 = arg("--ring", 64);
     assert!(clients >= 1 && batch >= 1 && depth >= 1);
+    assert!(
+        (1..=u16::MAX as usize).contains(&shards),
+        "--shards must be 1..=65535"
+    );
 
     // An owned server (in-process mode) plus the delta to land on it
     // mid-run; --connect mode drives a remote instead.
@@ -201,24 +227,47 @@ fn main() {
         delta = Some(d);
         let pairs = scenario_pairs(&sc, &atlas1_applied, n_queries);
 
-        let mut cfg = ServiceConfig {
-            predictor: PredictorConfig::full(),
-            ..ServiceConfig::default()
+        // Every shard serves the scenario's day-0 atlas, sized by the
+        // registry's own budget split — so a `--shards N` run measures
+        // exactly the configuration a real N-shard inano-serve would
+        // deploy (workers *and* cache divided, not just workers).
+        let mut total_workers = if workers > 0 {
+            workers
+        } else {
+            ServiceConfig::default().workers
         };
-        if workers > 0 {
-            cfg.workers = workers;
-        }
-        cfg.workers = cfg.workers.max(4);
-        let engine = Arc::new(QueryEngine::new(Arc::new(sc.atlas.clone()), cfg));
-        let srv = NetServer::bind("127.0.0.1:0", engine, ServerConfig::default())
+        total_workers = total_workers.max(4);
+        let atlas0 = Arc::new(sc.atlas.clone());
+        let specs = (0..shards)
+            .map(|s| ShardSpec {
+                id: ShardId(s as u16),
+                atlas: Arc::clone(&atlas0),
+                predictor: PredictorConfig::full(),
+            })
+            .collect();
+        let reg_cfg = RegistryConfig {
+            total_workers,
+            ..RegistryConfig::default()
+        };
+        let registry =
+            Arc::new(ShardRegistry::build(specs, reg_cfg).expect("build shard registry"));
+        let srv = NetServer::bind("127.0.0.1:0", registry, ServerConfig::default())
             .expect("bind loopback server");
         let addr = srv.local_addr();
-        eprintln!("in-process server on {addr}");
+        eprintln!("in-process server on {addr} ({shards} shard(s))");
         server = Some(srv);
         (addr, pairs)
     } else {
         let addr = connect.parse().expect("--connect ADDR must be ip:port");
-        eprintln!("driving external server {addr} (ring {ring})");
+        eprintln!("driving external server {addr} (ring {ring}, {shards} shard(s))");
+        // Every requested shard must exist and answer epoch before the
+        // clocks start; a missing shard fails here, not mid-run.
+        let mut probe = NetClient::connect(addr).expect("probe connect");
+        for s in 0..shards {
+            probe
+                .epoch_on(ShardId(s as u16))
+                .unwrap_or_else(|e| panic!("shard {s} not served at {addr}: {e}"));
+        }
         (addr, ring_pairs(ring, n_queries))
     };
 
@@ -235,11 +284,12 @@ fn main() {
         .collect();
     let issued_total = Arc::new(AtomicU64::new(0));
 
-    // In-process: land the day-1 delta once half the load is issued,
-    // from its own thread, so the swap genuinely overlaps remote
-    // batches in flight.
+    // In-process: land the day-1 delta on shard 0 only once half the
+    // load is issued, from its own thread, so the swap genuinely
+    // overlaps remote batches in flight — on the swapped shard and on
+    // every shard that must *not* notice.
     let swap_thread = server.as_ref().map(|srv| {
-        let engine = Arc::clone(srv.engine());
+        let registry = Arc::clone(srv.registry());
         let delta = delta.take().expect("in-process mode built a delta");
         let issued = Arc::clone(&issued_total);
         let trigger = (n_queries / 2) as u64;
@@ -248,9 +298,11 @@ fn main() {
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
             let t0 = Instant::now();
-            let day = engine.apply_delta(&delta).expect("delta applies");
+            let day = registry
+                .apply_delta(ShardId(0), &delta)
+                .expect("delta applies");
             eprintln!(
-                "hot swap to day {day} in {:.1} ms, {} queries issued",
+                "hot swap of shard 0 to day {day} in {:.1} ms, {} queries issued",
                 t0.elapsed().as_secs_f64() * 1e3,
                 issued.load(Ordering::Relaxed),
             );
@@ -261,9 +313,11 @@ fn main() {
     let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = shares
             .iter()
-            .map(|share| {
+            .enumerate()
+            .map(|(c, share)| {
                 let issued_total = Arc::clone(&issued_total);
-                scope.spawn(move || drive(addr, share, batch, depth, &issued_total))
+                let shard = ShardId((c % shards) as u16);
+                scope.spawn(move || drive(addr, shard, share, batch, depth, &issued_total))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -275,6 +329,7 @@ fn main() {
 
     let served: u64 = tallies.iter().map(|t| t.served).sum();
     let faults: u64 = tallies.iter().map(|t| t.faults).sum();
+    let rejected: u64 = tallies.iter().map(|t| t.rejected).sum();
     let mut request_us: Vec<u64> = tallies.iter().flat_map(|t| t.request_us.clone()).collect();
     request_us.sort_unstable();
     let qps = (served + faults) as f64 / elapsed;
@@ -285,25 +340,42 @@ fn main() {
     let mut epoch = 0u64;
     if let Some(srv) = &server {
         // The swap must be visible over the wire: a fresh client sees
-        // the bumped epoch and the day-1 atlas.
+        // the bumped epoch and the day-1 atlas on shard 0 — and *only*
+        // on shard 0; every other shard still serves epoch 0, day 0.
         let mut probe = NetClient::connect(addr).expect("probe connect");
         let (e, day) = probe.epoch().expect("epoch over the wire");
         assert_eq!(e, 1, "post-swap epoch visible to remote clients");
         assert_eq!(day, 1, "post-swap day visible to remote clients");
+        let listed = probe.shards().expect("shard listing over the wire");
+        assert_eq!(listed.len(), shards, "server hosts the requested shards");
+        for info in &listed {
+            if info.shard == 0 {
+                assert_eq!((info.epoch, info.day), (1, 1));
+            } else {
+                assert_eq!(
+                    (info.epoch, info.day),
+                    (0, 0),
+                    "shard {} must not see shard 0's delta",
+                    info.shard
+                );
+            }
+        }
         let stats = probe.stats().expect("stats over the wire");
         assert!(stats.swaps >= 1, "the mid-load swap must have happened");
-        assert_eq!(faults, 0, "no query may fail across the swap");
+        assert_eq!(faults, 0, "no query may fail on any shard across the swap");
         swaps = stats.swaps;
         epoch = e;
         eprintln!(
-            "server counters: {} queries, cache hit rate {:.3}, epoch {}, day {}",
+            "shard 0 counters: {} queries, cache hit rate {:.3}, epoch {}, day {}",
             stats.queries, stats.cache_hit_rate, stats.epoch, stats.day
         );
         srv.shutdown();
+        srv.registry().shutdown();
     }
 
     eprintln!(
-        "served {served} queries ({faults} faults) in {elapsed:.2}s over {clients} \
+        "served {served} queries ({faults} faults, {rejected} requests rejected by the \
+         in-flight cap) in {elapsed:.2}s over {clients} \
          connections: {qps:.0} qps, request p50 {p50}us / p99 {p99}us \
          (batch {batch}, depth {depth})",
     );
@@ -312,7 +384,8 @@ fn main() {
     println!(
         "{{\"bench\":\"net_throughput\",\"qps\":{qps:.1},\"p50_us\":{p50},\"p99_us\":{p99},\
          \"queries\":{},\"errors\":{faults},\"clients\":{clients},\"batch\":{batch},\
-         \"depth\":{depth},\"swaps\":{swaps},\"epoch\":{epoch}}}",
+         \"depth\":{depth},\"shards\":{shards},\"rejected\":{rejected},\
+         \"swaps\":{swaps},\"epoch\":{epoch}}}",
         served + faults,
     );
 }

@@ -18,6 +18,8 @@ pub enum ModelError {
     NoPath(String),
     /// Invalid configuration.
     Config(String),
+    /// A request named an atlas shard the registry does not host.
+    UnknownShard(u16),
 }
 
 impl fmt::Display for ModelError {
@@ -29,6 +31,7 @@ impl fmt::Display for ModelError {
             ModelError::PatchMismatch(msg) => write!(f, "patch mismatch: {msg}"),
             ModelError::NoPath(msg) => write!(f, "no path: {msg}"),
             ModelError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ModelError::UnknownShard(id) => write!(f, "unknown shard {id}"),
         }
     }
 }
@@ -57,6 +60,9 @@ pub enum ErrorCode {
     NoPath = 5,
     /// [`ModelError::Config`].
     Config = 6,
+    /// [`ModelError::UnknownShard`]: the request named an atlas shard
+    /// the serving registry does not host.
+    UnknownShard = 7,
     /// Frame header did not start with the protocol magic.
     BadMagic = 16,
     /// Frame header carried an unsupported protocol version.
@@ -80,13 +86,14 @@ pub enum ErrorCode {
 
 impl ErrorCode {
     /// Every defined code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 15] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::UnknownEntity,
         ErrorCode::UnroutableAddress,
         ErrorCode::Decode,
         ErrorCode::PatchMismatch,
         ErrorCode::NoPath,
         ErrorCode::Config,
+        ErrorCode::UnknownShard,
         ErrorCode::BadMagic,
         ErrorCode::BadVersion,
         ErrorCode::FrameTooLarge,
@@ -122,6 +129,7 @@ impl From<&ModelError> for ErrorCode {
             ModelError::PatchMismatch(_) => ErrorCode::PatchMismatch,
             ModelError::NoPath(_) => ErrorCode::NoPath,
             ModelError::Config(_) => ErrorCode::Config,
+            ModelError::UnknownShard(_) => ErrorCode::UnknownShard,
         }
     }
 }
@@ -135,6 +143,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::PatchMismatch => "patch-mismatch",
             ErrorCode::NoPath => "no-path",
             ErrorCode::Config => "config",
+            ErrorCode::UnknownShard => "unknown-shard",
             ErrorCode::BadMagic => "bad-magic",
             ErrorCode::BadVersion => "bad-version",
             ErrorCode::FrameTooLarge => "frame-too-large",
@@ -181,8 +190,17 @@ mod tests {
         // Protocol constants: renumbering is a wire break.
         assert_eq!(ErrorCode::UnknownEntity.as_u16(), 1);
         assert_eq!(ErrorCode::Config.as_u16(), 6);
+        assert_eq!(ErrorCode::UnknownShard.as_u16(), 7);
         assert_eq!(ErrorCode::BadMagic.as_u16(), 16);
         assert_eq!(ErrorCode::UnexpectedFrame.as_u16(), 24);
+    }
+
+    #[test]
+    fn unknown_shard_is_a_model_code() {
+        let e = ModelError::UnknownShard(9);
+        assert_eq!(e.to_string(), "unknown shard 9");
+        assert_eq!(ErrorCode::from(&e), ErrorCode::UnknownShard);
+        assert!(!ErrorCode::UnknownShard.is_transport());
     }
 
     #[test]

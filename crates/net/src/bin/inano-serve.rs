@@ -1,21 +1,27 @@
 //! `inano-serve`: the standalone query server.
 //!
-//! Serves a codec-encoded atlas file (`--atlas PATH`) or, for demos
-//! and smoke tests, a synthetic ring world (`--ring N`). Prints one
-//! `LISTENING <addr>` line once the socket is bound, then serves until
-//! killed.
+//! Hosts one or more atlas shards behind a single listener: every
+//! `--atlas FILE` (a codec-encoded atlas) or `--ring N` (a synthetic
+//! ring world, for demos and smoke tests) occurrence becomes the next
+//! shard, in command-line order — shard 0 first, so the first flag is
+//! what shard-unaware clients talk to. With no shard flag at all it
+//! serves a single 64-cluster ring. Prints one `LISTENING <addr>` line
+//! once the socket is bound, then serves until killed.
 //!
 //! Usage:
 //!   inano-serve [--bind 127.0.0.1] [--port 4711]
-//!               [--atlas FILE | --ring N]
-//!               [--workers W] [--max-conns C]
+//!               [--atlas FILE | --ring N]...
+//!               [--workers W] [--max-conns C] [--max-inflight R]
 //!               [--max-frame-bytes B] [--max-batch Q]
+//!
+//! `--workers` is the *total* worker budget, split evenly across
+//! shards by the registry.
 
 use inano_core::PredictorConfig;
-use inano_net::cli::arg;
+use inano_net::cli::{arg, repeated};
 use inano_net::demo::{ring_atlas, ring_predictor_config};
 use inano_net::{Limits, NetServer, ServerConfig};
-use inano_service::{QueryEngine, ServiceConfig};
+use inano_service::{RegistryConfig, ShardId, ShardRegistry, ShardSpec};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,39 +29,60 @@ use std::time::Duration;
 fn main() {
     let bind: String = arg("--bind", "127.0.0.1".to_string());
     let port: u16 = arg("--port", 4711);
-    let atlas_path: String = arg("--atlas", String::new());
-    let ring: u32 = arg("--ring", 64);
-    let workers: usize = arg("--workers", 0); // 0 = ServiceConfig default
+    let workers: usize = arg("--workers", 0); // 0 = RegistryConfig default
     let max_conns: usize = arg("--max-conns", 256);
+    let max_inflight: usize = arg("--max-inflight", ServerConfig::default().max_inflight);
     let max_frame_bytes: u32 = arg("--max-frame-bytes", Limits::default().max_frame_bytes);
     let max_batch: u32 = arg("--max-batch", Limits::default().max_batch);
 
-    let (atlas, predictor) = if atlas_path.is_empty() {
-        eprintln!("serving a synthetic {ring}-cluster ring (pass --atlas FILE for real data)");
-        (ring_atlas(ring, 0), ring_predictor_config())
-    } else {
-        let bytes =
-            std::fs::read(&atlas_path).unwrap_or_else(|e| panic!("read atlas {atlas_path:?}: {e}"));
-        let atlas = inano_atlas::codec::decode(&bytes)
-            .unwrap_or_else(|e| panic!("decode atlas {atlas_path:?}: {e}"));
-        eprintln!("serving atlas {atlas_path:?} (day {})", atlas.day);
-        (atlas, PredictorConfig::full())
-    };
-
-    let mut svc = ServiceConfig {
-        predictor,
-        ..ServiceConfig::default()
-    };
-    if workers > 0 {
-        svc.workers = workers;
+    let mut shard_flags = repeated(&["--atlas", "--ring"]);
+    if shard_flags.is_empty() {
+        eprintln!("serving a synthetic 64-cluster ring (pass --atlas FILE or --ring N)");
+        shard_flags.push(("--ring".into(), "64".into()));
     }
-    let engine = Arc::new(QueryEngine::new(Arc::new(atlas), svc));
+    let specs: Vec<ShardSpec> = shard_flags
+        .iter()
+        .enumerate()
+        .map(|(i, (flag, value))| {
+            let id = ShardId(u16::try_from(i).expect("more than 65536 shards"));
+            if flag == "--ring" {
+                let n: u32 = value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--ring {value:?} is not a cluster count"));
+                eprintln!("{id}: synthetic {n}-cluster ring");
+                ShardSpec {
+                    id,
+                    atlas: Arc::new(ring_atlas(n, 0)),
+                    predictor: ring_predictor_config(),
+                }
+            } else {
+                let bytes =
+                    std::fs::read(value).unwrap_or_else(|e| panic!("read atlas {value:?}: {e}"));
+                let atlas = inano_atlas::codec::decode(&bytes)
+                    .unwrap_or_else(|e| panic!("decode atlas {value:?}: {e}"));
+                eprintln!("{id}: atlas {value:?} (day {})", atlas.day);
+                ShardSpec {
+                    id,
+                    atlas: Arc::new(atlas),
+                    predictor: PredictorConfig::full(),
+                }
+            }
+        })
+        .collect();
+
+    let mut reg_cfg = RegistryConfig::default();
+    if workers > 0 {
+        reg_cfg.total_workers = workers;
+    }
+    let registry =
+        Arc::new(ShardRegistry::build(specs, reg_cfg).expect("build the shard registry"));
 
     let server = NetServer::bind(
         format!("{bind}:{port}"),
-        Arc::clone(&engine),
+        Arc::clone(&registry),
         ServerConfig {
             max_conns,
+            max_inflight,
             limits: Limits {
                 max_frame_bytes,
                 max_batch,
@@ -71,11 +98,27 @@ fn main() {
     loop {
         std::thread::sleep(Duration::from_secs(60));
         let c = server.counters();
-        let s = engine.stats();
+        let stats = registry.stats();
+        let per_shard: Vec<String> = stats
+            .shards
+            .iter()
+            .map(|(id, s)| {
+                format!(
+                    "{id} epoch {} day {} ({} queries)",
+                    s.epoch, s.day, s.queries
+                )
+            })
+            .collect();
         eprintln!(
-            "up: {} conns active ({} accepted, {} rejected, {} faults), \
-             {} queries, epoch {}, day {}",
-            c.active, c.accepted, c.rejected, c.faults, s.queries, s.epoch, s.day,
+            "up: {} conns active ({} accepted, {} rejected, {} faults, {} overloaded), \
+             {} queries total; {}",
+            c.active,
+            c.accepted,
+            c.rejected,
+            c.faults,
+            c.overloaded,
+            stats.aggregate.queries,
+            per_shard.join(", "),
         );
     }
 }

@@ -12,3 +12,26 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
+
+/// Every occurrence of any flag in `names`, as `(flag, value)` pairs
+/// in command-line order. This is how `inano-serve` turns repeated
+/// `--atlas FILE` / `--ring N` flags into shards: the k-th occurrence
+/// (of either flag) populates shard k.
+///
+/// A flag with a missing value (end of line, or the next token is
+/// itself a flag) is a startup panic: silently dropping a shard the
+/// operator asked for would surface much later as `UnknownShard`
+/// faults on live clients.
+pub fn repeated(names: &[&str]) -> Vec<(String, String)> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if names.contains(&a.as_str()) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => out.push((a.clone(), v.clone())),
+                _ => panic!("flag {a} requires a value"),
+            }
+        }
+    }
+    out
+}

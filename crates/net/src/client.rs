@@ -1,6 +1,12 @@
 //! The client library: a blocking connection to an `inano-serve`
 //! instance with synchronous calls *and* pipelined batch submission.
 //!
+//! Every engine-touching call exists in two spellings: the plain one
+//! (`query_batch`, `stats`, `epoch`, `resolve`) talks to shard 0 —
+//! exactly the pre-sharding semantics — and the `_on` variant
+//! (`query_batch_on`, ...) names a [`ShardId`] explicitly.
+//! [`NetClient::shards`] enumerates what the server hosts.
+//!
 //! Pipelining is plain request ids: [`NetClient::submit`] writes a
 //! request and returns immediately with its id; [`NetClient::recv`]
 //! reads the next reply off the stream (the server answers in request
@@ -10,8 +16,9 @@
 //! round-trip time behind server-side work.
 
 use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault};
-use crate::wire::{WirePath, WireResolution, WireStats};
+use crate::wire::{WirePath, WireResolution, WireShardInfo, WireStats};
 use inano_model::Ipv4;
+use inano_service::ShardId;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
@@ -139,13 +146,24 @@ impl NetClient {
         }
     }
 
-    /// Predict every pair; per-pair failures come back as typed faults
-    /// in the result vector, batch-level failures as `Err`.
+    /// Predict every pair on the default shard (0); per-pair failures
+    /// come back as typed faults in the result vector, batch-level
+    /// failures as `Err`.
     pub fn query_batch(
         &mut self,
         pairs: &[(Ipv4, Ipv4)],
     ) -> Result<Vec<Result<WirePath, WireFault>>, NetError> {
+        self.query_batch_on(ShardId::DEFAULT, pairs)
+    }
+
+    /// Predict every pair on one named shard.
+    pub fn query_batch_on(
+        &mut self,
+        shard: ShardId,
+        pairs: &[(Ipv4, Ipv4)],
+    ) -> Result<Vec<Result<WirePath, WireFault>>, NetError> {
         let request = Frame::QueryBatch {
+            shard,
             pairs: pairs.to_vec(),
         };
         match self.call(&request)? {
@@ -163,33 +181,60 @@ impl NetClient {
         }
     }
 
-    /// Pipelined submission of a query batch; pair with
-    /// [`NetClient::recv`].
+    /// Pipelined submission of a query batch to the default shard;
+    /// pair with [`NetClient::recv`].
     pub fn submit_batch(&mut self, pairs: &[(Ipv4, Ipv4)]) -> io::Result<u64> {
+        self.submit_batch_on(ShardId::DEFAULT, pairs)
+    }
+
+    /// Pipelined submission of a query batch to one named shard.
+    pub fn submit_batch_on(&mut self, shard: ShardId, pairs: &[(Ipv4, Ipv4)]) -> io::Result<u64> {
         self.submit(&Frame::QueryBatch {
+            shard,
             pairs: pairs.to_vec(),
         })
     }
 
     pub fn resolve(&mut self, ip: Ipv4) -> Result<WireResolution, NetError> {
-        match self.call(&Frame::Resolve { ip })? {
+        self.resolve_on(ShardId::DEFAULT, ip)
+    }
+
+    pub fn resolve_on(&mut self, shard: ShardId, ip: Ipv4) -> Result<WireResolution, NetError> {
+        match self.call(&Frame::Resolve { shard, ip })? {
             Frame::ResolveReply { resolution } => Ok(resolution),
             other => Err(unexpected("ResolveReply", &other)),
         }
     }
 
     pub fn stats(&mut self) -> Result<WireStats, NetError> {
-        match self.call(&Frame::Stats)? {
+        self.stats_on(ShardId::DEFAULT)
+    }
+
+    pub fn stats_on(&mut self, shard: ShardId) -> Result<WireStats, NetError> {
+        match self.call(&Frame::Stats { shard })? {
             Frame::StatsReply { stats } => Ok(stats),
             other => Err(unexpected("StatsReply", &other)),
         }
     }
 
-    /// The serving generation's `(epoch, day)`.
+    /// The default shard's serving `(epoch, day)`.
     pub fn epoch(&mut self) -> Result<(u64, u32), NetError> {
-        match self.call(&Frame::Epoch)? {
+        self.epoch_on(ShardId::DEFAULT)
+    }
+
+    /// One named shard's serving `(epoch, day)`.
+    pub fn epoch_on(&mut self, shard: ShardId) -> Result<(u64, u32), NetError> {
+        match self.call(&Frame::Epoch { shard })? {
             Frame::EpochReply { epoch, day } => Ok((epoch, day)),
             other => Err(unexpected("EpochReply", &other)),
+        }
+    }
+
+    /// Every shard the server hosts, with each one's `(epoch, day)`.
+    pub fn shards(&mut self) -> Result<Vec<WireShardInfo>, NetError> {
+        match self.call(&Frame::ListShards)? {
+            Frame::ShardsReply { shards } => Ok(shards),
+            other => Err(unexpected("ShardsReply", &other)),
         }
     }
 }

@@ -6,20 +6,25 @@
 //!
 //! Three layers, separable and individually tested:
 //!
-//! * [`wire`] — a compact length-prefixed binary protocol (magic,
-//!   version, request id, typed frames: `QueryBatch`, `Resolve`,
-//!   `Stats`, `Epoch`, `Ping`, plus typed error frames carrying
-//!   [`inano_model::ErrorCode`]s), with receiver-side [`Limits`] on
-//!   frame and batch size;
+//! * [`wire`] — a compact length-prefixed binary protocol, version 2
+//!   (magic, version, request id, typed frames: `QueryBatch`,
+//!   `Resolve`, `Stats`, `Epoch` — each carrying an optional shard id,
+//!   default shard 0 — plus `ListShards`, `Ping`, and typed error
+//!   frames carrying [`inano_model::ErrorCode`]s), with receiver-side
+//!   [`Limits`] on frame and batch size;
 //! * [`server`] — a threaded TCP server ([`NetServer`], shipped as the
-//!   `inano-serve` binary) with per-connection request pipelining, a
-//!   max-connection admission gate, and graceful shutdown, fanning
-//!   decoded batches into a shared [`inano_service::QueryEngine`] so
-//!   remote queries ride the same cache and hot-swap semantics as
-//!   embedded ones;
+//!   `inano-serve` binary) hosting a whole
+//!   [`inano_service::ShardRegistry`] of independent atlas shards
+//!   behind one listener, with per-connection request pipelining
+//!   bounded by an in-flight cap (excess gets typed `Overloaded`
+//!   errors), a max-connection admission gate, and graceful shutdown;
+//!   each frame routes to the engine of the shard it names, so remote
+//!   queries ride that shard's cache and hot-swap semantics exactly
+//!   like embedded ones;
 //! * [`client`] — [`NetClient`], synchronous calls plus pipelined
-//!   batch submission (`submit_batch`/`recv`), which is what
-//!   `inano-bench`'s `net_throughput` loadgen drives.
+//!   batch submission (`submit_batch`/`recv`), shard-aware via the
+//!   `_on` variants and `shards()`, which is what `inano-bench`'s
+//!   `net_throughput` loadgen drives.
 //!
 //! [`demo`] carries the tiny ring world the `inano-serve --ring` mode,
 //! the integration tests and the loadgen's `--connect` mode share.
@@ -35,4 +40,8 @@ pub mod wire;
 
 pub use client::{NetClient, NetError};
 pub use server::{NetServer, ServerConfig, ServerCounters};
-pub use wire::{Frame, Limits, WireFault, WirePath, WireResolution, WireStats};
+pub use wire::{Frame, Limits, WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
+
+/// Re-exported so `inano-net` users can name shards without a direct
+/// `inano-service` dependency.
+pub use inano_service::ShardId;

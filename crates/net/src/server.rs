@@ -1,23 +1,31 @@
-//! The threaded TCP server: accept loop + one handler thread per
-//! connection, all requests fanned into a shared [`QueryEngine`].
+//! The threaded TCP server: accept loop + a reader/responder thread
+//! pair per connection, all requests routed through a shared
+//! [`ShardRegistry`] to the shard each frame names.
 //!
 //! ## Concurrency model
 //!
-//! `std::net` blocking I/O throughout — one OS thread per connection,
-//! which is the right trade at the scale the admission gate allows
-//! (hundreds of connections, each pipelining batches; the *query*
-//! parallelism lives in the engine's worker pool, not here). Handler
-//! threads call [`QueryEngine::query_batch`] directly, so remote
-//! batches share the result cache, the worker pool and the hot-swap
-//! semantics with embedded callers: a mid-load `apply_delta` never
-//! stalls remote queries, and the first frame decoded after a swap is
-//! answered from the new epoch.
+//! `std::net` blocking I/O throughout — per connection, one *reader*
+//! thread decodes frames and one *responder* thread answers them, with
+//! a bounded in-flight queue between the two (the *query* parallelism
+//! lives in each shard engine's worker pool, not here). Responder
+//! threads call [`QueryEngine::query_batch`] on the frame's shard
+//! directly, so remote batches share that shard's result cache, worker
+//! pool and hot-swap semantics with embedded callers: a mid-load
+//! `apply_delta` on one shard never stalls remote queries and never
+//! touches any other shard's epoch or cache.
 //!
 //! ## Admission and limits
 //!
 //! * At most [`ServerConfig::max_conns`] concurrent connections; the
 //!   gate answers excess connects with a typed `Overloaded` error
 //!   frame and closes, so clients fail fast instead of queueing.
+//! * At most [`ServerConfig::max_inflight`] decoded requests queued
+//!   per connection. A pipeliner that outruns the responder gets a
+//!   typed `Overloaded` error *per excess request* — replies still in
+//!   request order, the connection still serving — instead of the
+//!   server buffering an unbounded backlog. Memory per connection is
+//!   thereby bounded by `max_inflight × max_frame_bytes` plus one
+//!   frame in the reader.
 //! * Frames are bounded by [`Limits`]: an oversized declared payload
 //!   or broken framing is answered once and the connection closed
 //!   (the stream can no longer be trusted); a parse failure inside a
@@ -30,17 +38,19 @@
 //! [`NetServer::shutdown`] (also run on drop) stops the accept loop
 //! with a self-connect, force-closes the registered connection
 //! sockets so blocked reads return, and joins every thread. The
-//! engine is shared and is *not* shut down — that's its owner's call.
+//! registry is shared and is *not* shut down — that's its owner's
+//! call.
 
 use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault};
-use crate::wire::{WirePath, WireResolution, WireStats};
-use inano_model::ErrorCode;
-use inano_service::QueryEngine;
+use crate::wire::{WirePath, WireResolution, WireShardInfo, WireStats};
+use inano_model::{ErrorCode, ModelError};
+use inano_service::{QueryEngine, ShardRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread;
 
@@ -49,6 +59,9 @@ use std::thread;
 pub struct ServerConfig {
     /// Concurrent-connection admission gate.
     pub max_conns: usize,
+    /// Most decoded requests queued per connection; a pipeliner
+    /// exceeding it gets typed `Overloaded` errors for the excess.
+    pub max_inflight: usize,
     /// Per-frame protocol limits.
     pub limits: Limits,
 }
@@ -57,6 +70,7 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             max_conns: 256,
+            max_inflight: 128,
             limits: Limits::default(),
         }
     }
@@ -71,18 +85,23 @@ pub struct ServerCounters {
     pub accepted: u64,
     /// Connections refused by the admission gate.
     pub rejected: u64,
-    /// Frames answered with an error (fatal or per-frame).
+    /// Frames answered with an error (fatal or per-frame); does NOT
+    /// include in-flight rejections, which are healthy throttling and
+    /// counted in `overloaded` alone.
     pub faults: u64,
+    /// Pipelined requests refused by the per-connection in-flight cap.
+    pub overloaded: u64,
 }
 
 struct Shared {
-    engine: Arc<QueryEngine>,
+    registry: Arc<ShardRegistry>,
     cfg: ServerConfig,
     shutdown: AtomicBool,
     active: AtomicUsize,
     accepted: AtomicU64,
     rejected: AtomicU64,
     faults: AtomicU64,
+    overloaded: AtomicU64,
     /// Clones of live connection sockets, so shutdown can unblock
     /// their reader threads.
     streams: Mutex<HashMap<u64, TcpStream>>,
@@ -98,22 +117,23 @@ pub struct NetServer {
 
 impl NetServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start
-    /// serving `engine`.
+    /// serving every shard in `registry` behind this one listener.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        engine: Arc<QueryEngine>,
+        registry: Arc<ShardRegistry>,
         cfg: ServerConfig,
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine,
+            registry,
             cfg,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
             streams: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
         });
@@ -131,15 +151,26 @@ impl NetServer {
         })
     }
 
+    /// Bind a single-shard server over one engine: the pre-sharding
+    /// API, byte-for-byte the old semantics behind shard 0.
+    pub fn bind_single(
+        addr: impl ToSocketAddrs,
+        engine: Arc<QueryEngine>,
+        cfg: ServerConfig,
+    ) -> io::Result<NetServer> {
+        NetServer::bind(addr, Arc::new(ShardRegistry::single(engine)), cfg)
+    }
+
     /// The bound address (the real port when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// The engine this server fronts (shared; `apply_delta` through
-    /// this handle is visible to remote queries immediately).
-    pub fn engine(&self) -> &Arc<QueryEngine> {
-        &self.shared.engine
+    /// The shard registry this server fronts (shared; `apply_delta`
+    /// on a shard through this handle is visible to remote queries
+    /// immediately, and only on that shard).
+    pub fn registry(&self) -> &Arc<ShardRegistry> {
+        &self.shared.registry
     }
 
     pub fn counters(&self) -> ServerCounters {
@@ -148,6 +179,7 @@ impl NetServer {
             accepted: self.shared.accepted.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             faults: self.shared.faults.load(Ordering::Relaxed),
+            overloaded: self.shared.overloaded.load(Ordering::Relaxed),
         }
     }
 
@@ -237,7 +269,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             thread::Builder::new()
                 .name(format!("inano-net-conn-{conn_id}"))
                 .spawn(move || {
-                    let _ = serve_connection(&stream, &shared);
+                    let _ = serve_connection(stream, &shared);
                     shared.streams.lock().remove(&conn_id);
                     shared.active.fetch_sub(1, Ordering::SeqCst);
                 })
@@ -261,81 +293,192 @@ fn refuse(stream: TcpStream, code: ErrorCode, message: impl Into<String>) -> io:
     stream.shutdown(Shutdown::Both)
 }
 
-/// Serve one connection until EOF, a fatal framing error, or shutdown.
-fn serve_connection(stream: &TcpStream, shared: &Shared) -> io::Result<()> {
+/// One unit handed from a connection's reader to its responder. The
+/// responder answers strictly in queue order, which is read order — so
+/// replies (rejections included) keep the pipelining contract.
+enum Work {
+    /// A decoded request to serve.
+    Request { request_id: u64, frame: Frame },
+    /// Read but refused: the in-flight cap was hit. Carrying only the
+    /// id keeps a rejected backlog O(1) memory per request.
+    Reject { request_id: u64 },
+    /// The payload was framed soundly but does not parse.
+    Fault { request_id: u64, fault: WireFault },
+    /// The stream desynchronised: answer once (id 0) and close. Always
+    /// the reader's last word.
+    Fatal { fault: WireFault },
+}
+
+/// Serve one connection until EOF, a fatal framing error, or shutdown:
+/// this thread reads and decodes frames, a paired responder thread
+/// answers them through the bounded in-flight queue.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let responder_stream = stream.try_clone()?;
+    let (tx, rx) = sync_channel::<Work>(shared.cfg.max_inflight.max(1));
+    // The read loop owns `tx` and drops it when it returns (EOF, fatal
+    // sent, io error, or responder gone), which lets the responder
+    // drain the queue and exit; the scope then joins it.
+    thread::scope(|scope| {
+        scope.spawn(move || {
+            respond_loop(
+                responder_stream,
+                rx,
+                shared.registry.as_ref(),
+                &shared.faults,
+                &shared.overloaded,
+            )
+        });
+        read_loop(&mut reader, tx, &shared.cfg.limits)
+    })
+}
+
+/// The reader half: decode frames, queue work, convert overflow into
+/// typed rejections.
+fn read_loop(reader: &mut impl io::Read, tx: SyncSender<Work>, limits: &Limits) -> io::Result<()> {
     loop {
-        match read_frame(&mut reader, &shared.cfg.limits) {
+        match read_frame(reader, limits) {
             Ok(Some((request_id, frame))) => {
-                let reply = respond(&shared.engine, &frame);
-                if matches!(reply, Frame::Error { .. }) {
-                    shared.faults.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(Work::Request { request_id, frame }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // The cap is hit: refuse *this* request with a
+                        // typed error instead of queueing it. The send
+                        // blocks until the responder frees a slot, so
+                        // even a rejected backlog is bounded.
+                        if tx.send(Work::Reject { request_id }).is_err() {
+                            return Ok(()); // responder gone
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => return Ok(()),
                 }
-                write_frame(&mut writer, request_id, &reply)?;
-                writer.flush()?;
             }
             Ok(None) => return Ok(()),
             Err(ReadError::Io(e)) => return Err(e),
             Err(ReadError::Fatal(fault)) => {
-                shared.faults.fetch_add(1, Ordering::Relaxed);
-                write_frame(&mut writer, 0, &Frame::Error { fault })?;
-                writer.flush()?;
+                let _ = tx.send(Work::Fatal { fault });
                 return Ok(());
             }
             Err(ReadError::Frame { request_id, fault }) => {
-                shared.faults.fetch_add(1, Ordering::Relaxed);
-                write_frame(&mut writer, request_id, &Frame::Error { fault })?;
-                writer.flush()?;
+                if tx.send(Work::Fault { request_id, fault }).is_err() {
+                    return Ok(());
+                }
             }
         }
     }
 }
 
-/// Map one decoded request to its reply frame.
-fn respond(engine: &QueryEngine, frame: &Frame) -> Frame {
+/// The responder half: pop work in order, write replies. On a write
+/// failure it closes the socket so the blocked reader returns too.
+fn respond_loop(
+    stream: TcpStream,
+    rx: Receiver<Work>,
+    registry: &ShardRegistry,
+    faults: &AtomicU64,
+    overloaded: &AtomicU64,
+) {
+    let mut writer = BufWriter::new(&stream);
+    for work in rx {
+        // `overloaded` and `faults` are disjoint categories: a
+        // rejection is healthy throttling, not a protocol or engine
+        // fault, and must not make a throttled server look broken.
+        let mut count_fault = true;
+        let (request_id, reply, close) = match work {
+            Work::Request { request_id, frame } => (request_id, respond(registry, &frame), false),
+            Work::Reject { request_id } => {
+                overloaded.fetch_add(1, Ordering::Relaxed);
+                count_fault = false;
+                let fault = WireFault::new(
+                    ErrorCode::Overloaded,
+                    "per-connection in-flight request limit reached",
+                );
+                (request_id, Frame::Error { fault }, false)
+            }
+            Work::Fault { request_id, fault } => (request_id, Frame::Error { fault }, false),
+            Work::Fatal { fault } => (0, Frame::Error { fault }, true),
+        };
+        if count_fault && matches!(reply, Frame::Error { .. }) {
+            faults.fetch_add(1, Ordering::Relaxed);
+        }
+        let wrote = write_frame(&mut writer, request_id, &reply).and_then(|()| writer.flush());
+        if wrote.is_err() || close {
+            // Unblock the reader (it may be mid-read or mid-send);
+            // its next operation fails and the connection winds down.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+/// Map one decoded request to its reply frame, routing shard-addressed
+/// requests through the registry.
+fn respond(registry: &ShardRegistry, frame: &Frame) -> Frame {
     match frame {
         Frame::Ping => Frame::Pong,
-        Frame::QueryBatch { pairs } => Frame::PathBatch {
-            results: engine
-                .query_batch(pairs)
-                .iter()
-                .map(|r| match r {
-                    Ok(p) => Ok(WirePath::from(p)),
-                    Err(e) => Err(WireFault::from(e)),
-                })
-                .collect(),
+        Frame::QueryBatch { shard, pairs } => match registry.engine(*shard) {
+            Ok(engine) => Frame::PathBatch {
+                results: engine
+                    .query_batch(pairs)
+                    .iter()
+                    .map(|r| match r {
+                        Ok(p) => Ok(WirePath::from(p)),
+                        Err(e) => Err(WireFault::from(e)),
+                    })
+                    .collect(),
+            },
+            Err(e) => fault_reply(&e),
         },
-        Frame::Resolve { ip } => match engine.generation().predictor.resolve(*ip) {
+        Frame::Resolve { shard, ip } => match registry
+            .engine(*shard)
+            .and_then(|engine| engine.generation().predictor.resolve(*ip))
+        {
             Ok(r) => Frame::ResolveReply {
                 resolution: WireResolution::from(&r),
             },
-            Err(e) => Frame::Error {
-                fault: WireFault::from(&e),
+            Err(e) => fault_reply(&e),
+        },
+        Frame::Stats { shard } => match registry.engine(*shard) {
+            Ok(engine) => Frame::StatsReply {
+                stats: WireStats::from(&engine.stats()),
             },
+            Err(e) => fault_reply(&e),
         },
-        Frame::Stats => Frame::StatsReply {
-            stats: WireStats::from(&engine.stats()),
+        Frame::Epoch { shard } => match registry.epoch(*shard) {
+            Ok((epoch, day)) => Frame::EpochReply { epoch, day },
+            Err(e) => fault_reply(&e),
         },
-        Frame::Epoch => {
-            let generation = engine.generation();
-            Frame::EpochReply {
-                epoch: generation.epoch,
-                day: generation.day(),
-            }
-        }
+        Frame::ListShards => Frame::ShardsReply {
+            shards: registry
+                .iter()
+                .map(|(id, engine)| {
+                    let generation = engine.generation();
+                    WireShardInfo {
+                        shard: id.raw(),
+                        epoch: generation.epoch,
+                        day: generation.day(),
+                    }
+                })
+                .collect(),
+        },
         // Reply-direction (or error) frames are not requests.
         Frame::Pong
         | Frame::PathBatch { .. }
         | Frame::ResolveReply { .. }
         | Frame::StatsReply { .. }
         | Frame::EpochReply { .. }
+        | Frame::ShardsReply { .. }
         | Frame::Error { .. } => Frame::Error {
             fault: WireFault::new(
                 ErrorCode::UnexpectedFrame,
                 format!("frame type {:#04x} is not a request", frame.frame_type()),
             ),
         },
+    }
+}
+
+fn fault_reply(e: &ModelError) -> Frame {
+    Frame::Error {
+        fault: WireFault::from(e),
     }
 }

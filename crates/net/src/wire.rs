@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! magic      u32  0x694E614E ("iNaN")
-//! version    u8   1
+//! version    u8   2
 //! frame type u8   see the FT_* constants
 //! request id u64  echoed verbatim in the reply
 //! payload    u32  payload length in bytes
@@ -18,6 +18,23 @@
 //! write any number of requests before reading replies, and matches
 //! them back up by id (the server also answers strictly in request
 //! order per connection).
+//!
+//! ## Version 2: shards
+//!
+//! One server hosts many independent atlas shards
+//! ([`inano_service::ShardRegistry`]); v2 routes every engine-touching
+//! request to one of them. `QueryBatch`, `Resolve`, `Stats` and
+//! `Epoch` lead their payload with a `u16` shard id; for `Stats` and
+//! `Epoch` the id is optional on the wire — an empty payload means
+//! shard 0, so a v2 request written without a shard id keeps the
+//! single-atlas semantics. (The version byte is still checked first:
+//! an actual v1 header is a fatal `BadVersion`, as always.)
+//! Naming a shard the server does not
+//! host is a per-frame [`ErrorCode::UnknownShard`] fault, never a
+//! connection loss. `ListShards`/`ShardsReply` enumerate what the
+//! server hosts ([`WireShardInfo`]: id, epoch, day). v2 also ships the
+//! raw log₂ latency buckets inside `StatsReply` so a fleet aggregator
+//! can merge histograms instead of averaging percentiles.
 //!
 //! ## Error handling
 //!
@@ -39,26 +56,33 @@
 
 use inano_core::{PredictedPath, Resolution};
 use inano_model::{Asn, ClusterId, ErrorCode, Ipv4, LatencyMs, LossRate, ModelError, PrefixId};
-use inano_service::ServiceStats;
+use inano_service::{ServiceStats, ShardId};
 use std::io::{self, Read, Write};
 
 /// `"iNaN"` in ASCII.
 pub const MAGIC: u32 = 0x694E_614E;
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (2: shard-aware requests, `ListShards`,
+/// latency buckets in `StatsReply`).
+pub const VERSION: u8 = 2;
 /// Fixed frame-header size in bytes.
 pub const HEADER_BYTES: usize = 18;
+/// Most log₂ latency buckets accepted in a `StatsReply` (the engine
+/// ships 40; bucket index feeds a `1 << i`, so a foreign histogram
+/// must not be allowed to claim thousands).
+pub const MAX_LATENCY_BUCKETS: usize = 64;
 
 pub const FT_PING: u8 = 0x01;
 pub const FT_QUERY_BATCH: u8 = 0x02;
 pub const FT_RESOLVE: u8 = 0x03;
 pub const FT_STATS: u8 = 0x04;
 pub const FT_EPOCH: u8 = 0x05;
+pub const FT_LIST_SHARDS: u8 = 0x06;
 pub const FT_PONG: u8 = 0x81;
 pub const FT_PATH_BATCH: u8 = 0x82;
 pub const FT_RESOLVE_REPLY: u8 = 0x83;
 pub const FT_STATS_REPLY: u8 = 0x84;
 pub const FT_EPOCH_REPLY: u8 = 0x85;
+pub const FT_SHARDS_REPLY: u8 = 0x86;
 pub const FT_ERROR: u8 = 0xEE;
 
 /// Receiver-side protocol limits. Senders should stay within the
@@ -186,6 +210,15 @@ impl WireResolution {
     }
 }
 
+/// One hosted shard in a `ShardsReply`: its id and the `(epoch, day)`
+/// of its serving generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireShardInfo {
+    pub shard: u16,
+    pub epoch: u64,
+    pub day: u32,
+}
+
 /// Engine counters in wire form (see [`inano_service::ServiceStats`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct WireStats {
@@ -202,6 +235,10 @@ pub struct WireStats {
     pub epoch: u64,
     pub day: u32,
     pub workers: u32,
+    /// Raw log₂ latency-bucket counts. Mergeable across engines by
+    /// element-wise sum (see [`inano_service::quantile_from_counts`]),
+    /// which scalar percentiles are not.
+    pub latency_buckets: Vec<u64>,
 }
 
 impl From<&ServiceStats> for WireStats {
@@ -220,6 +257,7 @@ impl From<&ServiceStats> for WireStats {
             epoch: s.epoch,
             day: s.day,
             workers: s.workers as u32,
+            latency_buckets: s.latency_buckets.clone(),
         }
     }
 }
@@ -231,25 +269,35 @@ pub enum Frame {
     Ping,
     Pong,
     QueryBatch {
+        shard: ShardId,
         pairs: Vec<(Ipv4, Ipv4)>,
     },
     PathBatch {
         results: Vec<Result<WirePath, WireFault>>,
     },
     Resolve {
+        shard: ShardId,
         ip: Ipv4,
     },
     ResolveReply {
         resolution: WireResolution,
     },
-    Stats,
+    Stats {
+        shard: ShardId,
+    },
     StatsReply {
         stats: WireStats,
     },
-    Epoch,
+    Epoch {
+        shard: ShardId,
+    },
     EpochReply {
         epoch: u64,
         day: u32,
+    },
+    ListShards,
+    ShardsReply {
+        shards: Vec<WireShardInfo>,
     },
     Error {
         fault: WireFault,
@@ -333,6 +381,21 @@ impl<'a> Cursor<'a> {
         Cursor { buf, at: 0 }
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// The `u16` shard id leading a shard-routable request, or shard 0
+    /// when the payload carries no id at all (the v1 encoding of
+    /// `Stats`/`Epoch`): the shard id is optional, defaulting to the
+    /// shard that keeps single-atlas semantics.
+    fn shard_or_default(&mut self) -> Result<ShardId, WireFault> {
+        if self.remaining() == 0 {
+            return Ok(ShardId::DEFAULT);
+        }
+        Ok(ShardId(self.u16()?))
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireFault> {
         if self.buf.len() - self.at < n {
             return Err(WireFault::new(
@@ -406,18 +469,22 @@ impl Frame {
             Frame::PathBatch { .. } => FT_PATH_BATCH,
             Frame::Resolve { .. } => FT_RESOLVE,
             Frame::ResolveReply { .. } => FT_RESOLVE_REPLY,
-            Frame::Stats => FT_STATS,
+            Frame::Stats { .. } => FT_STATS,
             Frame::StatsReply { .. } => FT_STATS_REPLY,
-            Frame::Epoch => FT_EPOCH,
+            Frame::Epoch { .. } => FT_EPOCH,
             Frame::EpochReply { .. } => FT_EPOCH_REPLY,
+            Frame::ListShards => FT_LIST_SHARDS,
+            Frame::ShardsReply { .. } => FT_SHARDS_REPLY,
             Frame::Error { .. } => FT_ERROR,
         }
     }
 
     fn encode_payload(&self, buf: &mut Vec<u8>) {
         match self {
-            Frame::Ping | Frame::Pong | Frame::Stats | Frame::Epoch => {}
-            Frame::QueryBatch { pairs } => {
+            Frame::Ping | Frame::Pong | Frame::ListShards => {}
+            Frame::Stats { shard } | Frame::Epoch { shard } => put_u16(buf, shard.raw()),
+            Frame::QueryBatch { shard, pairs } => {
+                put_u16(buf, shard.raw());
                 put_u32(buf, pairs.len() as u32);
                 for &(s, d) in pairs {
                     put_u32(buf, s.0);
@@ -444,7 +511,10 @@ impl Frame {
                     }
                 }
             }
-            Frame::Resolve { ip } => put_u32(buf, ip.0),
+            Frame::Resolve { shard, ip } => {
+                put_u16(buf, shard.raw());
+                put_u32(buf, ip.0);
+            }
             Frame::ResolveReply { resolution } => {
                 put_u32(buf, resolution.prefix);
                 put_u32(buf, resolution.cluster);
@@ -473,10 +543,33 @@ impl Frame {
                 put_u64(buf, stats.epoch);
                 put_u32(buf, stats.day);
                 put_u32(buf, stats.workers);
+                // Histograms are short (40 buckets today); truncating
+                // at the receiver-side cap keeps every encoded frame
+                // decodable.
+                let n = stats.latency_buckets.len().min(MAX_LATENCY_BUCKETS);
+                debug_assert_eq!(
+                    n,
+                    stats.latency_buckets.len(),
+                    "histogram beyond wire bounds"
+                );
+                put_u16(buf, n as u16);
+                for &c in &stats.latency_buckets[..n] {
+                    put_u64(buf, c);
+                }
             }
             Frame::EpochReply { epoch, day } => {
                 put_u64(buf, *epoch);
                 put_u32(buf, *day);
+            }
+            Frame::ShardsReply { shards } => {
+                let n = shards.len().min(u16::MAX as usize);
+                debug_assert_eq!(n, shards.len(), "shard count beyond wire bounds");
+                put_u16(buf, n as u16);
+                for s in &shards[..n] {
+                    put_u16(buf, s.shard);
+                    put_u64(buf, s.epoch);
+                    put_u32(buf, s.day);
+                }
             }
             Frame::Error { fault } => put_fault(buf, fault),
         }
@@ -507,6 +600,7 @@ impl Frame {
             FT_PING => Frame::Ping,
             FT_PONG => Frame::Pong,
             FT_QUERY_BATCH => {
+                let shard = ShardId(c.u16()?);
                 let n = c.u32()?;
                 if n > limits.max_batch {
                     return Err(WireFault::new(
@@ -517,7 +611,7 @@ impl Frame {
                 let pairs = (0..n)
                     .map(|_| Ok((Ipv4(c.u32()?), Ipv4(c.u32()?))))
                     .collect::<Result<_, WireFault>>()?;
-                Frame::QueryBatch { pairs }
+                Frame::QueryBatch { shard, pairs }
             }
             FT_PATH_BATCH => {
                 let n = c.u32()?;
@@ -550,7 +644,10 @@ impl Frame {
                     .collect::<Result<_, WireFault>>()?;
                 Frame::PathBatch { results }
             }
-            FT_RESOLVE => Frame::Resolve { ip: Ipv4(c.u32()?) },
+            FT_RESOLVE => Frame::Resolve {
+                shard: ShardId(c.u16()?),
+                ip: Ipv4(c.u32()?),
+            },
             FT_RESOLVE_REPLY => {
                 let prefix = c.u32()?;
                 let cluster = c.u32()?;
@@ -573,7 +670,9 @@ impl Frame {
                     },
                 }
             }
-            FT_STATS => Frame::Stats,
+            FT_STATS => Frame::Stats {
+                shard: c.shard_or_default()?,
+            },
             FT_STATS_REPLY => Frame::StatsReply {
                 stats: WireStats {
                     queries: c.u64()?,
@@ -589,13 +688,39 @@ impl Frame {
                     epoch: c.u64()?,
                     day: c.u32()?,
                     workers: c.u32()?,
+                    latency_buckets: {
+                        let n = c.u16()? as usize;
+                        if n > MAX_LATENCY_BUCKETS {
+                            return Err(WireFault::new(
+                                ErrorCode::Malformed,
+                                format!("{n} latency buckets exceed limit {MAX_LATENCY_BUCKETS}"),
+                            ));
+                        }
+                        (0..n).map(|_| c.u64()).collect::<Result<_, _>>()?
+                    },
                 },
             },
-            FT_EPOCH => Frame::Epoch,
+            FT_EPOCH => Frame::Epoch {
+                shard: c.shard_or_default()?,
+            },
             FT_EPOCH_REPLY => Frame::EpochReply {
                 epoch: c.u64()?,
                 day: c.u32()?,
             },
+            FT_LIST_SHARDS => Frame::ListShards,
+            FT_SHARDS_REPLY => {
+                let n = c.u16()? as usize;
+                let shards = (0..n)
+                    .map(|_| {
+                        Ok(WireShardInfo {
+                            shard: c.u16()?,
+                            epoch: c.u64()?,
+                            day: c.u32()?,
+                        })
+                    })
+                    .collect::<Result<_, WireFault>>()?;
+                Frame::ShardsReply { shards }
+            }
             FT_ERROR => Frame::Error { fault: c.fault()? },
             t => {
                 return Err(WireFault::new(
@@ -678,15 +803,70 @@ mod tests {
 
     #[test]
     fn empty_payload_frames_round_trip() {
-        for f in [Frame::Ping, Frame::Pong, Frame::Stats, Frame::Epoch] {
+        for f in [Frame::Ping, Frame::Pong, Frame::ListShards] {
             round_trip(f, 7);
         }
+    }
+
+    #[test]
+    fn shard_routed_requests_round_trip() {
+        for shard in [ShardId::DEFAULT, ShardId(3), ShardId(u16::MAX)] {
+            round_trip(Frame::Stats { shard }, 11);
+            round_trip(Frame::Epoch { shard }, 12);
+            round_trip(Frame::Resolve { shard, ip: Ipv4(9) }, 13);
+        }
+    }
+
+    #[test]
+    fn shardless_stats_and_epoch_payloads_mean_shard_zero() {
+        // The v1 encoding of Stats/Epoch was an empty payload; in v2
+        // the shard id is optional and absence means shard 0.
+        for (ft, want) in [
+            (
+                FT_STATS,
+                Frame::Stats {
+                    shard: ShardId::DEFAULT,
+                },
+            ),
+            (
+                FT_EPOCH,
+                Frame::Epoch {
+                    shard: ShardId::DEFAULT,
+                },
+            ),
+        ] {
+            let got = Frame::decode_payload(ft, &[], &Limits::default()).expect("decodes");
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn shards_reply_round_trips() {
+        round_trip(Frame::ShardsReply { shards: vec![] }, 4);
+        round_trip(
+            Frame::ShardsReply {
+                shards: vec![
+                    WireShardInfo {
+                        shard: 0,
+                        epoch: 4,
+                        day: 4,
+                    },
+                    WireShardInfo {
+                        shard: 9,
+                        epoch: 0,
+                        day: 77,
+                    },
+                ],
+            },
+            5,
+        );
     }
 
     #[test]
     fn query_batch_round_trips() {
         round_trip(
             Frame::QueryBatch {
+                shard: ShardId(2),
                 pairs: vec![(Ipv4(1), Ipv4(2)), (Ipv4(0xffff_ffff), Ipv4(0))],
             },
             u64::MAX,
@@ -727,6 +907,7 @@ mod tests {
             max_batch: 8,
         };
         let bytes = Frame::QueryBatch {
+            shard: ShardId::DEFAULT,
             pairs: vec![(Ipv4(1), Ipv4(2)); 16],
         }
         .encode(3);
@@ -743,6 +924,7 @@ mod tests {
             max_batch: 4,
         };
         let bytes = Frame::QueryBatch {
+            shard: ShardId::DEFAULT,
             pairs: vec![(Ipv4(1), Ipv4(2)); 5],
         }
         .encode(9);
@@ -757,7 +939,11 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_malformed() {
-        let mut bytes = Frame::Resolve { ip: Ipv4(5) }.encode(2);
+        let mut bytes = Frame::Resolve {
+            shard: ShardId(1),
+            ip: Ipv4(5),
+        }
+        .encode(2);
         // Grow the payload by one byte and fix up the declared length.
         bytes.push(0);
         let len = (bytes.len() - HEADER_BYTES) as u32;
@@ -766,6 +952,22 @@ mod tests {
         match read_frame(&mut &bytes[..], &limits) {
             Err(ReadError::Frame { fault, .. }) => assert_eq!(fault.code, ErrorCode::Malformed),
             other => panic!("want frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_bucket_count_is_a_typed_malformed_fault() {
+        let stats = WireStats::from(&ServiceStats::default());
+        assert!(stats.latency_buckets.is_empty());
+        let mut bytes = Frame::StatsReply { stats }.encode(1);
+        // With no buckets the count is the payload's last u16; claim
+        // 65535 of them. The decoder must refuse at the count — before
+        // the `1 << i` quantile math anyone downstream would run.
+        let at = bytes.len() - 2;
+        bytes[at..].copy_from_slice(&u16::MAX.to_be_bytes());
+        match read_frame(&mut &bytes[..], &Limits::default()) {
+            Err(ReadError::Frame { fault, .. }) => assert_eq!(fault.code, ErrorCode::Malformed),
+            other => panic!("want per-frame error, got {other:?}"),
         }
     }
 

@@ -12,7 +12,7 @@ use inano_model::{ErrorCode, Ipv4};
 use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
 use inano_net::wire::{read_frame, Frame, Limits, HEADER_BYTES, MAGIC, VERSION};
 use inano_net::{NetClient, NetError, NetServer, ServerConfig};
-use inano_service::{QueryEngine, ServiceConfig};
+use inano_service::{QueryEngine, ServiceConfig, ShardId, ShardRegistry};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,17 +22,28 @@ use std::time::Duration;
 
 const RING: u32 = 12;
 
-fn ring_server(cfg: ServerConfig) -> NetServer {
-    let engine = Arc::new(QueryEngine::new(
-        Arc::new(ring_atlas(RING, 0)),
+fn ring_engine(ring: u32) -> Arc<QueryEngine> {
+    Arc::new(QueryEngine::new(
+        Arc::new(ring_atlas(ring, 0)),
         ServiceConfig {
             workers: 4,
             chunk: 16,
             predictor: ring_predictor_config(),
             ..ServiceConfig::default()
         },
-    ));
-    NetServer::bind("127.0.0.1:0", engine, cfg).expect("bind ephemeral port")
+    ))
+}
+
+fn ring_server(cfg: ServerConfig) -> NetServer {
+    NetServer::bind_single("127.0.0.1:0", ring_engine(RING), cfg).expect("bind ephemeral port")
+}
+
+/// The shard-0 engine, the way pre-sharding tests reached it.
+fn engine0(server: &NetServer) -> &Arc<QueryEngine> {
+    server
+        .registry()
+        .engine(ShardId::DEFAULT)
+        .expect("shard 0 exists")
 }
 
 fn all_pairs() -> Vec<(Ipv4, Ipv4)> {
@@ -55,8 +66,7 @@ fn remote_answers_equal_embedded_answers() {
     let remote = client.query_batch(&pairs).expect("batch");
     for (i, r) in remote.into_iter().enumerate() {
         let wire = r.unwrap_or_else(|f| panic!("pair {i} faulted: {f}"));
-        let local = server
-            .engine()
+        let local = engine0(&server)
             .query(pairs[i].0, pairs[i].1)
             .expect("embedded query");
         let got = wire.into_predicted();
@@ -70,20 +80,26 @@ fn remote_answers_equal_embedded_answers() {
 
     // Resolve agrees with the engine's resolution.
     let r = client.resolve(ring_ip(3)).expect("resolve");
-    let local = server
-        .engine()
+    let local = engine0(&server)
         .generation()
         .predictor
         .resolve(ring_ip(3))
         .unwrap();
     assert_eq!(r.into_resolution(), local);
 
-    // Stats flow over the wire and reflect the served load.
+    // Stats flow over the wire and reflect the served load — raw
+    // latency buckets included, holding exactly the served queries.
     let stats = client.stats().expect("stats");
     assert!(stats.queries >= pairs.len() as u64);
     assert_eq!(stats.epoch, 0);
     assert_eq!(stats.day, 0);
+    assert_eq!(stats.latency_buckets.iter().sum::<u64>(), stats.queries);
     assert_eq!(client.epoch().expect("epoch"), (0, 0));
+
+    // A single-shard server lists exactly shard 0.
+    let listed = client.shards().expect("shards");
+    assert_eq!(listed.len(), 1);
+    assert_eq!((listed[0].shard, listed[0].epoch, listed[0].day), (0, 0, 0));
 }
 
 #[test]
@@ -173,6 +189,7 @@ fn oversized_declared_frame_is_refused_without_reading_it() {
     let server = ring_server(ServerConfig {
         max_conns: 4,
         limits,
+        ..ServerConfig::default()
     });
     let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
     // A header declaring a 16MB payload we never send: the server must
@@ -203,6 +220,7 @@ fn over_limit_batch_faults_but_the_connection_survives() {
     let server = ring_server(ServerConfig {
         max_conns: 4,
         limits,
+        ..ServerConfig::default()
     });
     let mut client = NetClient::connect(server.local_addr()).expect("connect");
     let too_many = vec![(ring_ip(0), ring_ip(1)); 9];
@@ -235,6 +253,7 @@ fn admission_gate_refuses_with_overloaded() {
     let server = ring_server(ServerConfig {
         max_conns: 2,
         limits: Limits::default(),
+        ..ServerConfig::default()
     });
     let mut a = NetClient::connect(server.local_addr()).expect("first");
     let mut b = NetClient::connect(server.local_addr()).expect("second");
@@ -323,8 +342,7 @@ fn swap_under_remote_load_is_lossless_and_bumps_the_epoch() {
         .collect();
 
     thread::sleep(Duration::from_millis(30));
-    let day = server
-        .engine()
+    let day = engine0(&server)
         .apply_delta(&ring_shortcut_delta(RING, 0))
         .expect("delta applies");
     assert_eq!(day, 1);
@@ -346,6 +364,224 @@ fn swap_under_remote_load_is_lossless_and_bumps_the_epoch() {
     let stats = probe.stats().expect("stats");
     assert_eq!(stats.swaps, 1);
     assert_eq!(stats.errors, 0);
+}
+
+fn two_shard_server(rings: [u32; 2], cfg: ServerConfig) -> NetServer {
+    let registry = ShardRegistry::from_engines(vec![
+        (ShardId(0), ring_engine(rings[0])),
+        (ShardId(1), ring_engine(rings[1])),
+    ])
+    .expect("two-shard registry");
+    NetServer::bind("127.0.0.1:0", Arc::new(registry), cfg).expect("bind ephemeral port")
+}
+
+#[test]
+fn shards_route_independently_behind_one_listener() {
+    // Same addresses, different worlds: ring 12 on shard 0, ring 8 on
+    // shard 1 — so the same query must come back with shard-specific
+    // routes, which proves frames reach the shard they name.
+    let server = two_shard_server([12, 8], ServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let listed = client.shards().expect("shards");
+    assert_eq!(
+        listed
+            .iter()
+            .map(|s| (s.shard, s.epoch, s.day))
+            .collect::<Vec<_>>(),
+        vec![(0, 0, 0), (1, 0, 0)]
+    );
+
+    let pair = [(ring_ip(0), ring_ip(6))];
+    // Ring 12: 0 -> 6 is 6 hops either way around.
+    let on_0 = client.query_batch(&pair).expect("shard 0 batch")[0]
+        .clone()
+        .expect("routable")
+        .into_predicted();
+    assert_eq!(on_0.fwd_clusters.len(), 7);
+    // Ring 8: 0 -> 6 is 2 hops going backwards.
+    let on_1 = client
+        .query_batch_on(ShardId(1), &pair)
+        .expect("shard 1 batch")[0]
+        .clone()
+        .expect("routable")
+        .into_predicted();
+    assert_eq!(on_1.fwd_clusters.len(), 3);
+
+    // Per-shard stats see per-shard load only.
+    assert_eq!(client.stats_on(ShardId(1)).expect("stats").queries, 1);
+}
+
+#[test]
+fn unknown_shard_gets_a_typed_error_and_the_connection_survives() {
+    let server = ring_server(ServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let missing = ShardId(7);
+
+    fn assert_unknown_shard<T: std::fmt::Debug>(r: Result<T, NetError>) {
+        match r {
+            Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::UnknownShard),
+            other => panic!("want typed UnknownShard, got {other:?}"),
+        }
+    }
+    assert_unknown_shard(client.query_batch_on(missing, &[(ring_ip(0), ring_ip(1))]));
+    assert_unknown_shard(client.epoch_on(missing));
+    assert_unknown_shard(client.stats_on(missing));
+    assert_unknown_shard(client.resolve_on(missing, ring_ip(0)));
+
+    // Four per-frame faults, zero connection losses.
+    client.ping().expect("connection survives unknown shards");
+    assert!(client
+        .query_batch(&[(ring_ip(0), ring_ip(1))])
+        .expect("shard 0 still serves")[0]
+        .is_ok());
+    assert!(server.counters().faults >= 4);
+}
+
+#[test]
+fn swap_on_one_shard_is_lossless_and_invisible_on_the_other() {
+    let server = Arc::new(two_shard_server([RING, RING], ServerConfig::default()));
+    let far = RING / 2;
+
+    // Hammer both shards while the delta lands on shard 0 only.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = [ShardId(0), ShardId(1), ShardId(0), ShardId(1)]
+        .into_iter()
+        .map(|shard| {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut client = NetClient::connect(server.local_addr()).expect("connect");
+                let pairs = all_pairs();
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for r in client
+                        .query_batch_on(shard, &pairs)
+                        .expect("batch keeps working")
+                    {
+                        r.expect("no pair may fail on either shard across the swap");
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(30));
+    let day = server
+        .registry()
+        .apply_delta(ShardId(0), &ring_shortcut_delta(RING, 0))
+        .expect("delta applies");
+    assert_eq!(day, 1);
+    thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(served > 0);
+
+    let mut probe = NetClient::connect(server.local_addr()).expect("connect");
+    assert_eq!(probe.epoch().expect("epoch"), (1, 1));
+    assert_eq!(
+        probe.epoch_on(ShardId(1)).expect("epoch"),
+        (0, 0),
+        "shard 1 must not see shard 0's delta"
+    );
+    let pair = [(ring_ip(0), ring_ip(far))];
+    let on_0 = probe.query_batch(&pair).expect("batch")[0]
+        .clone()
+        .expect("routable")
+        .into_predicted();
+    assert_eq!(on_0.fwd_clusters.len(), 2, "shard 0 serves the shortcut");
+    let on_1 = probe.query_batch_on(ShardId(1), &pair).expect("batch")[0]
+        .clone()
+        .expect("routable")
+        .into_predicted();
+    assert_eq!(
+        on_1.fwd_clusters.len(),
+        far as usize + 1,
+        "shard 1 still serves the long way around"
+    );
+    let s0 = probe.stats().expect("stats");
+    let s1 = probe.stats_on(ShardId(1)).expect("stats");
+    assert_eq!((s0.swaps, s0.errors), (1, 0));
+    assert_eq!((s1.swaps, s1.errors), (0, 0));
+}
+
+#[test]
+fn hostile_pipeliner_gets_typed_overloaded_not_unbounded_queueing() {
+    // A tiny in-flight cap and a client that floods 64 large batches
+    // without reading a byte: the responder's replies (~½ MB each)
+    // overrun the socket buffers and block it, the reader hits the
+    // cap, and every excess request must come back as a typed
+    // Overloaded error — in request order, on a connection that then
+    // keeps serving.
+    let server = ring_server(ServerConfig {
+        max_conns: 4,
+        max_inflight: 2,
+        limits: Limits::default(),
+    });
+    let raw = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+    let mut write_half = raw.try_clone().expect("clone");
+
+    const FLOOD: u64 = 64;
+    let batch = Frame::QueryBatch {
+        shard: ShardId::DEFAULT,
+        pairs: vec![(ring_ip(0), ring_ip(6)); Limits::default().max_batch as usize],
+    };
+    let writer = thread::spawn(move || {
+        for id in 1..=FLOOD {
+            write_half
+                .write_all(&batch.encode(id))
+                .expect("flood writes complete");
+        }
+    });
+
+    // Give the flood time to pile up against a reply path nobody is
+    // draining, then read everything back.
+    thread::sleep(Duration::from_millis(200));
+    let reply_limits = Limits {
+        max_frame_bytes: 32 << 20,
+        max_batch: Limits::default().max_batch,
+    };
+    let mut served = 0u64;
+    let mut overloaded = 0u64;
+    for want_id in 1..=FLOOD {
+        let (id, frame) = read_frame(&mut reader, &reply_limits)
+            .expect("reply readable")
+            .expect("one reply per request");
+        assert_eq!(id, want_id, "replies (rejections included) stay in order");
+        match frame {
+            Frame::PathBatch { results } => {
+                assert!(results.iter().all(|r| r.is_ok()));
+                served += 1;
+            }
+            Frame::Error { fault } => {
+                assert_eq!(fault.code, ErrorCode::Overloaded);
+                overloaded += 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    writer.join().expect("writer");
+    assert_eq!(served + overloaded, FLOOD);
+    assert!(served >= 1, "the in-flight window is still served");
+    assert!(
+        overloaded >= 1,
+        "a flood beyond the cap must see typed rejections"
+    );
+    assert_eq!(server.counters().overloaded, overloaded);
+
+    // The connection is intact: one more request, served normally.
+    raw.try_clone()
+        .expect("clone")
+        .write_all(&Frame::Ping.encode(FLOOD + 1))
+        .expect("ping writes");
+    let (id, frame) = read_frame(&mut reader, &reply_limits)
+        .expect("pong readable")
+        .expect("pong");
+    assert_eq!(id, FLOOD + 1);
+    assert!(matches!(frame, Frame::Pong));
 }
 
 #[test]

@@ -7,7 +7,8 @@
 
 use inano_model::{ErrorCode, Ipv4};
 use inano_net::wire::{read_frame, Frame, Limits, ReadError, HEADER_BYTES};
-use inano_net::{WireFault, WirePath, WireResolution, WireStats};
+use inano_net::{WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
+use inano_service::ShardId;
 use proptest::prelude::*;
 
 prop_compose! {
@@ -62,11 +63,23 @@ prop_compose! {
         epoch in any::<u64>(),
         day in any::<u32>(),
         workers in any::<u32>(),
+        latency_buckets in proptest::collection::vec(any::<u64>(), 0..48),
     ) -> WireStats {
         WireStats {
             queries, errors, qps, p50_us, p99_us, cache_hits, cache_misses,
             cache_evictions, cache_hit_rate, swaps, epoch, day, workers,
+            latency_buckets,
         }
+    }
+}
+
+prop_compose! {
+    fn arb_shard_info()(
+        shard in any::<u16>(),
+        epoch in any::<u64>(),
+        day in any::<u32>(),
+    ) -> WireShardInfo {
+        WireShardInfo { shard, epoch, day }
     }
 }
 
@@ -84,7 +97,8 @@ prop_compose! {
 // exercised (the stand-in proptest has no `prop_oneof!`).
 prop_compose! {
     fn arb_frame()(
-        variant in 0usize..11,
+        variant in 0usize..13,
+        shard in any::<u16>(),
         pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
         results in proptest::collection::vec(arb_result(), 0..20),
         ip in any::<u32>(),
@@ -92,21 +106,25 @@ prop_compose! {
         stats in arb_stats(),
         epoch in any::<u64>(),
         day in any::<u32>(),
+        shard_infos in proptest::collection::vec(arb_shard_info(), 0..16),
         fault in arb_fault(),
     ) -> Frame {
         match variant {
             0 => Frame::Ping,
             1 => Frame::Pong,
             2 => Frame::QueryBatch {
+                shard: ShardId(shard),
                 pairs: pairs.into_iter().map(|(s, d)| (Ipv4(s), Ipv4(d))).collect(),
             },
             3 => Frame::PathBatch { results },
-            4 => Frame::Resolve { ip: Ipv4(ip) },
+            4 => Frame::Resolve { shard: ShardId(shard), ip: Ipv4(ip) },
             5 => Frame::ResolveReply { resolution },
-            6 => Frame::Stats,
+            6 => Frame::Stats { shard: ShardId(shard) },
             7 => Frame::StatsReply { stats },
-            8 => Frame::Epoch,
+            8 => Frame::Epoch { shard: ShardId(shard) },
             9 => Frame::EpochReply { epoch, day },
+            10 => Frame::ListShards,
+            11 => Frame::ShardsReply { shards: shard_infos },
             _ => Frame::Error { fault },
         }
     }
@@ -142,6 +160,7 @@ proptest! {
         // not the byte size.
         let limits = Limits { max_frame_bytes: 1 << 20, max_batch: 64 + spare };
         let at_limit = Frame::QueryBatch {
+            shard: ShardId(spare as u16),
             pairs: vec![(Ipv4(1), Ipv4(2)); limits.max_batch as usize],
         };
         let (_, got) = decode(&at_limit.encode(1), &limits)
@@ -150,6 +169,7 @@ proptest! {
         prop_assert_eq!(got, at_limit);
 
         let over = Frame::QueryBatch {
+            shard: ShardId(spare as u16),
             pairs: vec![(Ipv4(1), Ipv4(2)); limits.max_batch as usize + 1],
         };
         match decode(&over.encode(2), &limits) {

@@ -322,12 +322,16 @@ impl QueryEngine {
         let generation = self.generation();
         let queries = self.metrics.queries.load(Ordering::Relaxed);
         let probed = hits + misses;
+        // One histogram snapshot serves both the shipped buckets and
+        // the percentiles, so they can never disagree about queries
+        // recorded mid-call.
+        let latency_buckets = self.metrics.latency.snapshot();
         ServiceStats {
             queries,
             errors: self.metrics.errors.load(Ordering::Relaxed),
             qps: queries as f64 / self.metrics.elapsed_secs().max(1e-9),
-            p50_us: self.metrics.latency.quantile_us(0.50),
-            p99_us: self.metrics.latency.quantile_us(0.99),
+            p50_us: crate::stats::quantile_from_counts(&latency_buckets, 0.50),
+            p99_us: crate::stats::quantile_from_counts(&latency_buckets, 0.99),
             cache_hits: hits,
             cache_misses: misses,
             cache_evictions: evictions,
@@ -340,6 +344,7 @@ impl QueryEngine {
             epoch: generation.epoch,
             day: generation.day(),
             workers: self.n_workers,
+            latency_buckets,
         }
     }
 

@@ -21,9 +21,17 @@
 //!   including the swarm's `SwarmSource`), so updates never stall
 //!   in-flight queries.
 //!
-//! [`ServiceStats`] snapshots QPS, p50/p99 service latency and cache
-//! hit rate; `inano-bench`'s `svc_throughput` binary drives all of this
-//! under a zipf query mix and emits the numbers as a BENCH JSON line.
+//! [`ShardRegistry`] composes engines into multi-atlas serving: a
+//! [`ShardId`]-keyed set of fully independent engines (own cache,
+//! epoch, worker pool, sized from one shared budget) behind a single
+//! lookup, with per-shard delta application and exact aggregated
+//! stats — the unit `inano-net` serves behind one listener.
+//!
+//! [`ServiceStats`] snapshots QPS, p50/p99 service latency (plus the
+//! raw log₂ latency buckets, so aggregators merge histograms instead
+//! of averaging percentiles) and cache hit rate; `inano-bench`'s
+//! `svc_throughput` binary drives all of this under a zipf query mix
+//! and emits the numbers as a BENCH JSON line.
 //!
 //! See DESIGN.md ("The service layer") for the full architecture
 //! discussion: threading model, cache-key soundness argument, and the
@@ -31,8 +39,10 @@
 
 pub mod cache;
 pub mod engine;
+pub mod registry;
 pub mod stats;
 
 pub use cache::{CacheCounters, CacheKey, ShardedCache};
 pub use engine::{Generation, QueryEngine, ServiceConfig};
-pub use stats::{LatencyHistogram, Metrics, ServiceStats};
+pub use registry::{RegistryConfig, RegistryStats, ShardId, ShardRegistry, ShardSpec};
+pub use stats::{quantile_from_counts, LatencyHistogram, Metrics, ServiceStats};

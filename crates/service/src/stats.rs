@@ -6,7 +6,36 @@ use std::time::Instant;
 
 /// Number of power-of-two latency buckets: bucket `i` covers
 /// `[2^i, 2^(i+1))` microseconds, so 40 buckets reach ~12 days.
-const BUCKETS: usize = 40;
+pub const BUCKETS: usize = 40;
+
+/// The quantile's bucket over a raw log₂ count vector, reported as the
+/// bucket's geometric midpoint (`1.5 × 2^i` µs) — bucket-resolution,
+/// which is all a power-of-two histogram can honestly claim. Shared by
+/// the live histogram and by aggregators merging snapshots from many
+/// engines (shards, fleet members): summing bucket vectors element-wise
+/// and calling this is exact, unlike averaging percentiles.
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    // A bucket index beyond u64's shift range can only come from a
+    // malformed foreign histogram (ours has 40 buckets); saturate
+    // rather than overflow the shift.
+    let midpoint = |i: usize| {
+        let base = 1u64 << i.min(63);
+        base.saturating_add(base / 2)
+    };
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return midpoint(i);
+        }
+    }
+    midpoint(counts.len().max(1) - 1)
+}
 
 /// Lock-free latency histogram over microseconds.
 #[derive(Debug)]
@@ -28,28 +57,17 @@ impl LatencyHistogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The quantile's bucket, reported as the bucket's geometric
-    /// midpoint (`1.5 × 2^i` µs) — bucket-resolution, which is all a
-    /// power-of-two histogram can honestly claim.
+    /// See [`quantile_from_counts`].
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
+        quantile_from_counts(&self.snapshot(), q)
+    }
+
+    /// A point-in-time copy of the raw bucket counts, in bucket order.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (1u64 << i) + (1u64 << i) / 2;
-            }
-        }
-        (1u64 << (BUCKETS - 1)) * 3 / 2
+            .collect()
     }
 
     pub fn count(&self) -> u64 {
@@ -119,6 +137,56 @@ pub struct ServiceStats {
     pub day: u32,
     /// Worker threads serving batches.
     pub workers: usize,
+    /// Raw log₂ latency-bucket counts (bucket `i` covers
+    /// `[2^i, 2^(i+1))` µs). Shipping the buckets, not just p50/p99,
+    /// is what lets an aggregator merge stats from many engines
+    /// exactly — see [`ServiceStats::aggregate`].
+    pub latency_buckets: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// Merge snapshots from several engines (the shards of a registry,
+    /// the members of a fleet) into one: counters sum, latency
+    /// percentiles are recomputed from the element-wise sum of the
+    /// bucket vectors (exact, where averaging per-engine percentiles
+    /// would not be), and `epoch`/`day` take the per-shard maximum —
+    /// they are per-atlas properties with no cross-shard meaning, so
+    /// the aggregate reports the freshest.
+    pub fn aggregate<'a>(parts: impl IntoIterator<Item = &'a ServiceStats>) -> ServiceStats {
+        let mut out = ServiceStats {
+            latency_buckets: vec![0; BUCKETS],
+            ..ServiceStats::default()
+        };
+        let mut qps = 0.0;
+        for s in parts {
+            out.queries += s.queries;
+            out.errors += s.errors;
+            qps += s.qps;
+            out.cache_hits += s.cache_hits;
+            out.cache_misses += s.cache_misses;
+            out.cache_evictions += s.cache_evictions;
+            out.swaps += s.swaps;
+            out.epoch = out.epoch.max(s.epoch);
+            out.day = out.day.max(s.day);
+            out.workers += s.workers;
+            if out.latency_buckets.len() < s.latency_buckets.len() {
+                out.latency_buckets.resize(s.latency_buckets.len(), 0);
+            }
+            for (acc, &c) in out.latency_buckets.iter_mut().zip(&s.latency_buckets) {
+                *acc += c;
+            }
+        }
+        out.qps = qps;
+        out.p50_us = quantile_from_counts(&out.latency_buckets, 0.50);
+        out.p99_us = quantile_from_counts(&out.latency_buckets, 0.99);
+        let probed = out.cache_hits + out.cache_misses;
+        out.cache_hit_rate = if probed == 0 {
+            0.0
+        } else {
+            out.cache_hits as f64 / probed as f64
+        };
+        out
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +210,39 @@ mod tests {
     fn empty_histogram_is_zero() {
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn aggregate_merges_buckets_not_percentiles() {
+        let fast = Metrics::default();
+        let slow = Metrics::default();
+        for _ in 0..90 {
+            fast.record_query(10, true);
+        }
+        for _ in 0..10 {
+            slow.record_query(5000, false);
+        }
+        let a = ServiceStats {
+            queries: 90,
+            p50_us: fast.latency.quantile_us(0.5),
+            latency_buckets: fast.latency.snapshot(),
+            ..ServiceStats::default()
+        };
+        let b = ServiceStats {
+            queries: 10,
+            errors: 10,
+            p50_us: slow.latency.quantile_us(0.5),
+            latency_buckets: slow.latency.snapshot(),
+            ..ServiceStats::default()
+        };
+        let merged = ServiceStats::aggregate([&a, &b]);
+        assert_eq!(merged.queries, 100);
+        assert_eq!(merged.errors, 10);
+        // The true p99 over the merged population is the slow bucket;
+        // averaging the two per-part p99s could never say so.
+        assert!((4096..=8192).contains(&merged.p99_us), "{}", merged.p99_us);
+        assert!((8..=16).contains(&merged.p50_us), "{}", merged.p50_us);
+        assert_eq!(merged.latency_buckets.iter().sum::<u64>(), 100);
     }
 
     #[test]

@@ -1,74 +1,103 @@
-//! The network front end end to end: start a `NetServer` over a demo
-//! ring world on an ephemeral loopback port, talk to it with
-//! `NetClient` — ping, a query batch, a resolution, epoch metadata —
-//! then land a daily delta on the live engine and watch remote clients
-//! see the new epoch.
+//! The network front end end to end: start a `NetServer` hosting TWO
+//! independent atlas shards behind one loopback listener, talk to it
+//! with `NetClient` — ping, shard listing, per-shard query batches and
+//! epoch metadata — then land a daily delta on shard 0 and watch
+//! remote clients see the new epoch there and *only* there.
 //!
 //! Run with: `cargo run --release --example net_quickstart`
 //!
-//! (For a long-lived server use the `inano-serve` binary; this example
-//! is the same stack in one process.)
+//! (For a long-lived server use the `inano-serve` binary — e.g.
+//! `inano-serve --ring 16 --ring 24` for this same two-shard shape;
+//! this example is the same stack in one process.)
 
 use inano::net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
 use inano::net::{NetClient, NetServer, ServerConfig};
-use inano::service::{QueryEngine, ServiceConfig};
+use inano::service::{RegistryConfig, ShardId, ShardRegistry, ShardSpec};
 use std::sync::Arc;
 
 fn main() {
-    let ring = 16u32;
-    let engine = Arc::new(QueryEngine::new(
-        Arc::new(ring_atlas(ring, 0)),
-        ServiceConfig {
-            predictor: ring_predictor_config(),
-            ..ServiceConfig::default()
-        },
-    ));
-    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
-        .expect("bind an ephemeral loopback port");
+    // Two shards, two different ring worlds: shard 0 is what every
+    // shard-unaware client talks to; shard 1 is a second atlas
+    // generation served by the same process.
+    let rings = [16u32, 24u32];
+    let registry = Arc::new(
+        ShardRegistry::build(
+            rings
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| ShardSpec {
+                    id: ShardId(i as u16),
+                    atlas: Arc::new(ring_atlas(n, 0)),
+                    predictor: ring_predictor_config(),
+                })
+                .collect(),
+            RegistryConfig::default(),
+        )
+        .expect("build the registry"),
+    );
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServerConfig::default(),
+    )
+    .expect("bind an ephemeral loopback port");
     println!("server on {}", server.local_addr());
 
     let mut client = NetClient::connect(server.local_addr()).expect("connect");
     client.ping().expect("ping");
-    let (epoch, day) = client.epoch().expect("epoch");
-    println!("connected; serving epoch {epoch}, day {day}");
-
-    let far = ring / 2;
-    let pairs = [(ring_ip(0), ring_ip(far)), (ring_ip(3), ring_ip(11))];
-    for (i, result) in client
-        .query_batch(&pairs)
-        .expect("batch")
-        .into_iter()
-        .enumerate()
-    {
-        let path = result.expect("ring pairs are routable").into_predicted();
+    for info in client.shards().expect("list shards") {
         println!(
-            "  {:?} -> {:?}: {} cluster hops, rtt {:.2} ms",
-            pairs[i].0,
-            pairs[i].1,
-            path.fwd_clusters.len(),
-            path.rtt.ms()
+            "  shard {}: epoch {}, day {}",
+            info.shard, info.epoch, info.day
         );
     }
-    let resolution = client.resolve(ring_ip(far)).expect("resolve");
+
+    // Shard-unaware calls keep their old meaning: they land on shard 0.
+    let far = rings[0] / 2;
+    let pairs = [(ring_ip(0), ring_ip(far))];
+    let path = client.query_batch(&pairs).expect("batch")[0]
+        .clone()
+        .expect("ring pairs are routable")
+        .into_predicted();
     println!(
-        "resolve({:?}): prefix pfx{}, cluster cl{}",
-        ring_ip(far),
-        resolution.prefix,
-        resolution.cluster
+        "shard 0: {:?} -> {:?}: {} cluster hops, rtt {:.2} ms",
+        pairs[0].0,
+        pairs[0].1,
+        path.fwd_clusters.len(),
+        path.rtt.ms()
     );
 
-    // A daily delta lands on the live engine; remote queries never
-    // stop, and the next batch is served from the new generation.
-    engine
-        .apply_delta(&ring_shortcut_delta(ring, 0))
+    // The same addresses mean different things on shard 1 — it is a
+    // different (bigger) world with its own routes.
+    let far1 = rings[1] / 2;
+    let on_shard1 = client
+        .query_batch_on(ShardId(1), &[(ring_ip(0), ring_ip(far1))])
+        .expect("batch on shard 1")[0]
+        .clone()
+        .expect("routable on shard 1")
+        .into_predicted();
+    println!(
+        "shard 1: {:?} -> {:?}: {} cluster hops",
+        ring_ip(0),
+        ring_ip(far1),
+        on_shard1.fwd_clusters.len()
+    );
+
+    // A daily delta lands on shard 0 only; remote queries never stop,
+    // and shard 1's epoch does not move.
+    registry
+        .apply_delta(ShardId(0), &ring_shortcut_delta(rings[0], 0))
         .expect("delta applies");
-    let (epoch, day) = client.epoch().expect("epoch");
-    let after = client.query_batch(&pairs[..1]).expect("batch")[0]
+    let (epoch0, day0) = client.epoch().expect("epoch");
+    let (epoch1, day1) = client.epoch_on(ShardId(1)).expect("epoch on shard 1");
+    let after = client.query_batch(&pairs).expect("batch")[0]
         .clone()
         .expect("still routable")
         .into_predicted();
     println!(
-        "after the swap: epoch {epoch}, day {day}; {:?} -> {:?} is now {} hops (the new shortcut)",
+        "after the swap: shard 0 at epoch {epoch0}, day {day0} \
+         ({:?} -> {:?} is now {} hops — the new shortcut); \
+         shard 1 untouched at epoch {epoch1}, day {day1}",
         pairs[0].0,
         pairs[0].1,
         after.fwd_clusters.len()
@@ -76,10 +105,10 @@ fn main() {
 
     let stats = client.stats().expect("stats");
     println!(
-        "server served {} queries, cache hit rate {:.2}",
+        "shard 0 served {} queries, cache hit rate {:.2}",
         stats.queries, stats.cache_hit_rate
     );
     server.shutdown();
-    engine.shutdown();
+    registry.shutdown();
     println!("clean shutdown");
 }
