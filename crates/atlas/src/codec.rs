@@ -239,6 +239,16 @@ pub fn encode(atlas: &Atlas) -> (Vec<u8>, SectionSizes) {
 
 // ---------- decode ----------
 
+/// Read just the day from an encoded atlas (magic + leading varint) —
+/// what a dissemination head needs, without paying a full decode.
+pub fn peek_day(bytes: &[u8]) -> Result<u32, ModelError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(ModelError::Decode("bad magic".into()));
+    }
+    let mut pos = MAGIC.len();
+    Ok(get_varint(bytes, &mut pos)? as u32)
+}
+
 /// Decode an atlas previously produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Atlas, ModelError> {
     let mut pos = 0usize;

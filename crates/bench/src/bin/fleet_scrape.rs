@@ -1,0 +1,63 @@
+//! `fleet_scrape`: poll several `inano-serve` instances, merge their
+//! per-shard engine counters into one fleet-wide view, and emit it as a
+//! single BENCH JSON line.
+//!
+//! The merge is exact, not approximate: `StatsReply` ships each
+//! engine's raw log₂ latency buckets, and `ServiceStats::aggregate`
+//! sums those bucket vectors element-wise before recomputing p50/p99 —
+//! merging histograms, where averaging per-server percentiles would be
+//! statistically meaningless.
+//!
+//! Usage: `fleet_scrape --connect ADDR [--connect ADDR]...`
+
+use inano_net::cli::repeated;
+use inano_net::NetClient;
+use inano_service::{ServiceStats, ShardId};
+
+fn main() {
+    let targets = repeated(&["--connect"]);
+    if targets.is_empty() {
+        eprintln!("usage: fleet_scrape --connect ADDR [--connect ADDR]...");
+        std::process::exit(2);
+    }
+
+    let mut parts: Vec<ServiceStats> = Vec::new();
+    let mut servers = 0usize;
+    for (_, addr) in &targets {
+        let mut client =
+            NetClient::connect(addr).unwrap_or_else(|e| panic!("connect to {addr}: {e}"));
+        let shards = client
+            .shards()
+            .unwrap_or_else(|e| panic!("list shards of {addr}: {e}"));
+        servers += 1;
+        for info in shards {
+            let stats = client
+                .stats_on(ShardId(info.shard))
+                .unwrap_or_else(|e| panic!("stats of {addr} shard {}: {e}", info.shard));
+            eprintln!(
+                "{addr} shard {}: {} queries, epoch {}, day {}, p99 {}us",
+                info.shard, stats.queries, stats.epoch, stats.day, stats.p99_us
+            );
+            parts.push(stats.to_service_stats());
+        }
+    }
+
+    let fleet = ServiceStats::aggregate(parts.iter());
+    // The contract line: exactly one JSON record on stdout.
+    println!(
+        "{{\"bench\":\"fleet_scrape\",\"servers\":{servers},\"shards\":{},\"queries\":{},\
+         \"errors\":{},\"qps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"cache_hit\":{:.4},\
+         \"swaps\":{},\"epoch\":{},\"day\":{},\"workers\":{}}}",
+        parts.len(),
+        fleet.queries,
+        fleet.errors,
+        fleet.qps,
+        fleet.p50_us,
+        fleet.p99_us,
+        fleet.cache_hit_rate,
+        fleet.swaps,
+        fleet.epoch,
+        fleet.day,
+        fleet.workers,
+    );
+}

@@ -1,0 +1,105 @@
+//! `mirror_probe`: verify that a mirror really serves its origin's
+//! atlas — the client-side check of the dissemination chain.
+//!
+//! Fetches the full shard-0 atlas from both servers over the wire (the
+//! same chunked, checksummed path any peer bootstrap uses), asserts the
+//! epoch tags match, then asks both servers the same `--queries` random
+//! ring queries and asserts the answers are identical. Exits non-zero
+//! on any mismatch; on success prints one BENCH JSON line.
+//!
+//! Usage: `mirror_probe --origin ADDR --mirror ADDR [--ring N]
+//!         [--queries Q]`
+
+use inano_core::AtlasReader;
+use inano_model::rng::rng_for;
+use inano_net::cli::arg;
+use inano_net::demo::ring_ip;
+use inano_net::NetClient;
+use rand::Rng;
+
+fn main() {
+    let origin: String = arg("--origin", String::new());
+    let mirror: String = arg("--mirror", String::new());
+    let ring: u32 = arg("--ring", 64);
+    let queries: usize = arg("--queries", 500);
+    assert!(
+        !origin.is_empty() && !mirror.is_empty(),
+        "usage: mirror_probe --origin ADDR --mirror ADDR [--ring N] [--queries Q]"
+    );
+
+    // The client fetch: both atlases arrive over the wire through the
+    // chunked AtlasSource the servers expose.
+    let reader = AtlasReader::default();
+    let mut origin_client =
+        NetClient::connect(&origin).unwrap_or_else(|e| panic!("connect to origin {origin}: {e}"));
+    let mut mirror_client =
+        NetClient::connect(&mirror).unwrap_or_else(|e| panic!("connect to mirror {mirror}: {e}"));
+    let (origin_head, origin_bytes) = reader
+        .fetch_full(&mut origin_client)
+        .unwrap_or_else(|e| panic!("fetch origin atlas: {e}"));
+    let (mirror_head, mirror_bytes) = reader
+        .fetch_full(&mut mirror_client)
+        .unwrap_or_else(|e| panic!("fetch mirror atlas: {e}"));
+    assert_eq!(
+        origin_head.epoch_tag, mirror_head.epoch_tag,
+        "origin and mirror serve different atlas generations"
+    );
+    assert_eq!(origin_bytes, mirror_bytes, "tag equal but bytes differ?!");
+    eprintln!(
+        "atlas parity: day {}, tag {:#018x}, {} bytes in {} chunk(s) from each server",
+        origin_head.day,
+        origin_head.epoch_tag,
+        origin_head.full_len,
+        origin_head.n_chunks(),
+    );
+
+    // The query parity check: identical predictions from both ends.
+    let mut rng = rng_for(7, "mirror-probe");
+    let pairs: Vec<_> = (0..queries)
+        .map(|_| {
+            let s = rng.gen_range(0..ring);
+            let d = (s + rng.gen_range(1..ring)) % ring;
+            (ring_ip(s), ring_ip(d))
+        })
+        .collect();
+    let from_origin = origin_client
+        .query_batch(&pairs)
+        .unwrap_or_else(|e| panic!("origin batch: {e}"));
+    let from_mirror = mirror_client
+        .query_batch(&pairs)
+        .unwrap_or_else(|e| panic!("mirror batch: {e}"));
+    let mut mismatches = 0usize;
+    for (i, (a, b)) in from_origin.iter().zip(&from_mirror).enumerate() {
+        // Routes and AS paths must agree exactly; RTT/loss only to
+        // float accumulation error — the origin may serve an in-memory
+        // atlas whose latencies were never quantised through the
+        // codec, so per-hop sums can differ in the last ulp.
+        let agrees = match (a, b) {
+            (Ok(a), Ok(b)) => {
+                a.fwd_clusters == b.fwd_clusters
+                    && a.rev_clusters == b.rev_clusters
+                    && a.fwd_as == b.fwd_as
+                    && a.rev_as == b.rev_as
+                    && (a.rtt_ms - b.rtt_ms).abs() < 1e-9
+                    && (a.loss - b.loss).abs() < 1e-9
+            }
+            (Err(a), Err(b)) => a.code == b.code,
+            _ => false,
+        };
+        if !agrees {
+            mismatches += 1;
+            if mismatches <= 3 {
+                eprintln!("pair {i} diverges:\n  origin: {a:?}\n  mirror: {b:?}");
+            }
+        }
+    }
+    assert_eq!(mismatches, 0, "{mismatches} of {queries} queries diverge");
+
+    println!(
+        "{{\"bench\":\"mirror_probe\",\"tag\":\"{:#018x}\",\"atlas_bytes\":{},\"chunks\":{},\
+         \"parity_queries\":{queries},\"mismatches\":0}}",
+        origin_head.epoch_tag,
+        origin_head.full_len,
+        origin_head.n_chunks(),
+    );
+}

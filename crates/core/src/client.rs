@@ -5,27 +5,20 @@
 
 use crate::config::PredictorConfig;
 use crate::predict::{PathPredictor, PredictedPath};
+use crate::source::{AtlasReader, AtlasSource, BlobFetch};
 use inano_atlas::{codec, Atlas, AtlasDelta};
 use inano_model::{ClusterId, Ipv4, LatencyMs, ModelError};
 use std::sync::Arc;
 
-/// Where atlas bytes come from: the swarm simulation, a file, a test
-/// vector... The library is "sufficiently modular that any peer-to-peer
-/// filesharing protocol can be plugged in" (§5).
-pub trait AtlasSource {
-    /// The full atlas for the newest available day.
-    fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError>;
-    /// The delta from `have_day` to the next day, if one is available.
-    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<Vec<u8>>, ModelError>;
-}
-
-/// An in-memory source, for tests and local files.
+/// An in-memory blob source, for tests and local files; wrap it in
+/// [`crate::source::BlobSource`] to feed the chunked [`AtlasSource`]
+/// consumers.
 pub struct StaticSource {
     pub full: Vec<u8>,
     pub deltas: Vec<Vec<u8>>,
 }
 
-impl AtlasSource for StaticSource {
+impl BlobFetch for StaticSource {
     fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError> {
         Ok(self.full.clone())
     }
@@ -55,12 +48,13 @@ pub struct INanoClient {
 }
 
 impl INanoClient {
-    /// Bootstrap: fetch and decode the full atlas.
+    /// Bootstrap: fetch (chunked, validated, resumable — see
+    /// [`AtlasReader`]) and decode the full atlas.
     pub fn bootstrap(
         source: &mut dyn AtlasSource,
         cfg: PredictorConfig,
     ) -> Result<INanoClient, ModelError> {
-        let bytes = source.fetch_full()?;
+        let (_, bytes) = AtlasReader::default().fetch_full(source)?;
         let atlas = codec::decode(&bytes)?;
         let atlas = Arc::new(atlas);
         let predictor = PathPredictor::new(Arc::clone(&atlas), cfg.clone());
@@ -85,18 +79,21 @@ impl INanoClient {
     /// delta — the days that did apply are committed, the error is
     /// returned, and the client keeps serving queries either way.
     pub fn update(&mut self, source: &mut dyn AtlasSource) -> Result<usize, ModelError> {
+        let reader = AtlasReader::default();
         let mut staged: Option<Atlas> = None;
         let mut applied = 0usize;
         let outcome = loop {
             let base = staged.as_ref().unwrap_or(&self.atlas);
-            match source.fetch_delta(base.day) {
-                Ok(Some(bytes)) => match AtlasDelta::decode(&bytes).and_then(|d| d.apply(base)) {
-                    Ok(next) => {
-                        staged = Some(next);
-                        applied += 1;
+            match reader.fetch_delta(source, base.day) {
+                Ok(Some((_, bytes))) => {
+                    match AtlasDelta::decode(&bytes).and_then(|d| d.apply(base)) {
+                        Ok(next) => {
+                            staged = Some(next);
+                            applied += 1;
+                        }
+                        Err(e) => break Err(e),
                     }
-                    Err(e) => break Err(e),
-                },
+                }
                 Ok(None) => break Ok(applied),
                 Err(e) => break Err(e),
             }
@@ -178,6 +175,7 @@ impl INanoClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::BlobSource;
     use inano_atlas::{LinkAnnotation, Plane};
     use inano_model::{Asn, Prefix, PrefixId};
 
@@ -221,10 +219,10 @@ mod tests {
     #[test]
     fn bootstrap_and_query() {
         let (bytes, _) = codec::encode(&base_atlas(0));
-        let mut src = StaticSource {
+        let mut src = BlobSource::new(StaticSource {
             full: bytes,
             deltas: vec![],
-        };
+        });
         let client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
         assert_eq!(client.day(), 0);
         let r = client
@@ -254,10 +252,10 @@ mod tests {
         let (full, _) = codec::encode(&day0);
         let d01 = AtlasDelta::between(&day0, &day1).encode().0;
         let d12 = AtlasDelta::between(&day1, &day2).encode().0;
-        let mut src = StaticSource {
+        let mut src = BlobSource::new(StaticSource {
             full,
             deltas: vec![d01, d12],
-        };
+        });
         let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
         assert_eq!(client.update(&mut src).unwrap(), 2);
         assert_eq!(client.day(), 2);
@@ -277,7 +275,7 @@ mod tests {
         served: usize,
     }
 
-    impl AtlasSource for FlakyAfterOne {
+    impl BlobFetch for FlakyAfterOne {
         fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError> {
             self.inner.fetch_full()
         }
@@ -307,13 +305,13 @@ mod tests {
         );
         let (full, _) = codec::encode(&day0);
         let d01 = AtlasDelta::between(&day0, &day1).encode().0;
-        let mut src = FlakyAfterOne {
+        let mut src = BlobSource::new(FlakyAfterOne {
             inner: StaticSource {
                 full,
                 deltas: vec![d01],
             },
             served: 0,
-        };
+        });
         let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
         assert!(
             client.update(&mut src).is_err(),
@@ -335,10 +333,10 @@ mod tests {
     #[test]
     fn add_local_links_applies_in_place_without_cloning() {
         let (bytes, _) = codec::encode(&base_atlas(0));
-        let mut src = StaticSource {
+        let mut src = BlobSource::new(StaticSource {
             full: bytes,
             deltas: vec![],
-        };
+        });
         let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
         client.add_local_links([(
             (ClusterId::new(1), ClusterId::new(3)),
@@ -380,16 +378,16 @@ mod tests {
                 Some(LatencyMs::new(0.4)),
             ),
         ];
-        let mut src = StaticSource {
+        let mut src = BlobSource::new(StaticSource {
             full: bytes.clone(),
             deltas: vec![],
-        };
+        });
         let mut one = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
         one.add_local_links(links);
-        let mut src2 = StaticSource {
+        let mut src2 = BlobSource::new(StaticSource {
             full: bytes,
             deltas: vec![],
-        };
+        });
         let mut two = INanoClient::bootstrap(&mut src2, client_cfg()).unwrap();
         for l in links {
             two.add_local_links([l]);
@@ -416,10 +414,10 @@ mod tests {
         ));
         let (full, _) = codec::encode(&day0);
         let d01 = AtlasDelta::between(&day0, &day1).encode().0;
-        let mut src = StaticSource {
+        let mut src = BlobSource::new(StaticSource {
             full,
             deltas: vec![d01],
-        };
+        });
         let mut client = INanoClient::bootstrap(&mut src, client_cfg()).unwrap();
         client.add_local_links([(
             (ClusterId::new(1), ClusterId::new(3)),

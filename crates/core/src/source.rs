@@ -1,0 +1,661 @@
+//! Atlas acquisition, v2: a versioned, chunk-oriented [`AtlasSource`]
+//! plus the [`AtlasReader`] driver that assembles and validates bodies.
+//!
+//! The paper's §5 dissemination story is peers fetching the ~7MB atlas
+//! (and then small daily deltas) *from each other*. The original
+//! `AtlasSource` was a two-method blob API (`fetch_full() -> Vec<u8>`)
+//! that only worked in-process; this redesign makes the unit of
+//! transfer a *chunk* of a *named version*, which is what lets the same
+//! trait sit in front of an in-memory test vector, the swarm
+//! simulation, or a remote `inano-serve` over the wire:
+//!
+//! * [`AtlasSource::head`] names the newest version —
+//!   [`AtlasVersion`]: day, content tag, body length, chunk size — so a
+//!   fetcher knows exactly what it is about to assemble;
+//! * [`AtlasSource::fetch_full_chunk`] returns one bounded,
+//!   checksummed [`AtlasChunk`] of that body, so a transfer survives a
+//!   lost chunk by re-fetching *that chunk*, not the whole body, and a
+//!   wire frame never has to carry more than one chunk;
+//! * [`AtlasSource::fetch_delta`] returns a [`DeltaHandle`] describing
+//!   the day-over-day delta body, fetched with the same chunk
+//!   machinery via [`AtlasSource::fetch_delta_chunk`].
+//!
+//! [`AtlasReader`] drives a source: it validates every chunk (length
+//! and checksum), retries failed chunks, verifies the assembled body
+//! against the head's `epoch_tag`, and — when the source reports
+//! [`ModelError::VersionRaced`] because the origin swapped generations
+//! mid-fetch — restarts at the new head. `INanoClient::bootstrap` and
+//! the service engine both feed on it.
+//!
+//! [`BlobSource`] adapts the legacy blob shape ([`BlobFetch`]) onto the
+//! new trait, so in-memory sources like `StaticSource` migrate
+//! mechanically.
+
+use inano_atlas::{codec, AtlasDelta};
+use inano_model::ModelError;
+
+/// Default chunk size for in-process sources: large enough that a ~7MB
+/// atlas is a few dozen chunks, small enough that one chunk always fits
+/// the default wire frame limit with room for framing.
+pub const DEFAULT_CHUNK_SIZE: u32 = 256 << 10;
+
+/// FNV-1a 64-bit over `bytes`: the workspace-wide content tag. Used
+/// both as the per-chunk checksum and as [`AtlasVersion::epoch_tag`]
+/// over the whole encoded body, so "the same atlas" has the same tag on
+/// every node of a mirror chain, however it got there.
+pub fn content_tag(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Number of `chunk_size` chunks covering a `len`-byte body.
+pub fn n_chunks(len: u64, chunk_size: u32) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    ((len - 1) / chunk_size.max(1) as u64 + 1).min(u32::MAX as u64) as u32
+}
+
+/// Byte range of chunk `idx` in a `len`-byte body cut into `chunk_size`
+/// chunks, or a typed [`ModelError::ChunkOutOfRange`].
+pub fn chunk_span(
+    len: u64,
+    chunk_size: u32,
+    idx: u32,
+) -> Result<std::ops::Range<usize>, ModelError> {
+    let chunks = n_chunks(len, chunk_size);
+    if idx >= chunks {
+        return Err(ModelError::ChunkOutOfRange(format!(
+            "chunk {idx} of a {chunks}-chunk body"
+        )));
+    }
+    let start = idx as u64 * chunk_size as u64;
+    let end = (start + chunk_size as u64).min(len);
+    Ok(start as usize..end as usize)
+}
+
+/// What a source's newest full atlas looks like, before any bytes move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AtlasVersion {
+    /// Measurement day of the full body.
+    pub day: u32,
+    /// Content tag of the encoded body ([`content_tag`]); equal on
+    /// every mirror serving the same generation, whatever its local
+    /// swap epoch says.
+    pub epoch_tag: u64,
+    /// Encoded body length in bytes.
+    pub full_len: u64,
+    /// Chunk size this source serves the body in.
+    pub chunk_size: u32,
+}
+
+impl AtlasVersion {
+    pub fn n_chunks(&self) -> u32 {
+        n_chunks(self.full_len, self.chunk_size)
+    }
+}
+
+/// A daily delta a source offers, before its body moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeltaHandle {
+    pub from_day: u32,
+    pub to_day: u32,
+    /// Encoded delta body length in bytes.
+    pub len: u64,
+    /// Chunk size the delta body is served in.
+    pub chunk_size: u32,
+}
+
+impl DeltaHandle {
+    pub fn n_chunks(&self) -> u32 {
+        n_chunks(self.len, self.chunk_size)
+    }
+}
+
+/// One checksummed chunk of an atlas or delta body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtlasChunk {
+    pub bytes: Vec<u8>,
+    /// [`content_tag`] of `bytes`, computed at the origin — so a relay
+    /// that corrupts a chunk is caught by the reader, not by a failed
+    /// atlas decode megabytes later.
+    pub crc: u64,
+}
+
+impl AtlasChunk {
+    /// Wrap `bytes` with their freshly-computed checksum.
+    pub fn of(bytes: Vec<u8>) -> AtlasChunk {
+        let crc = content_tag(&bytes);
+        AtlasChunk { bytes, crc }
+    }
+
+    /// True when the carried checksum matches the carried bytes.
+    pub fn verify(&self) -> bool {
+        content_tag(&self.bytes) == self.crc
+    }
+}
+
+/// Where atlas bytes come from: the swarm simulation, a test vector, a
+/// remote `inano-serve` acting as a mirror... The library is
+/// "sufficiently modular that any peer-to-peer filesharing protocol can
+/// be plugged in" (§5) — the unit of exchange is a checksummed chunk of
+/// a named version.
+///
+/// ## Contract
+///
+/// * `head()` snapshots the newest full version; subsequent
+///   `fetch_full_chunk` calls serve *that* version's body. If the
+///   source moves on mid-fetch (a mirror applied a delta), it returns
+///   [`ModelError::VersionRaced`] and the fetcher restarts at the new
+///   head — it must not silently splice bodies from two generations.
+/// * `fetch_delta(have_day)` offers the delta leaving `have_day`, if
+///   one exists; its body is served by `fetch_delta_chunk(from_day, _)`
+///   with the same race rule.
+/// * A chunk index at or beyond the body's chunk count is a typed
+///   [`ModelError::ChunkOutOfRange`].
+pub trait AtlasSource {
+    /// The newest available full-atlas version.
+    fn head(&mut self) -> Result<AtlasVersion, ModelError>;
+    /// Chunk `idx` of the full body last named by [`AtlasSource::head`].
+    fn fetch_full_chunk(&mut self, idx: u32) -> Result<AtlasChunk, ModelError>;
+    /// The delta from `have_day` to the next day, if one is available.
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<DeltaHandle>, ModelError>;
+    /// Chunk `idx` of the delta body leaving `from_day`.
+    fn fetch_delta_chunk(&mut self, from_day: u32, idx: u32) -> Result<AtlasChunk, ModelError>;
+}
+
+/// Drives an [`AtlasSource`]: assembles chunked bodies, validates
+/// length and checksum per chunk, retries failed chunks in place, and
+/// restarts from a fresh `head()` when the version races mid-fetch.
+#[derive(Clone, Copy, Debug)]
+pub struct AtlasReader {
+    /// Whole-body restarts tolerated (version races, tag mismatches).
+    pub max_restarts: u32,
+    /// Per-chunk retries before the fetch fails (resume-in-place: a bad
+    /// chunk re-fetches that chunk, never the whole body).
+    pub chunk_retries: u32,
+    /// Largest body this reader will assemble; a hostile head claiming
+    /// more fails typed instead of allocating it.
+    pub max_body_bytes: u64,
+}
+
+impl Default for AtlasReader {
+    fn default() -> AtlasReader {
+        AtlasReader {
+            max_restarts: 3,
+            chunk_retries: 2,
+            max_body_bytes: 1 << 30,
+        }
+    }
+}
+
+impl AtlasReader {
+    /// Download and validate the newest full body. Returns the version
+    /// it ended up with (restarts may land on a newer one than the
+    /// first `head()` named) and the assembled bytes, whose
+    /// [`content_tag`] is guaranteed to equal `version.epoch_tag`.
+    pub fn fetch_full(
+        &self,
+        source: &mut dyn AtlasSource,
+    ) -> Result<(AtlasVersion, Vec<u8>), ModelError> {
+        let mut restarts = 0;
+        loop {
+            let head = source.head()?;
+            self.check_body(head.full_len, head.chunk_size)?;
+            match self.body(head.full_len, head.chunk_size, &mut |i| {
+                source.fetch_full_chunk(i)
+            }) {
+                Ok(body) if content_tag(&body) == head.epoch_tag => return Ok((head, body)),
+                // An assembled body whose tag disagrees with its head
+                // means the source changed under us without saying so;
+                // treat it like a declared race.
+                Ok(_) => {}
+                Err(e) if is_race(&e) => {}
+                Err(e) => return Err(e),
+            }
+            restarts += 1;
+            if restarts > self.max_restarts {
+                return Err(ModelError::VersionRaced(format!(
+                    "full fetch restarted {restarts} times without completing"
+                )));
+            }
+        }
+    }
+
+    /// Download and validate the delta leaving `have_day`, if the
+    /// source has one.
+    pub fn fetch_delta(
+        &self,
+        source: &mut dyn AtlasSource,
+        have_day: u32,
+    ) -> Result<Option<(DeltaHandle, Vec<u8>)>, ModelError> {
+        let mut restarts = 0;
+        loop {
+            let Some(handle) = source.fetch_delta(have_day)? else {
+                return Ok(None);
+            };
+            if handle.from_day != have_day {
+                return Err(ModelError::Decode(format!(
+                    "asked for the delta leaving day {have_day}, offered {}→{}",
+                    handle.from_day, handle.to_day
+                )));
+            }
+            self.check_body(handle.len, handle.chunk_size)?;
+            match self.body(handle.len, handle.chunk_size, &mut |i| {
+                source.fetch_delta_chunk(handle.from_day, i)
+            }) {
+                Ok(body) => return Ok(Some((handle, body))),
+                Err(e) if is_race(&e) => {}
+                Err(e) => return Err(e),
+            }
+            restarts += 1;
+            if restarts > self.max_restarts {
+                return Err(ModelError::VersionRaced(format!(
+                    "delta fetch from day {have_day} restarted {restarts} times"
+                )));
+            }
+        }
+    }
+
+    fn check_body(&self, len: u64, chunk_size: u32) -> Result<(), ModelError> {
+        if chunk_size == 0 {
+            return Err(ModelError::Decode("source declared chunk size 0".into()));
+        }
+        if len > self.max_body_bytes {
+            return Err(ModelError::Decode(format!(
+                "declared body of {len} bytes exceeds reader limit {}",
+                self.max_body_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Assemble one body chunk by chunk, retrying each failed chunk in
+    /// place up to `chunk_retries` times.
+    fn body(
+        &self,
+        len: u64,
+        chunk_size: u32,
+        fetch: &mut dyn FnMut(u32) -> Result<AtlasChunk, ModelError>,
+    ) -> Result<Vec<u8>, ModelError> {
+        let mut out = Vec::new();
+        for idx in 0..n_chunks(len, chunk_size) {
+            let want = chunk_span(len, chunk_size, idx)?.len();
+            let mut attempts = 0;
+            let chunk = loop {
+                let outcome = match fetch(idx) {
+                    Ok(c) if !c.verify() => Err(ModelError::Decode(format!(
+                        "chunk {idx} failed its checksum"
+                    ))),
+                    Ok(c) if c.bytes.len() != want => Err(ModelError::Decode(format!(
+                        "chunk {idx} is {} bytes, want {want}",
+                        c.bytes.len()
+                    ))),
+                    other => other,
+                };
+                match outcome {
+                    Ok(c) => break c,
+                    // A race aborts the body immediately — retrying the
+                    // same index against a new generation cannot help.
+                    Err(e) if is_race(&e) => return Err(e),
+                    Err(e) => {
+                        attempts += 1;
+                        if attempts > self.chunk_retries {
+                            return Err(e);
+                        }
+                    }
+                }
+            };
+            out.extend_from_slice(&chunk.bytes);
+        }
+        Ok(out)
+    }
+}
+
+fn is_race(e: &ModelError) -> bool {
+    matches!(
+        e,
+        ModelError::VersionRaced(_) | ModelError::ChunkOutOfRange(_)
+    )
+}
+
+/// The legacy blob shape: one full body, one delta body per day.
+/// In-memory sources (test vectors, files) keep implementing this and
+/// ride behind [`BlobSource`].
+pub trait BlobFetch {
+    /// The full atlas for the newest available day.
+    fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError>;
+    /// The delta from `have_day` to the next day, if one is available.
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<Vec<u8>>, ModelError>;
+}
+
+/// Adapts a [`BlobFetch`] onto the chunked [`AtlasSource`]: fetches the
+/// blob once per `head()`/`fetch_delta()` and serves chunks from the
+/// cached copy.
+pub struct BlobSource<S> {
+    inner: S,
+    chunk_size: u32,
+    full: Option<(AtlasVersion, Vec<u8>)>,
+    delta: Option<(DeltaHandle, Vec<u8>)>,
+}
+
+impl<S: BlobFetch> BlobSource<S> {
+    pub fn new(inner: S) -> BlobSource<S> {
+        BlobSource::with_chunk_size(inner, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Mostly for tests: tiny chunks force multi-chunk transfers.
+    pub fn with_chunk_size(inner: S, chunk_size: u32) -> BlobSource<S> {
+        BlobSource {
+            inner,
+            chunk_size: chunk_size.max(1),
+            full: None,
+            delta: None,
+        }
+    }
+
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn ensure_full(&mut self) -> Result<&(AtlasVersion, Vec<u8>), ModelError> {
+        if self.full.is_none() {
+            let bytes = self.inner.fetch_full()?;
+            // Peek, don't decode: the consumer decodes the assembled
+            // body itself, and a second full decode just for the day
+            // would double the bootstrap cost.
+            let day = codec::peek_day(&bytes)?;
+            let version = AtlasVersion {
+                day,
+                epoch_tag: content_tag(&bytes),
+                full_len: bytes.len() as u64,
+                chunk_size: self.chunk_size,
+            };
+            self.full = Some((version, bytes));
+        }
+        Ok(self.full.as_ref().expect("populated above"))
+    }
+
+    fn ensure_delta(
+        &mut self,
+        from_day: u32,
+    ) -> Result<Option<&(DeltaHandle, Vec<u8>)>, ModelError> {
+        let cached = matches!(&self.delta, Some((h, _)) if h.from_day == from_day);
+        if !cached {
+            let Some(bytes) = self.inner.fetch_delta(from_day)? else {
+                return Ok(None);
+            };
+            let parsed = AtlasDelta::decode(&bytes)?;
+            let handle = DeltaHandle {
+                from_day: parsed.from_day,
+                to_day: parsed.to_day,
+                len: bytes.len() as u64,
+                chunk_size: self.chunk_size,
+            };
+            self.delta = Some((handle, bytes));
+        }
+        Ok(self.delta.as_ref())
+    }
+}
+
+impl<S: BlobFetch> AtlasSource for BlobSource<S> {
+    fn head(&mut self) -> Result<AtlasVersion, ModelError> {
+        // Refresh the cached blob: head() is the start of a new fetch.
+        self.full = None;
+        Ok(self.ensure_full()?.0)
+    }
+
+    fn fetch_full_chunk(&mut self, idx: u32) -> Result<AtlasChunk, ModelError> {
+        let (version, bytes) = self.ensure_full()?;
+        let span = chunk_span(version.full_len, version.chunk_size, idx)?;
+        Ok(AtlasChunk::of(bytes[span].to_vec()))
+    }
+
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<DeltaHandle>, ModelError> {
+        Ok(self.ensure_delta(have_day)?.map(|(h, _)| *h))
+    }
+
+    fn fetch_delta_chunk(&mut self, from_day: u32, idx: u32) -> Result<AtlasChunk, ModelError> {
+        let Some((handle, bytes)) = self.ensure_delta(from_day)? else {
+            return Err(ModelError::VersionRaced(format!(
+                "no delta leaving day {from_day} is available any more"
+            )));
+        };
+        let span = chunk_span(handle.len, handle.chunk_size, idx)?;
+        Ok(AtlasChunk::of(bytes[span].to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A blob source over fixed bytes (no atlas decode involved — these
+    /// tests drive the chunk machinery, not the codec).
+    struct RawBlobs {
+        full: Vec<u8>,
+        delta: Option<Vec<u8>>,
+    }
+
+    /// An AtlasSource serving `body` directly, with fault injection.
+    struct FaultySource {
+        day: u32,
+        body: Vec<u8>,
+        chunk_size: u32,
+        /// Chunk indexes that fail (once each) with a transient error.
+        flaky: Vec<u32>,
+        /// Corrupt this chunk's checksum once.
+        corrupt_once: Option<u32>,
+        /// After this many total chunk fetches, swap to `next_body`.
+        race_after: Option<usize>,
+        next_body: Vec<u8>,
+        fetches: usize,
+    }
+
+    impl FaultySource {
+        fn new(body: Vec<u8>, chunk_size: u32) -> FaultySource {
+            FaultySource {
+                day: 0,
+                body,
+                chunk_size,
+                flaky: vec![],
+                corrupt_once: None,
+                race_after: None,
+                next_body: vec![],
+                fetches: 0,
+            }
+        }
+
+        fn version(&self) -> AtlasVersion {
+            AtlasVersion {
+                day: self.day,
+                epoch_tag: content_tag(&self.body),
+                full_len: self.body.len() as u64,
+                chunk_size: self.chunk_size,
+            }
+        }
+    }
+
+    impl AtlasSource for FaultySource {
+        fn head(&mut self) -> Result<AtlasVersion, ModelError> {
+            Ok(self.version())
+        }
+
+        fn fetch_full_chunk(&mut self, idx: u32) -> Result<AtlasChunk, ModelError> {
+            self.fetches += 1;
+            if let Some(after) = self.race_after {
+                if self.fetches > after {
+                    self.race_after = None;
+                    self.body = std::mem::take(&mut self.next_body);
+                    self.day += 1;
+                    return Err(ModelError::VersionRaced("origin swapped".into()));
+                }
+            }
+            if let Some(pos) = self.flaky.iter().position(|&i| i == idx) {
+                self.flaky.remove(pos);
+                return Err(ModelError::Decode("transient fetch failure".into()));
+            }
+            let span = chunk_span(self.body.len() as u64, self.chunk_size, idx)?;
+            let mut chunk = AtlasChunk::of(self.body[span].to_vec());
+            if self.corrupt_once == Some(idx) {
+                self.corrupt_once = None;
+                chunk.crc ^= 1;
+            }
+            Ok(chunk)
+        }
+
+        fn fetch_delta(&mut self, _have_day: u32) -> Result<Option<DeltaHandle>, ModelError> {
+            Ok(None)
+        }
+
+        fn fetch_delta_chunk(
+            &mut self,
+            _from_day: u32,
+            _idx: u32,
+        ) -> Result<AtlasChunk, ModelError> {
+            Err(ModelError::Decode("no deltas here".into()))
+        }
+    }
+
+    fn body(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn chunk_spans_tile_the_body_exactly() {
+        for (len, cs) in [(0u64, 4u32), (1, 4), (4, 4), (5, 4), (1000, 7)] {
+            let chunks = n_chunks(len, cs);
+            let mut covered = 0u64;
+            for i in 0..chunks {
+                let span = chunk_span(len, cs, i).expect("in range");
+                assert_eq!(span.start as u64, covered);
+                assert!(!span.is_empty());
+                covered = span.end as u64;
+            }
+            assert_eq!(covered, len, "len {len} chunk {cs}");
+            assert!(matches!(
+                chunk_span(len, cs, chunks),
+                Err(ModelError::ChunkOutOfRange(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn reader_assembles_multi_chunk_bodies() {
+        let b = body(1000);
+        let mut src = FaultySource::new(b.clone(), 64);
+        let (version, got) = AtlasReader::default()
+            .fetch_full(&mut src)
+            .expect("fetches");
+        assert_eq!(got, b);
+        assert_eq!(version.n_chunks(), 16);
+        assert_eq!(version.epoch_tag, content_tag(&b));
+    }
+
+    #[test]
+    fn reader_retries_failed_and_corrupt_chunks_in_place() {
+        let b = body(300);
+        let mut src = FaultySource::new(b.clone(), 100);
+        src.flaky = vec![1];
+        src.corrupt_once = Some(2);
+        let (_, got) = AtlasReader::default()
+            .fetch_full(&mut src)
+            .expect("resumes");
+        assert_eq!(got, b);
+        // 3 chunks + 1 flaky retry + 1 corrupt retry; no full restart.
+        assert_eq!(src.fetches, 5);
+    }
+
+    #[test]
+    fn reader_gives_up_after_chunk_retries() {
+        let b = body(300);
+        let mut src = FaultySource::new(b, 100);
+        src.flaky = vec![1, 1, 1, 1, 1, 1, 1, 1];
+        let err = AtlasReader::default().fetch_full(&mut src).unwrap_err();
+        assert!(matches!(err, ModelError::Decode(_)), "{err}");
+    }
+
+    #[test]
+    fn reader_restarts_at_the_new_head_when_the_version_races() {
+        let old = body(400);
+        let new = body(640);
+        let mut src = FaultySource::new(old, 128);
+        src.next_body = new.clone();
+        src.race_after = Some(2);
+        let (version, got) = AtlasReader::default()
+            .fetch_full(&mut src)
+            .expect("restarts");
+        assert_eq!(got, new, "the fetch lands on the post-race body");
+        assert_eq!(version.day, 1);
+        assert_eq!(version.epoch_tag, content_tag(&new));
+    }
+
+    #[test]
+    fn reader_refuses_hostile_heads() {
+        struct Hostile(u64, u32);
+        impl AtlasSource for Hostile {
+            fn head(&mut self) -> Result<AtlasVersion, ModelError> {
+                Ok(AtlasVersion {
+                    day: 0,
+                    epoch_tag: 0,
+                    full_len: self.0,
+                    chunk_size: self.1,
+                })
+            }
+            fn fetch_full_chunk(&mut self, _: u32) -> Result<AtlasChunk, ModelError> {
+                panic!("must refuse at the head");
+            }
+            fn fetch_delta(&mut self, _: u32) -> Result<Option<DeltaHandle>, ModelError> {
+                Ok(None)
+            }
+            fn fetch_delta_chunk(&mut self, _: u32, _: u32) -> Result<AtlasChunk, ModelError> {
+                unreachable!()
+            }
+        }
+        let r = AtlasReader::default();
+        assert!(r.fetch_full(&mut Hostile(u64::MAX, 1024)).is_err());
+        assert!(r.fetch_full(&mut Hostile(1024, 0)).is_err());
+    }
+
+    impl BlobFetch for RawBlobs {
+        fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError> {
+            Ok(self.full.clone())
+        }
+        fn fetch_delta(&mut self, _have_day: u32) -> Result<Option<Vec<u8>>, ModelError> {
+            Ok(self.delta.clone())
+        }
+    }
+
+    #[test]
+    fn blob_source_serves_real_atlas_bytes_chunked() {
+        use inano_atlas::Atlas;
+        let atlas = Atlas {
+            day: 3,
+            ..Atlas::default()
+        };
+        let (bytes, _) = codec::encode(&atlas);
+        let mut src = BlobSource::with_chunk_size(
+            RawBlobs {
+                full: bytes.clone(),
+                delta: None,
+            },
+            8,
+        );
+        let head = src.head().expect("head");
+        assert_eq!(head.day, 3);
+        assert_eq!(head.full_len, bytes.len() as u64);
+        assert!(head.n_chunks() > 1, "tiny chunks force a multi-chunk body");
+        let (version, got) = AtlasReader::default().fetch_full(&mut src).expect("fetch");
+        assert_eq!(got, bytes);
+        assert_eq!(version, head);
+        assert!(src.fetch_delta(3).expect("no delta").is_none());
+    }
+}

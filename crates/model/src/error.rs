@@ -20,6 +20,12 @@ pub enum ModelError {
     Config(String),
     /// A request named an atlas shard the registry does not host.
     UnknownShard(u16),
+    /// The atlas (or delta) a chunked fetch was reading changed or
+    /// disappeared under it; the fetcher should re-read `head()` and
+    /// restart at the new version.
+    VersionRaced(String),
+    /// A chunk fetch named an index beyond the body it was cut from.
+    ChunkOutOfRange(String),
 }
 
 impl fmt::Display for ModelError {
@@ -32,6 +38,8 @@ impl fmt::Display for ModelError {
             ModelError::NoPath(msg) => write!(f, "no path: {msg}"),
             ModelError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             ModelError::UnknownShard(id) => write!(f, "unknown shard {id}"),
+            ModelError::VersionRaced(msg) => write!(f, "version raced: {msg}"),
+            ModelError::ChunkOutOfRange(msg) => write!(f, "chunk out of range: {msg}"),
         }
     }
 }
@@ -63,6 +71,11 @@ pub enum ErrorCode {
     /// [`ModelError::UnknownShard`]: the request named an atlas shard
     /// the serving registry does not host.
     UnknownShard = 7,
+    /// [`ModelError::VersionRaced`]: the atlas/delta being fetched
+    /// changed under the fetch; re-read the head and restart.
+    VersionRaced = 8,
+    /// [`ModelError::ChunkOutOfRange`]: a chunk index beyond the body.
+    ChunkOutOfRange = 9,
     /// Frame header did not start with the protocol magic.
     BadMagic = 16,
     /// Frame header carried an unsupported protocol version.
@@ -86,7 +99,7 @@ pub enum ErrorCode {
 
 impl ErrorCode {
     /// Every defined code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 16] = [
+    pub const ALL: [ErrorCode; 18] = [
         ErrorCode::UnknownEntity,
         ErrorCode::UnroutableAddress,
         ErrorCode::Decode,
@@ -94,6 +107,8 @@ impl ErrorCode {
         ErrorCode::NoPath,
         ErrorCode::Config,
         ErrorCode::UnknownShard,
+        ErrorCode::VersionRaced,
+        ErrorCode::ChunkOutOfRange,
         ErrorCode::BadMagic,
         ErrorCode::BadVersion,
         ErrorCode::FrameTooLarge,
@@ -130,6 +145,8 @@ impl From<&ModelError> for ErrorCode {
             ModelError::NoPath(_) => ErrorCode::NoPath,
             ModelError::Config(_) => ErrorCode::Config,
             ModelError::UnknownShard(_) => ErrorCode::UnknownShard,
+            ModelError::VersionRaced(_) => ErrorCode::VersionRaced,
+            ModelError::ChunkOutOfRange(_) => ErrorCode::ChunkOutOfRange,
         }
     }
 }
@@ -144,6 +161,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::NoPath => "no-path",
             ErrorCode::Config => "config",
             ErrorCode::UnknownShard => "unknown-shard",
+            ErrorCode::VersionRaced => "version-raced",
+            ErrorCode::ChunkOutOfRange => "chunk-out-of-range",
             ErrorCode::BadMagic => "bad-magic",
             ErrorCode::BadVersion => "bad-version",
             ErrorCode::FrameTooLarge => "frame-too-large",
@@ -191,6 +210,8 @@ mod tests {
         assert_eq!(ErrorCode::UnknownEntity.as_u16(), 1);
         assert_eq!(ErrorCode::Config.as_u16(), 6);
         assert_eq!(ErrorCode::UnknownShard.as_u16(), 7);
+        assert_eq!(ErrorCode::VersionRaced.as_u16(), 8);
+        assert_eq!(ErrorCode::ChunkOutOfRange.as_u16(), 9);
         assert_eq!(ErrorCode::BadMagic.as_u16(), 16);
         assert_eq!(ErrorCode::UnexpectedFrame.as_u16(), 24);
     }
@@ -201,6 +222,16 @@ mod tests {
         assert_eq!(e.to_string(), "unknown shard 9");
         assert_eq!(ErrorCode::from(&e), ErrorCode::UnknownShard);
         assert!(!ErrorCode::UnknownShard.is_transport());
+    }
+
+    #[test]
+    fn dissemination_faults_are_model_codes() {
+        let raced = ModelError::VersionRaced("tag moved".into());
+        assert_eq!(ErrorCode::from(&raced), ErrorCode::VersionRaced);
+        assert!(!ErrorCode::VersionRaced.is_transport());
+        let oob = ModelError::ChunkOutOfRange("chunk 9 of 4".into());
+        assert_eq!(ErrorCode::from(&oob), ErrorCode::ChunkOutOfRange);
+        assert!(oob.to_string().contains("chunk 9 of 4"));
     }
 
     #[test]

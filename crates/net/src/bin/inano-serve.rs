@@ -1,4 +1,4 @@
-//! `inano-serve`: the standalone query server.
+//! `inano-serve`: the standalone query + dissemination server.
 //!
 //! Hosts one or more atlas shards behind a single listener: every
 //! `--atlas FILE` (a codec-encoded atlas) or `--ring N` (a synthetic
@@ -8,39 +8,44 @@
 //! serves a single 64-cluster ring. Prints one `LISTENING <addr>` line
 //! once the socket is bound, then serves until killed.
 //!
+//! `--mirror ADDR` makes this server a *mirror*: instead of loading
+//! shards from flags, it enumerates the shards of the server at `ADDR`,
+//! fetches each shard's atlas over the wire (chunked, checksummed,
+//! resumable), serves them under the same shard ids, and — every
+//! `--refresh-ms` — pulls any daily deltas the upstream applied, so a
+//! delta published at the origin propagates down a mirror chain hop by
+//! hop. Every `inano-serve` serves the fetch frames, so a mirror of a
+//! mirror works: the §5 swarm, spelled as a chain of ordinary servers.
+//!
 //! Usage:
 //!   inano-serve [--bind 127.0.0.1] [--port 4711]
 //!               [--atlas FILE | --ring N]...
+//!               [--mirror ADDR [--refresh-ms MS] [--predictor full|ring]]
 //!               [--workers W] [--max-conns C] [--max-inflight R]
-//!               [--max-frame-bytes B] [--max-batch Q]
+//!               [--max-request-bytes B] [--max-frame-bytes B] [--max-batch Q]
 //!
 //! `--workers` is the *total* worker budget, split evenly across
 //! shards by the registry.
 
-use inano_core::PredictorConfig;
+use inano_core::{AtlasReader, PredictorConfig};
 use inano_net::cli::{arg, repeated};
 use inano_net::demo::{ring_atlas, ring_predictor_config};
-use inano_net::{Limits, NetServer, ServerConfig};
+use inano_net::{Limits, MirrorSource, NetClient, NetServer, ServerConfig};
 use inano_service::{RegistryConfig, ShardId, ShardRegistry, ShardSpec};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn main() {
-    let bind: String = arg("--bind", "127.0.0.1".to_string());
-    let port: u16 = arg("--port", 4711);
-    let workers: usize = arg("--workers", 0); // 0 = RegistryConfig default
-    let max_conns: usize = arg("--max-conns", 256);
-    let max_inflight: usize = arg("--max-inflight", ServerConfig::default().max_inflight);
-    let max_frame_bytes: u32 = arg("--max-frame-bytes", Limits::default().max_frame_bytes);
-    let max_batch: u32 = arg("--max-batch", Limits::default().max_batch);
-
+/// Load the shard set from `--atlas`/`--ring` flags (the origin path).
+fn local_specs() -> Vec<ShardSpec> {
     let mut shard_flags = repeated(&["--atlas", "--ring"]);
     if shard_flags.is_empty() {
-        eprintln!("serving a synthetic 64-cluster ring (pass --atlas FILE or --ring N)");
+        eprintln!(
+            "serving a synthetic 64-cluster ring (pass --atlas FILE, --ring N or --mirror ADDR)"
+        );
         shard_flags.push(("--ring".into(), "64".into()));
     }
-    let specs: Vec<ShardSpec> = shard_flags
+    shard_flags
         .iter()
         .enumerate()
         .map(|(i, (flag, value))| {
@@ -68,7 +73,123 @@ fn main() {
                 }
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Bootstrap the shard set from an upstream server (the mirror path):
+/// Reads and writes on the refresh loop's upstream connections are
+/// bounded: `QueryEngine::update` fetches under the engine's builder
+/// lock, and a half-dead upstream must surface as a retryable error,
+/// not wedge delta application forever.
+const MIRROR_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A fresh upstream connection for one shard's refresh loop, I/O
+/// timeout applied.
+fn mirror_source(upstream: &str, id: ShardId) -> std::io::Result<MirrorSource> {
+    let source = MirrorSource::connect(upstream, id)?;
+    source.client().set_io_timeout(Some(MIRROR_IO_TIMEOUT))?;
+    Ok(source)
+}
+
+/// When the upstream offers no delta, check whether its head moved
+/// anyway — a restarted origin (empty delta log) or a mirror that
+/// lagged past the upstream's retained chain — and bridge the
+/// discontinuity by refetching the full atlas. Returns the new day if
+/// a resync happened.
+fn resync_full(
+    registry: &ShardRegistry,
+    id: ShardId,
+    source: &mut MirrorSource,
+) -> Result<Option<u32>, inano_model::ModelError> {
+    use inano_core::AtlasSource;
+    let head = source.head()?;
+    // Same content tag = same atlas: encoding is canonical, so the
+    // compare costs one cached local encode, no wire body.
+    if head.epoch_tag == registry.export(id)?.epoch_tag {
+        return Ok(None);
+    }
+    let (_, bytes) = AtlasReader::default().fetch_full(source)?;
+    let atlas = inano_atlas::codec::decode(&bytes)?;
+    Ok(Some(registry.replace_atlas(id, Arc::new(atlas))?))
+}
+
+/// one wire-level atlas fetch per remote shard, same ids locally.
+/// Returns the specs plus one per-shard [`MirrorSource`] for the
+/// refresh loop.
+fn mirrored_specs(
+    upstream: &str,
+    predictor: PredictorConfig,
+) -> (Vec<ShardSpec>, Vec<(ShardId, MirrorSource)>) {
+    let mut probe = NetClient::connect(upstream)
+        .unwrap_or_else(|e| panic!("connect to --mirror {upstream}: {e}"));
+    // The probe is bounded like the refresh sources: a half-dead
+    // upstream must fail startup loudly, not hang before LISTENING.
+    probe
+        .set_io_timeout(Some(MIRROR_IO_TIMEOUT))
+        .unwrap_or_else(|e| panic!("bound probe I/O to {upstream}: {e}"));
+    let infos = probe
+        .shards()
+        .unwrap_or_else(|e| panic!("list shards of {upstream}: {e}"));
+    assert!(!infos.is_empty(), "{upstream} hosts no shards");
+    let reader = AtlasReader::default();
+    let mut specs = Vec::new();
+    let mut sources = Vec::new();
+    for info in infos {
+        let id = ShardId(info.shard);
+        let mut source = mirror_source(upstream, id)
+            .unwrap_or_else(|e| panic!("connect to --mirror {upstream} for {id}: {e}"));
+        let (version, bytes) = reader
+            .fetch_full(&mut source)
+            .unwrap_or_else(|e| panic!("fetch {id} atlas from {upstream}: {e}"));
+        let atlas = inano_atlas::codec::decode(&bytes)
+            .unwrap_or_else(|e| panic!("decode {id} atlas from {upstream}: {e}"));
+        eprintln!(
+            "{id}: mirrored from {upstream} — day {}, tag {:#018x}, {} bytes in {} chunk(s)",
+            version.day,
+            version.epoch_tag,
+            version.full_len,
+            version.n_chunks(),
+        );
+        specs.push(ShardSpec {
+            id,
+            atlas: Arc::new(atlas),
+            predictor: predictor.clone(),
+        });
+        sources.push((id, source));
+    }
+    (specs, sources)
+}
+
+fn main() {
+    let bind: String = arg("--bind", "127.0.0.1".to_string());
+    let port: u16 = arg("--port", 4711);
+    let workers: usize = arg("--workers", 0); // 0 = RegistryConfig default
+    let max_conns: usize = arg("--max-conns", 256);
+    let max_inflight: usize = arg("--max-inflight", ServerConfig::default().max_inflight);
+    let max_request_bytes: usize = arg(
+        "--max-request-bytes",
+        ServerConfig::default().max_request_bytes,
+    );
+    let max_frame_bytes: u32 = arg("--max-frame-bytes", Limits::default().max_frame_bytes);
+    let max_batch: u32 = arg("--max-batch", Limits::default().max_batch);
+    let mirror: String = arg("--mirror", String::new());
+    let refresh_ms: u64 = arg("--refresh-ms", 1000);
+
+    let (specs, mirror_sources) = if mirror.is_empty() {
+        (local_specs(), Vec::new())
+    } else {
+        assert!(
+            repeated(&["--atlas", "--ring"]).is_empty(),
+            "--mirror replaces --atlas/--ring: the shard set comes from the upstream"
+        );
+        // A mirror cannot know how the origin's atlases were built;
+        // --predictor picks the profile (`ring` for the demo worlds).
+        let predictor = match arg("--predictor", "full".to_string()).as_str() {
+            "ring" => ring_predictor_config(),
+            _ => PredictorConfig::full(),
+        };
+        mirrored_specs(&mirror, predictor)
+    };
 
     let mut reg_cfg = RegistryConfig::default();
     if workers > 0 {
@@ -77,12 +198,76 @@ fn main() {
     let registry =
         Arc::new(ShardRegistry::build(specs, reg_cfg).expect("build the shard registry"));
 
+    // The refresh loop: poll the upstream for daily deltas and land
+    // them on the local shards; downstream mirrors then fetch the same
+    // deltas from *us* (the engine retains what it applies).
+    if !mirror_sources.is_empty() && refresh_ms > 0 {
+        let registry = Arc::clone(&registry);
+        let upstream = mirror.clone();
+        std::thread::Builder::new()
+            .name("inano-mirror-refresh".into())
+            .spawn(move || {
+                let mut sources = mirror_sources;
+                loop {
+                    std::thread::sleep(Duration::from_millis(refresh_ms));
+                    for (id, source) in &mut sources {
+                        match registry.update(*id, source) {
+                            // No delta to pull — the common idle tick,
+                            // unless the upstream's head moved without
+                            // a bridging delta (restart, or we lagged
+                            // past its retained chain): then refetch
+                            // the full atlas rather than serving a
+                            // stale generation forever.
+                            Ok(0) => match resync_full(&registry, *id, source) {
+                                Ok(None) => {}
+                                Ok(Some(day)) => eprintln!(
+                                    "{id}: upstream head moved without a delta; \
+                                     re-bootstrapped the full atlas, now day {day}"
+                                ),
+                                Err(e) => {
+                                    eprintln!("{id}: resync check failed: {e}; reconnecting");
+                                    match mirror_source(&upstream, *id) {
+                                        Ok(fresh) => *source = fresh,
+                                        Err(e) => {
+                                            eprintln!("{id}: reconnect failed (will retry): {e}")
+                                        }
+                                    }
+                                }
+                            },
+                            Ok(n) => eprintln!(
+                                "{id}: pulled {n} delta(s) from upstream, now day {}",
+                                registry.epoch(*id).map(|(_, d)| d).unwrap_or(0)
+                            ),
+                            Err(e) => {
+                                // Any failure may have left the
+                                // connection dead or torn mid-frame
+                                // (upstream restart, I/O timeout);
+                                // retrying on the same socket would
+                                // fail forever, so rebuild it. Serving
+                                // continues on the last good atlas
+                                // either way.
+                                eprintln!("{id}: refresh failed: {e}; reconnecting upstream");
+                                match mirror_source(&upstream, *id) {
+                                    Ok(fresh) => *source = fresh,
+                                    Err(e) => {
+                                        eprintln!("{id}: reconnect failed (will retry): {e}")
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn mirror refresh thread");
+    }
+
     let server = NetServer::bind(
         format!("{bind}:{port}"),
         Arc::clone(&registry),
         ServerConfig {
             max_conns,
             max_inflight,
+            max_request_bytes,
             limits: Limits {
                 max_frame_bytes,
                 max_batch,

@@ -17,7 +17,8 @@
 
 use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault};
 use crate::wire::{WirePath, WireResolution, WireShardInfo, WireStats};
-use inano_model::Ipv4;
+use inano_core::{AtlasChunk, AtlasSource, AtlasVersion, DeltaHandle};
+use inano_model::{ErrorCode, Ipv4, ModelError};
 use inano_service::ShardId;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -51,6 +52,43 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+impl NetError {
+    /// Fold into a [`ModelError`] for `AtlasSource` callers: typed
+    /// model faults cross back into their variants (so an
+    /// `AtlasReader` can react to `VersionRaced` from a remote mirror
+    /// exactly as from a local source); transport-level failures become
+    /// `Decode` errors carrying the story.
+    pub fn into_model(self) -> ModelError {
+        match self {
+            NetError::Remote(fault) => match fault.code {
+                ErrorCode::VersionRaced => ModelError::VersionRaced(fault.message),
+                ErrorCode::ChunkOutOfRange => ModelError::ChunkOutOfRange(fault.message),
+                ErrorCode::UnroutableAddress => ModelError::UnroutableAddress(fault.message),
+                ErrorCode::Decode => ModelError::Decode(fault.message),
+                ErrorCode::PatchMismatch => ModelError::PatchMismatch(fault.message),
+                ErrorCode::NoPath => ModelError::NoPath(fault.message),
+                ErrorCode::Config => ModelError::Config(fault.message),
+                // The id rides only in the message ("unknown shard N",
+                // the `ModelError::UnknownShard` Display form); recover
+                // it so callers can match the typed variant and drop or
+                // alert on the shard, rather than retrying a generic
+                // decode error forever.
+                ErrorCode::UnknownShard => ModelError::UnknownShard(
+                    fault
+                        .message
+                        .rsplit(' ')
+                        .next()
+                        .and_then(|id| id.parse().ok())
+                        .unwrap_or(0),
+                ),
+                _ => ModelError::Decode(format!("remote fault: {fault}")),
+            },
+            NetError::Io(e) => ModelError::Decode(format!("transport: {e}")),
+            NetError::Protocol(msg) => ModelError::Decode(format!("protocol violation: {msg}")),
+        }
+    }
+}
+
 /// A connection to a server speaking the `inano-net` wire protocol.
 pub struct NetClient {
     reader: BufReader<TcpStream>,
@@ -58,6 +96,9 @@ pub struct NetClient {
     addr: SocketAddr,
     limits: Limits,
     next_id: u64,
+    /// The shard-0 epoch tag named by the last `atlas_head()` — what
+    /// this client's own [`AtlasSource`] impl fetches chunks of.
+    atlas_tag: Option<u64>,
 }
 
 impl NetClient {
@@ -87,11 +128,28 @@ impl NetClient {
             addr,
             limits,
             next_id: 1,
+            atlas_tag: None,
         })
     }
 
     pub fn peer_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Bound every read and write on this connection; `None` restores
+    /// block-forever. A call that times out surfaces as an Io error
+    /// and may leave the stream torn mid-frame — treat the connection
+    /// as dead and reconnect. Long-lived pollers (the `--mirror`
+    /// refresh loop) set this so a half-dead upstream cannot wedge
+    /// them, or anything serialised behind them, forever.
+    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        // reader and writer wrap clones of one socket; options live on
+        // the shared description, but set both for explicitness.
+        for stream in [self.reader.get_ref(), self.writer.get_ref()] {
+            stream.set_read_timeout(timeout)?;
+            stream.set_write_timeout(timeout)?;
+        }
+        Ok(())
     }
 
     /// Write one request and flush, without waiting for the reply.
@@ -236,6 +294,214 @@ impl NetClient {
             Frame::ShardsReply { shards } => Ok(shards),
             other => Err(unexpected("ShardsReply", &other)),
         }
+    }
+
+    /// The newest full-atlas version shard 0 serves.
+    pub fn atlas_head(&mut self) -> Result<AtlasVersion, NetError> {
+        self.atlas_head_on(ShardId::DEFAULT)
+    }
+
+    /// The newest full-atlas version one named shard serves.
+    pub fn atlas_head_on(&mut self, shard: ShardId) -> Result<AtlasVersion, NetError> {
+        match self.call(&Frame::AtlasHead { shard })? {
+            Frame::AtlasHeadReply { version } => Ok(version),
+            other => Err(unexpected("AtlasHeadReply", &other)),
+        }
+    }
+
+    /// Chunk `idx` of the full body whose head named `epoch_tag`. A
+    /// server that swapped generations answers a typed `VersionRaced`
+    /// fault — re-read the head and restart.
+    pub fn fetch_full_chunk_on(
+        &mut self,
+        shard: ShardId,
+        epoch_tag: u64,
+        idx: u32,
+    ) -> Result<AtlasChunk, NetError> {
+        let request = Frame::FetchFullChunk {
+            shard,
+            epoch_tag,
+            idx,
+        };
+        self.chunk_reply(&request, idx)
+    }
+
+    /// The retained delta leaving `have_day` on one named shard.
+    pub fn fetch_delta_on(
+        &mut self,
+        shard: ShardId,
+        have_day: u32,
+    ) -> Result<Option<DeltaHandle>, NetError> {
+        match self.call(&Frame::FetchDelta { shard, have_day })? {
+            Frame::DeltaReply { handle } => Ok(handle),
+            other => Err(unexpected("DeltaReply", &other)),
+        }
+    }
+
+    /// Chunk `idx` of the delta body leaving `from_day`.
+    pub fn fetch_delta_chunk_on(
+        &mut self,
+        shard: ShardId,
+        from_day: u32,
+        idx: u32,
+    ) -> Result<AtlasChunk, NetError> {
+        let request = Frame::FetchDeltaChunk {
+            shard,
+            from_day,
+            idx,
+        };
+        self.chunk_reply(&request, idx)
+    }
+
+    fn chunk_reply(&mut self, request: &Frame, want_idx: u32) -> Result<AtlasChunk, NetError> {
+        match self.call(request)? {
+            Frame::ChunkReply { idx, crc, bytes } => {
+                if idx != want_idx {
+                    return Err(NetError::Protocol(format!(
+                        "chunk {idx} answered a fetch of chunk {want_idx}"
+                    )));
+                }
+                Ok(AtlasChunk { bytes, crc })
+            }
+            other => Err(unexpected("ChunkReply", &other)),
+        }
+    }
+
+    /// Scope this connection's atlas fetching to one shard, as an
+    /// owning [`AtlasSource`]: what `inano-serve --mirror` uses to
+    /// bootstrap each local shard from the corresponding remote one.
+    pub fn into_atlas_source(self, shard: ShardId) -> MirrorSource {
+        MirrorSource {
+            client: self,
+            shard,
+            tag: None,
+        }
+    }
+}
+
+// The shared bodies of the two `AtlasSource` impls (`NetClient` =
+// shard 0, `MirrorSource` = any shard): one place owns the wire
+// fetch/race protocol, the impls only differ in where the head tag is
+// cached.
+
+fn source_head(client: &mut NetClient, shard: ShardId) -> Result<AtlasVersion, ModelError> {
+    client.atlas_head_on(shard).map_err(NetError::into_model)
+}
+
+fn source_full_chunk(
+    client: &mut NetClient,
+    shard: ShardId,
+    tag: Option<u64>,
+    idx: u32,
+) -> Result<AtlasChunk, ModelError> {
+    let tag = tag.ok_or_else(|| {
+        ModelError::Config("fetch_full_chunk before head(): no version to fetch".into())
+    })?;
+    client
+        .fetch_full_chunk_on(shard, tag, idx)
+        .map_err(NetError::into_model)
+}
+
+fn source_delta(
+    client: &mut NetClient,
+    shard: ShardId,
+    have_day: u32,
+) -> Result<Option<DeltaHandle>, ModelError> {
+    client
+        .fetch_delta_on(shard, have_day)
+        .map_err(NetError::into_model)
+}
+
+fn source_delta_chunk(
+    client: &mut NetClient,
+    shard: ShardId,
+    from_day: u32,
+    idx: u32,
+) -> Result<AtlasChunk, ModelError> {
+    client
+        .fetch_delta_chunk_on(shard, from_day, idx)
+        .map_err(NetError::into_model)
+}
+
+/// `NetClient` *is* an [`AtlasSource`] for the server's shard 0: plug
+/// a connection straight into `INanoClient::bootstrap` /
+/// `QueryEngine::bootstrap` and the atlas arrives over the wire,
+/// chunked, checksummed and restartable — closing the loop of §5's
+/// dissemination story. For a named shard, see
+/// [`NetClient::into_atlas_source`].
+impl AtlasSource for NetClient {
+    fn head(&mut self) -> Result<AtlasVersion, ModelError> {
+        let version = source_head(self, ShardId::DEFAULT)?;
+        self.atlas_tag = Some(version.epoch_tag);
+        Ok(version)
+    }
+
+    fn fetch_full_chunk(&mut self, idx: u32) -> Result<AtlasChunk, ModelError> {
+        let tag = self.atlas_tag;
+        source_full_chunk(self, ShardId::DEFAULT, tag, idx)
+    }
+
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<DeltaHandle>, ModelError> {
+        source_delta(self, ShardId::DEFAULT, have_day)
+    }
+
+    fn fetch_delta_chunk(&mut self, from_day: u32, idx: u32) -> Result<AtlasChunk, ModelError> {
+        source_delta_chunk(self, ShardId::DEFAULT, from_day, idx)
+    }
+}
+
+/// A [`NetClient`] scoped to one shard of a remote server, usable as an
+/// [`AtlasSource`]: each hop of a mirror chain is one of these feeding
+/// an `AtlasReader`.
+pub struct MirrorSource {
+    client: NetClient,
+    shard: ShardId,
+    /// Epoch tag of the last `head()`, which full-chunk fetches name.
+    tag: Option<u64>,
+}
+
+impl MirrorSource {
+    /// Connect to `addr` and scope atlas fetching to `shard`.
+    pub fn connect(addr: impl ToSocketAddrs, shard: ShardId) -> io::Result<MirrorSource> {
+        Ok(NetClient::connect(addr)?.into_atlas_source(shard))
+    }
+
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The underlying connection (timeouts, peer address, ...).
+    pub fn client(&self) -> &NetClient {
+        &self.client
+    }
+
+    /// The underlying connection (epoch probes, stats, ...).
+    pub fn client_mut(&mut self) -> &mut NetClient {
+        &mut self.client
+    }
+
+    pub fn into_client(self) -> NetClient {
+        self.client
+    }
+}
+
+impl AtlasSource for MirrorSource {
+    fn head(&mut self) -> Result<AtlasVersion, ModelError> {
+        let version = source_head(&mut self.client, self.shard)?;
+        self.tag = Some(version.epoch_tag);
+        Ok(version)
+    }
+
+    fn fetch_full_chunk(&mut self, idx: u32) -> Result<AtlasChunk, ModelError> {
+        source_full_chunk(&mut self.client, self.shard, self.tag, idx)
+    }
+
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<DeltaHandle>, ModelError> {
+        source_delta(&mut self.client, self.shard, have_day)
+    }
+
+    fn fetch_delta_chunk(&mut self, from_day: u32, idx: u32) -> Result<AtlasChunk, ModelError> {
+        source_delta_chunk(&mut self.client, self.shard, from_day, idx)
     }
 }
 

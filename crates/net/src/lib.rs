@@ -6,25 +6,34 @@
 //!
 //! Three layers, separable and individually tested:
 //!
-//! * [`wire`] — a compact length-prefixed binary protocol, version 2
+//! * [`wire`] — a compact length-prefixed binary protocol, version 3
 //!   (magic, version, request id, typed frames: `QueryBatch`,
 //!   `Resolve`, `Stats`, `Epoch` — each carrying an optional shard id,
-//!   default shard 0 — plus `ListShards`, `Ping`, and typed error
-//!   frames carrying [`inano_model::ErrorCode`]s), with receiver-side
-//!   [`Limits`] on frame and batch size;
+//!   default shard 0 — plus `ListShards`, `Ping`, the atlas
+//!   dissemination frames `AtlasHead`/`FetchFullChunk`/`FetchDelta`/
+//!   `FetchDeltaChunk`, and typed error frames carrying
+//!   [`inano_model::ErrorCode`]s), with receiver-side [`Limits`] on
+//!   frame and batch size;
 //! * [`server`] — a threaded TCP server ([`NetServer`], shipped as the
 //!   `inano-serve` binary) hosting a whole
 //!   [`inano_service::ShardRegistry`] of independent atlas shards
 //!   behind one listener, with per-connection request pipelining
-//!   bounded by an in-flight cap (excess gets typed `Overloaded`
-//!   errors), a max-connection admission gate, and graceful shutdown;
-//!   each frame routes to the engine of the shard it names, so remote
-//!   queries ride that shard's cache and hot-swap semantics exactly
-//!   like embedded ones;
+//!   bounded by an in-flight cap, a server-wide request-memory budget
+//!   shared across connections (excess gets typed `Overloaded`
+//!   errors either way), a max-connection admission gate, and graceful
+//!   shutdown; each frame routes to the engine of the shard it names,
+//!   so remote queries ride that shard's cache and hot-swap semantics
+//!   exactly like embedded ones — and each shard's encoded atlas and
+//!   retained deltas are served back out in bounded chunks, making
+//!   every server a mirror;
 //! * [`client`] — [`NetClient`], synchronous calls plus pipelined
 //!   batch submission (`submit_batch`/`recv`), shard-aware via the
 //!   `_on` variants and `shards()`, which is what `inano-bench`'s
-//!   `net_throughput` loadgen drives.
+//!   `net_throughput` loadgen drives. `NetClient` (shard 0) and
+//!   [`MirrorSource`] (any shard) implement
+//!   [`inano_core::AtlasSource`], so a remote server plugs into
+//!   `INanoClient::bootstrap`/`QueryEngine::bootstrap` like any local
+//!   source — the §5 dissemination loop, closed.
 //!
 //! [`demo`] carries the tiny ring world the `inano-serve --ring` mode,
 //! the integration tests and the loadgen's `--connect` mode share.
@@ -38,9 +47,11 @@ pub mod demo;
 pub mod server;
 pub mod wire;
 
-pub use client::{NetClient, NetError};
+pub use client::{MirrorSource, NetClient, NetError};
 pub use server::{NetServer, ServerConfig, ServerCounters};
-pub use wire::{Frame, Limits, WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
+pub use wire::{
+    chunk_size_for, Frame, Limits, WireFault, WirePath, WireResolution, WireShardInfo, WireStats,
+};
 
 /// Re-exported so `inano-net` users can name shards without a direct
 /// `inano-service` dependency.

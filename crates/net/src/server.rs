@@ -26,6 +26,14 @@
 //!   server buffering an unbounded backlog. Memory per connection is
 //!   thereby bounded by `max_inflight × max_frame_bytes` plus one
 //!   frame in the reader.
+//! * On top of the per-connection cap, one *server-wide* request-memory
+//!   budget ([`ServerConfig::max_request_bytes`]) shared by every
+//!   connection: each queued request reserves its estimated heap cost
+//!   and releases it once answered, so many connections pipelining
+//!   concurrently cannot multiply the per-connection bound into an OOM.
+//!   A request that would breach the budget is answered with the same
+//!   typed `Overloaded` error, in order, on a connection that keeps
+//!   serving.
 //! * Frames are bounded by [`Limits`]: an oversized declared payload
 //!   or broken framing is answered once and the connection closed
 //!   (the stream can no longer be trusted); a parse failure inside a
@@ -41,7 +49,7 @@
 //! registry is shared and is *not* shut down — that's its owner's
 //! call.
 
-use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault};
+use crate::wire::{chunk_size_for, read_frame, write_frame, Frame, Limits, ReadError, WireFault};
 use crate::wire::{WirePath, WireResolution, WireShardInfo, WireStats};
 use inano_model::{ErrorCode, ModelError};
 use inano_service::{QueryEngine, ShardRegistry};
@@ -62,6 +70,11 @@ pub struct ServerConfig {
     /// Most decoded requests queued per connection; a pipeliner
     /// exceeding it gets typed `Overloaded` errors for the excess.
     pub max_inflight: usize,
+    /// Server-wide request-memory budget, bytes: the estimated heap
+    /// cost of every queued-but-unanswered request across *all*
+    /// connections. Breaching it answers the excess request with a
+    /// typed `Overloaded` error. `usize::MAX` disables the budget.
+    pub max_request_bytes: usize,
     /// Per-frame protocol limits.
     pub limits: Limits,
 }
@@ -71,6 +84,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_conns: 256,
             max_inflight: 128,
+            max_request_bytes: 256 << 20,
             limits: Limits::default(),
         }
     }
@@ -98,6 +112,9 @@ struct Shared {
     cfg: ServerConfig,
     shutdown: AtomicBool,
     active: AtomicUsize,
+    /// Estimated bytes of queued-but-unanswered requests, across every
+    /// connection (see [`ServerConfig::max_request_bytes`]).
+    request_bytes: AtomicUsize,
     accepted: AtomicU64,
     rejected: AtomicU64,
     faults: AtomicU64,
@@ -130,6 +147,7 @@ impl NetServer {
             cfg,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            request_bytes: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             faults: AtomicU64::new(0),
@@ -293,15 +311,82 @@ fn refuse(stream: TcpStream, code: ErrorCode, message: impl Into<String>) -> io:
     stream.shutdown(Shutdown::Both)
 }
 
+/// A reservation against the server-wide request-memory pool, released
+/// on drop — whichever path the queued request leaves by (answered,
+/// queue torn down on disconnect, ...), the bytes come back.
+struct Claim<'a> {
+    bytes: usize,
+    pool: &'a AtomicUsize,
+}
+
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        self.pool.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// Reserve `bytes` against the shared pool, or `None` on breach.
+fn try_claim(pool: &AtomicUsize, budget: usize, bytes: usize) -> Option<Claim<'_>> {
+    if budget == usize::MAX {
+        return Some(Claim { bytes: 0, pool });
+    }
+    let prev = pool.fetch_add(bytes, Ordering::Relaxed);
+    if prev.saturating_add(bytes) > budget {
+        pool.fetch_sub(bytes, Ordering::Relaxed);
+        return None;
+    }
+    Some(Claim { bytes, pool })
+}
+
+/// Estimated heap cost of holding one decoded request in the in-flight
+/// queue. Every variable-size variant must be charged — the decoder
+/// accepts reply-typed frames as inbound too (they queue until the
+/// responder answers `UnexpectedFrame`), so a hostile client shipping
+/// megabyte `ChunkReply`/`PathBatch` frames has to pay the budget for
+/// them like any legitimate batch.
+fn frame_cost(frame: &Frame) -> usize {
+    const BASE: usize = 128;
+    BASE + match frame {
+        Frame::QueryBatch { pairs, .. } => pairs.len() * std::mem::size_of::<(u32, u32)>(),
+        Frame::PathBatch { results } => results
+            .iter()
+            .map(|r| match r {
+                Ok(p) => {
+                    64 + 4
+                        * (p.fwd_clusters.len()
+                            + p.rev_clusters.len()
+                            + p.fwd_as.len()
+                            + p.rev_as.len())
+                }
+                Err(fault) => 64 + fault.message.len(),
+            })
+            .sum(),
+        Frame::ChunkReply { bytes, .. } => bytes.len(),
+        Frame::StatsReply { stats } => 64 + stats.latency_buckets.len() * 8,
+        Frame::ShardsReply { shards } => shards.len() * std::mem::size_of::<WireShardInfo>(),
+        Frame::Error { fault } => fault.message.len(),
+        _ => 0,
+    }
+}
+
 /// One unit handed from a connection's reader to its responder. The
 /// responder answers strictly in queue order, which is read order — so
 /// replies (rejections included) keep the pipelining contract.
-enum Work {
-    /// A decoded request to serve.
-    Request { request_id: u64, frame: Frame },
-    /// Read but refused: the in-flight cap was hit. Carrying only the
-    /// id keeps a rejected backlog O(1) memory per request.
-    Reject { request_id: u64 },
+enum Work<'a> {
+    /// A decoded request to serve, holding its memory-budget claim
+    /// until the reply is written.
+    Request {
+        request_id: u64,
+        frame: Frame,
+        claim: Claim<'a>,
+    },
+    /// Read but refused: the in-flight cap or the server-wide memory
+    /// budget was hit. Carrying only the id keeps a rejected backlog
+    /// O(1) memory per request.
+    Reject {
+        request_id: u64,
+        reason: &'static str,
+    },
     /// The payload was framed soundly but does not parse.
     Fault { request_id: u64, fault: WireFault },
     /// The stream desynchronised: answer once (id 0) and close. Always
@@ -321,33 +406,62 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     // sent, io error, or responder gone), which lets the responder
     // drain the queue and exit; the scope then joins it.
     thread::scope(|scope| {
-        scope.spawn(move || {
-            respond_loop(
-                responder_stream,
-                rx,
-                shared.registry.as_ref(),
-                &shared.faults,
-                &shared.overloaded,
-            )
-        });
-        read_loop(&mut reader, tx, &shared.cfg.limits)
+        scope.spawn(move || respond_loop(responder_stream, rx, shared));
+        read_loop(&mut reader, tx, shared)
     })
 }
 
-/// The reader half: decode frames, queue work, convert overflow into
-/// typed rejections.
-fn read_loop(reader: &mut impl io::Read, tx: SyncSender<Work>, limits: &Limits) -> io::Result<()> {
+/// The reader half: decode frames, queue work, convert overflow (the
+/// per-connection cap or the server-wide byte budget) into typed
+/// rejections.
+fn read_loop<'a>(
+    reader: &mut impl io::Read,
+    tx: SyncSender<Work<'a>>,
+    shared: &'a Shared,
+) -> io::Result<()> {
     loop {
-        match read_frame(reader, limits) {
+        match read_frame(reader, &shared.cfg.limits) {
             Ok(Some((request_id, frame))) => {
-                match tx.try_send(Work::Request { request_id, frame }) {
+                let Some(claim) = try_claim(
+                    &shared.request_bytes,
+                    shared.cfg.max_request_bytes,
+                    frame_cost(&frame),
+                ) else {
+                    // The decoded frame is dropped right here — the
+                    // whole point of the budget — and only its id
+                    // travels on for the in-order rejection.
+                    drop(frame);
+                    if tx
+                        .send(Work::Reject {
+                            request_id,
+                            reason: "server-wide request-memory budget reached",
+                        })
+                        .is_err()
+                    {
+                        return Ok(()); // responder gone
+                    }
+                    continue;
+                };
+                match tx.try_send(Work::Request {
+                    request_id,
+                    frame,
+                    claim,
+                }) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(_)) => {
+                    Err(TrySendError::Full(work)) => {
                         // The cap is hit: refuse *this* request with a
                         // typed error instead of queueing it. The send
                         // blocks until the responder frees a slot, so
-                        // even a rejected backlog is bounded.
-                        if tx.send(Work::Reject { request_id }).is_err() {
+                        // even a rejected backlog is bounded. Dropping
+                        // `work` releases its budget claim.
+                        drop(work);
+                        if tx
+                            .send(Work::Reject {
+                                request_id,
+                                reason: "per-connection in-flight request limit reached",
+                            })
+                            .is_err()
+                        {
                             return Ok(()); // responder gone
                         }
                     }
@@ -371,35 +485,38 @@ fn read_loop(reader: &mut impl io::Read, tx: SyncSender<Work>, limits: &Limits) 
 
 /// The responder half: pop work in order, write replies. On a write
 /// failure it closes the socket so the blocked reader returns too.
-fn respond_loop(
-    stream: TcpStream,
-    rx: Receiver<Work>,
-    registry: &ShardRegistry,
-    faults: &AtomicU64,
-    overloaded: &AtomicU64,
-) {
+fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
     let mut writer = BufWriter::new(&stream);
     for work in rx {
         // `overloaded` and `faults` are disjoint categories: a
         // rejection is healthy throttling, not a protocol or engine
         // fault, and must not make a throttled server look broken.
         let mut count_fault = true;
+        // The request's budget claim lives until after its reply is
+        // written (that is when the request's memory is truly gone).
+        let mut _claim = None;
         let (request_id, reply, close) = match work {
-            Work::Request { request_id, frame } => (request_id, respond(registry, &frame), false),
-            Work::Reject { request_id } => {
-                overloaded.fetch_add(1, Ordering::Relaxed);
+            Work::Request {
+                request_id,
+                frame,
+                claim,
+            } => {
+                let reply = respond(shared.registry.as_ref(), &frame, &shared.cfg.limits);
+                drop(frame);
+                _claim = Some(claim);
+                (request_id, reply, false)
+            }
+            Work::Reject { request_id, reason } => {
+                shared.overloaded.fetch_add(1, Ordering::Relaxed);
                 count_fault = false;
-                let fault = WireFault::new(
-                    ErrorCode::Overloaded,
-                    "per-connection in-flight request limit reached",
-                );
+                let fault = WireFault::new(ErrorCode::Overloaded, reason);
                 (request_id, Frame::Error { fault }, false)
             }
             Work::Fault { request_id, fault } => (request_id, Frame::Error { fault }, false),
             Work::Fatal { fault } => (0, Frame::Error { fault }, true),
         };
         if count_fault && matches!(reply, Frame::Error { .. }) {
-            faults.fetch_add(1, Ordering::Relaxed);
+            shared.faults.fetch_add(1, Ordering::Relaxed);
         }
         let wrote = write_frame(&mut writer, request_id, &reply).and_then(|()| writer.flush());
         if wrote.is_err() || close {
@@ -412,8 +529,9 @@ fn respond_loop(
 }
 
 /// Map one decoded request to its reply frame, routing shard-addressed
-/// requests through the registry.
-fn respond(registry: &ShardRegistry, frame: &Frame) -> Frame {
+/// requests through the registry. `limits` bound the chunk size every
+/// atlas body is served in: one chunk always fits one frame.
+fn respond(registry: &ShardRegistry, frame: &Frame, limits: &Limits) -> Frame {
     match frame {
         Frame::Ping => Frame::Pong,
         Frame::QueryBatch { shard, pairs } => match registry.engine(*shard) {
@@ -461,6 +579,71 @@ fn respond(registry: &ShardRegistry, frame: &Frame) -> Frame {
                 })
                 .collect(),
         },
+        Frame::AtlasHead { shard } => match registry.engine(*shard) {
+            Ok(engine) => Frame::AtlasHeadReply {
+                version: engine.export().version(chunk_size_for(limits)),
+            },
+            Err(e) => fault_reply(&e),
+        },
+        Frame::FetchFullChunk {
+            shard,
+            epoch_tag,
+            idx,
+        } => match registry.engine(*shard) {
+            Ok(engine) => {
+                let snap = engine.export();
+                if snap.epoch_tag != *epoch_tag {
+                    // The shard swapped generations since the client's
+                    // head: tell it to restart there rather than hand
+                    // it a chunk of a different atlas.
+                    return fault_reply(&ModelError::VersionRaced(format!(
+                        "fetching tag {epoch_tag:#018x} but the head moved to {:#018x}",
+                        snap.epoch_tag
+                    )));
+                }
+                let cs = chunk_size_for(limits);
+                match snap.chunk(cs, *idx) {
+                    Ok(bytes) => Frame::ChunkReply {
+                        idx: *idx,
+                        // Snapshot CRCs are cached per chunk size: N
+                        // mirrors fetching the ~7MB body hash it once.
+                        crc: snap.chunk_crcs(cs)[*idx as usize],
+                        bytes: bytes.to_vec(),
+                    },
+                    Err(e) => fault_reply(&e),
+                }
+            }
+            Err(e) => fault_reply(&e),
+        },
+        Frame::FetchDelta { shard, have_day } => match registry.delta_blob(*shard, *have_day) {
+            Ok(blob) => Frame::DeltaReply {
+                handle: blob.map(|b| b.handle(chunk_size_for(limits))),
+            },
+            Err(e) => fault_reply(&e),
+        },
+        Frame::FetchDeltaChunk {
+            shard,
+            from_day,
+            idx,
+        } => match registry.delta_blob(*shard, *from_day) {
+            // Delta bodies are kilobytes; recomputing the chunk crc
+            // inline costs less than caching it would.
+            Ok(Some(blob)) => match blob.chunk(chunk_size_for(limits), *idx) {
+                Ok(bytes) => Frame::ChunkReply {
+                    idx: *idx,
+                    crc: inano_core::content_tag(bytes),
+                    bytes: bytes.to_vec(),
+                },
+                Err(e) => fault_reply(&e),
+            },
+            // The delta a handle promised has rotated out of the log
+            // (or never existed): the fetcher should re-head and, if it
+            // fell that far behind, refetch the full atlas.
+            Ok(None) => fault_reply(&ModelError::VersionRaced(format!(
+                "no delta leaving day {from_day} is retained any more"
+            ))),
+            Err(e) => fault_reply(&e),
+        },
         // Reply-direction (or error) frames are not requests.
         Frame::Pong
         | Frame::PathBatch { .. }
@@ -468,6 +651,9 @@ fn respond(registry: &ShardRegistry, frame: &Frame) -> Frame {
         | Frame::StatsReply { .. }
         | Frame::EpochReply { .. }
         | Frame::ShardsReply { .. }
+        | Frame::AtlasHeadReply { .. }
+        | Frame::DeltaReply { .. }
+        | Frame::ChunkReply { .. }
         | Frame::Error { .. } => Frame::Error {
             fault: WireFault::new(
                 ErrorCode::UnexpectedFrame,

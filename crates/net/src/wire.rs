@@ -36,6 +36,31 @@
 //! raw log₂ latency buckets inside `StatsReply` so a fleet aggregator
 //! can merge histograms instead of averaging percentiles.
 //!
+//! ## Version 3: atlas dissemination
+//!
+//! v3 adds the fetch side of §5's dissemination story, so any server
+//! can stand in as an atlas mirror (shard-scoped, like every other
+//! engine-touching request):
+//!
+//! * `AtlasHead` → `AtlasHeadReply` names the shard's newest full
+//!   version ([`inano_core::AtlasVersion`]: day, content `epoch_tag`,
+//!   body length, chunk size);
+//! * `FetchFullChunk { shard, epoch_tag, idx }` → `ChunkReply` carries
+//!   one checksummed chunk. The request names the tag it is fetching:
+//!   if the shard swapped generations mid-fetch the server answers a
+//!   typed [`ErrorCode::VersionRaced`] fault — re-read the head and
+//!   restart — instead of silently splicing two generations;
+//! * `FetchDelta { shard, have_day }` → `DeltaReply` offers the
+//!   retained daily delta leaving `have_day` (if any), whose body moves
+//!   through `FetchDeltaChunk` → `ChunkReply` the same way.
+//!
+//! Chunk sizes are derived from the server's own [`Limits`]
+//! ([`chunk_size_for`]), so a `ChunkReply` payload never exceeds
+//! `max_frame_bytes` — an atlas bigger than one frame simply arrives
+//! as more chunks. A stale chunk index is a typed
+//! [`ErrorCode::ChunkOutOfRange`] fault; none of these ever cost the
+//! connection.
+//!
 //! ## Error handling
 //!
 //! Decoding distinguishes two failure severities, and the distinction
@@ -54,16 +79,16 @@
 //! Error *codes* live in [`inano_model::ErrorCode`] so the engine's own
 //! `ModelError`s cross the wire losslessly typed.
 
-use inano_core::{PredictedPath, Resolution};
+use inano_core::{AtlasVersion, DeltaHandle, PredictedPath, Resolution, DEFAULT_CHUNK_SIZE};
 use inano_model::{Asn, ClusterId, ErrorCode, Ipv4, LatencyMs, LossRate, ModelError, PrefixId};
 use inano_service::{ServiceStats, ShardId};
 use std::io::{self, Read, Write};
 
 /// `"iNaN"` in ASCII.
 pub const MAGIC: u32 = 0x694E_614E;
-/// Current protocol version (2: shard-aware requests, `ListShards`,
-/// latency buckets in `StatsReply`).
-pub const VERSION: u8 = 2;
+/// Current protocol version (3: atlas dissemination — `AtlasHead`,
+/// chunked `FetchFullChunk`/`FetchDelta`/`FetchDeltaChunk`).
+pub const VERSION: u8 = 3;
 /// Fixed frame-header size in bytes.
 pub const HEADER_BYTES: usize = 18;
 /// Most log₂ latency buckets accepted in a `StatsReply` (the engine
@@ -77,13 +102,33 @@ pub const FT_RESOLVE: u8 = 0x03;
 pub const FT_STATS: u8 = 0x04;
 pub const FT_EPOCH: u8 = 0x05;
 pub const FT_LIST_SHARDS: u8 = 0x06;
+pub const FT_ATLAS_HEAD: u8 = 0x07;
+pub const FT_FETCH_FULL_CHUNK: u8 = 0x08;
+pub const FT_FETCH_DELTA: u8 = 0x09;
+pub const FT_FETCH_DELTA_CHUNK: u8 = 0x0A;
 pub const FT_PONG: u8 = 0x81;
 pub const FT_PATH_BATCH: u8 = 0x82;
 pub const FT_RESOLVE_REPLY: u8 = 0x83;
 pub const FT_STATS_REPLY: u8 = 0x84;
 pub const FT_EPOCH_REPLY: u8 = 0x85;
 pub const FT_SHARDS_REPLY: u8 = 0x86;
+pub const FT_ATLAS_HEAD_REPLY: u8 = 0x87;
+pub const FT_CHUNK_REPLY: u8 = 0x88;
+pub const FT_DELTA_REPLY: u8 = 0x89;
 pub const FT_ERROR: u8 = 0xEE;
+
+/// Fixed `ChunkReply` payload overhead: chunk index (4) + checksum (8)
+/// + byte-count register (4).
+pub const CHUNK_WIRE_OVERHEAD: u32 = 16;
+
+/// The chunk size a sender bounded by `limits` serves atlas bodies in:
+/// the in-process default, shrunk until one chunk (plus its framing)
+/// always fits `max_frame_bytes`.
+pub fn chunk_size_for(limits: &Limits) -> u32 {
+    DEFAULT_CHUNK_SIZE
+        .min(limits.max_frame_bytes.saturating_sub(CHUNK_WIRE_OVERHEAD))
+        .max(1)
+}
 
 /// Receiver-side protocol limits. Senders should stay within the
 /// defaults; a server may advertise different ones out of band.
@@ -262,6 +307,30 @@ impl From<&ServiceStats> for WireStats {
     }
 }
 
+impl WireStats {
+    /// Back to the library-side type, so a fleet aggregator can feed
+    /// remote snapshots into [`ServiceStats::aggregate`] (which merges
+    /// the raw buckets exactly, instead of averaging percentiles).
+    pub fn to_service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries,
+            errors: self.errors,
+            qps: self.qps,
+            p50_us: self.p50_us,
+            p99_us: self.p99_us,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_evictions: self.cache_evictions,
+            cache_hit_rate: self.cache_hit_rate,
+            swaps: self.swaps,
+            epoch: self.epoch,
+            day: self.day,
+            workers: self.workers as usize,
+            latency_buckets: self.latency_buckets.clone(),
+        }
+    }
+}
+
 /// One protocol frame (request or reply), minus the request id that
 /// travels in the header.
 #[derive(Clone, Debug, PartialEq)]
@@ -298,6 +367,41 @@ pub enum Frame {
     ListShards,
     ShardsReply {
         shards: Vec<WireShardInfo>,
+    },
+    /// What is the newest full atlas this shard serves?
+    AtlasHead {
+        shard: ShardId,
+    },
+    AtlasHeadReply {
+        version: AtlasVersion,
+    },
+    /// One chunk of the full body whose head named `epoch_tag`. A
+    /// server that has moved on answers a typed `VersionRaced` fault.
+    FetchFullChunk {
+        shard: ShardId,
+        epoch_tag: u64,
+        idx: u32,
+    },
+    /// Is there a retained daily delta leaving `have_day`?
+    FetchDelta {
+        shard: ShardId,
+        have_day: u32,
+    },
+    DeltaReply {
+        handle: Option<DeltaHandle>,
+    },
+    /// One chunk of the delta body leaving `from_day`.
+    FetchDeltaChunk {
+        shard: ShardId,
+        from_day: u32,
+        idx: u32,
+    },
+    /// One checksummed body chunk (full or delta — the client knows
+    /// which it asked for; the echoed index pins it to the request).
+    ChunkReply {
+        idx: u32,
+        crc: u64,
+        bytes: Vec<u8>,
     },
     Error {
         fault: WireFault,
@@ -475,6 +579,13 @@ impl Frame {
             Frame::EpochReply { .. } => FT_EPOCH_REPLY,
             Frame::ListShards => FT_LIST_SHARDS,
             Frame::ShardsReply { .. } => FT_SHARDS_REPLY,
+            Frame::AtlasHead { .. } => FT_ATLAS_HEAD,
+            Frame::AtlasHeadReply { .. } => FT_ATLAS_HEAD_REPLY,
+            Frame::FetchFullChunk { .. } => FT_FETCH_FULL_CHUNK,
+            Frame::FetchDelta { .. } => FT_FETCH_DELTA,
+            Frame::DeltaReply { .. } => FT_DELTA_REPLY,
+            Frame::FetchDeltaChunk { .. } => FT_FETCH_DELTA_CHUNK,
+            Frame::ChunkReply { .. } => FT_CHUNK_REPLY,
             Frame::Error { .. } => FT_ERROR,
         }
     }
@@ -570,6 +681,51 @@ impl Frame {
                     put_u64(buf, s.epoch);
                     put_u32(buf, s.day);
                 }
+            }
+            Frame::AtlasHead { shard } => put_u16(buf, shard.raw()),
+            Frame::AtlasHeadReply { version } => {
+                put_u32(buf, version.day);
+                put_u64(buf, version.epoch_tag);
+                put_u64(buf, version.full_len);
+                put_u32(buf, version.chunk_size);
+            }
+            Frame::FetchFullChunk {
+                shard,
+                epoch_tag,
+                idx,
+            } => {
+                put_u16(buf, shard.raw());
+                put_u64(buf, *epoch_tag);
+                put_u32(buf, *idx);
+            }
+            Frame::FetchDelta { shard, have_day } => {
+                put_u16(buf, shard.raw());
+                put_u32(buf, *have_day);
+            }
+            Frame::DeltaReply { handle } => match handle {
+                None => buf.push(0),
+                Some(h) => {
+                    buf.push(1);
+                    put_u32(buf, h.from_day);
+                    put_u32(buf, h.to_day);
+                    put_u64(buf, h.len);
+                    put_u32(buf, h.chunk_size);
+                }
+            },
+            Frame::FetchDeltaChunk {
+                shard,
+                from_day,
+                idx,
+            } => {
+                put_u16(buf, shard.raw());
+                put_u32(buf, *from_day);
+                put_u32(buf, *idx);
+            }
+            Frame::ChunkReply { idx, crc, bytes } => {
+                put_u32(buf, *idx);
+                put_u64(buf, *crc);
+                put_u32(buf, bytes.len() as u32);
+                buf.extend_from_slice(bytes);
             }
             Frame::Error { fault } => put_fault(buf, fault),
         }
@@ -721,6 +877,58 @@ impl Frame {
                     .collect::<Result<_, WireFault>>()?;
                 Frame::ShardsReply { shards }
             }
+            FT_ATLAS_HEAD => Frame::AtlasHead {
+                shard: ShardId(c.u16()?),
+            },
+            FT_ATLAS_HEAD_REPLY => Frame::AtlasHeadReply {
+                version: AtlasVersion {
+                    day: c.u32()?,
+                    epoch_tag: c.u64()?,
+                    full_len: c.u64()?,
+                    chunk_size: c.u32()?,
+                },
+            },
+            FT_FETCH_FULL_CHUNK => Frame::FetchFullChunk {
+                shard: ShardId(c.u16()?),
+                epoch_tag: c.u64()?,
+                idx: c.u32()?,
+            },
+            FT_FETCH_DELTA => Frame::FetchDelta {
+                shard: ShardId(c.u16()?),
+                have_day: c.u32()?,
+            },
+            FT_DELTA_REPLY => Frame::DeltaReply {
+                handle: match c.u8()? {
+                    0 => None,
+                    1 => Some(DeltaHandle {
+                        from_day: c.u32()?,
+                        to_day: c.u32()?,
+                        len: c.u64()?,
+                        chunk_size: c.u32()?,
+                    }),
+                    tag => {
+                        return Err(WireFault::new(
+                            ErrorCode::Malformed,
+                            format!("bad delta tag {tag}"),
+                        ))
+                    }
+                },
+            },
+            FT_FETCH_DELTA_CHUNK => Frame::FetchDeltaChunk {
+                shard: ShardId(c.u16()?),
+                from_day: c.u32()?,
+                idx: c.u32()?,
+            },
+            FT_CHUNK_REPLY => Frame::ChunkReply {
+                idx: c.u32()?,
+                crc: c.u64()?,
+                bytes: {
+                    // The count is bounded by the payload the header
+                    // already admitted; `take` rejects a count beyond it.
+                    let n = c.u32()? as usize;
+                    c.take(n)?.to_vec()
+                },
+            },
             FT_ERROR => Frame::Error { fault: c.fault()? },
             t => {
                 return Err(WireFault::new(
@@ -871,6 +1079,90 @@ mod tests {
             },
             u64::MAX,
         );
+    }
+
+    #[test]
+    fn dissemination_frames_round_trip() {
+        round_trip(Frame::AtlasHead { shard: ShardId(2) }, 20);
+        round_trip(
+            Frame::AtlasHeadReply {
+                version: AtlasVersion {
+                    day: 7,
+                    epoch_tag: 0xdead_beef_cafe_f00d,
+                    full_len: 7_340_032,
+                    chunk_size: 262_128,
+                },
+            },
+            21,
+        );
+        round_trip(
+            Frame::FetchFullChunk {
+                shard: ShardId(0),
+                epoch_tag: 42,
+                idx: 17,
+            },
+            22,
+        );
+        round_trip(
+            Frame::FetchDelta {
+                shard: ShardId(9),
+                have_day: 4,
+            },
+            23,
+        );
+        round_trip(Frame::DeltaReply { handle: None }, 24);
+        round_trip(
+            Frame::DeltaReply {
+                handle: Some(DeltaHandle {
+                    from_day: 4,
+                    to_day: 5,
+                    len: 20_000,
+                    chunk_size: 4096,
+                }),
+            },
+            25,
+        );
+        round_trip(
+            Frame::FetchDeltaChunk {
+                shard: ShardId(1),
+                from_day: 4,
+                idx: 0,
+            },
+            26,
+        );
+        let bytes: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        round_trip(
+            Frame::ChunkReply {
+                idx: 3,
+                crc: inano_core::content_tag(&bytes),
+                bytes,
+            },
+            27,
+        );
+    }
+
+    #[test]
+    fn chunk_size_never_exceeds_the_frame_limit() {
+        for max in [64u32, 1024, 1 << 20, 64 << 20] {
+            let limits = Limits {
+                max_frame_bytes: max,
+                max_batch: 16,
+            };
+            let cs = chunk_size_for(&limits);
+            assert!(cs >= 1);
+            assert!(
+                cs + CHUNK_WIRE_OVERHEAD <= max || max <= CHUNK_WIRE_OVERHEAD,
+                "chunk {cs} + overhead must fit {max}"
+            );
+            // A ChunkReply of exactly that size decodes under the limit.
+            let frame = Frame::ChunkReply {
+                idx: 0,
+                crc: 0,
+                bytes: vec![7; cs as usize],
+            };
+            let payload = frame.encode(1).len() - HEADER_BYTES;
+            assert!(payload as u32 <= max, "payload {payload} must fit {max}");
+        }
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Integration tests for atlas dissemination: a chain of live servers
+//! where each hop fetches the previous hop's atlas over the wire.
+//!
+//! Covers the acceptance surface of the v3 fetch frames: `NetClient`
+//! as an `AtlasSource` bootstraps a second `QueryEngine` from a live
+//! server, epoch tags match end to end, a delta published at the
+//! origin propagates through the mirror with zero failed queries
+//! mid-swap, an oversized atlas (bigger than one frame admits) arrives
+//! correctly chunked, and a generation swap racing a chunk fetch comes
+//! back as a typed `VersionRaced` fault that the reader recovers from.
+
+use inano_core::AtlasReader;
+use inano_model::{ErrorCode, Ipv4};
+use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
+use inano_net::{Limits, MirrorSource, NetClient, NetError, NetServer, ServerConfig};
+use inano_service::{QueryEngine, ServiceConfig, ShardId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const RING: u32 = 12;
+
+fn ring_engine(ring: u32) -> Arc<QueryEngine> {
+    Arc::new(QueryEngine::new(
+        Arc::new(ring_atlas(ring, 0)),
+        ring_service_config(),
+    ))
+}
+
+fn ring_service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 4,
+        chunk: 16,
+        predictor: ring_predictor_config(),
+        ..ServiceConfig::default()
+    }
+}
+
+fn all_pairs() -> Vec<(Ipv4, Ipv4)> {
+    (0..RING)
+        .flat_map(|s| {
+            (0..RING)
+                .filter(move |&d| d != s)
+                .map(move |d| (ring_ip(s), ring_ip(d)))
+        })
+        .collect()
+}
+
+/// The acceptance chain: origin → mirror engine (bootstrapped through
+/// a `MirrorSource`) → client engine (bootstrapped through a bare
+/// `NetClient` as its `AtlasSource`), with a delta published at the
+/// origin propagating the whole way under live query load.
+#[test]
+fn mirror_chain_propagates_the_atlas_and_its_deltas() {
+    // Hop 0: the origin owns the authoritative atlas.
+    let origin_engine = ring_engine(RING);
+    let origin = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&origin_engine),
+        ServerConfig::default(),
+    )
+    .expect("bind origin");
+    let origin_tag = origin_engine.export().epoch_tag;
+
+    // Hop 1: a mirror bootstraps its engine over the wire.
+    let mut upstream = MirrorSource::connect(origin.local_addr(), ShardId::DEFAULT)
+        .expect("connect mirror to origin");
+    let mirror_engine = Arc::new(
+        QueryEngine::bootstrap(&mut upstream, ring_service_config())
+            .expect("mirror bootstraps from the origin"),
+    );
+    assert_eq!(
+        mirror_engine.export().epoch_tag,
+        origin_tag,
+        "one wire hop must not change the atlas"
+    );
+    let mirror = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&mirror_engine),
+        ServerConfig::default(),
+    )
+    .expect("bind mirror");
+
+    // Hop 2: a plain NetClient *is* an AtlasSource for shard 0.
+    let mut downstream = NetClient::connect(mirror.local_addr()).expect("connect to mirror");
+    let client_engine = QueryEngine::bootstrap(&mut downstream, ring_service_config())
+        .expect("client engine bootstraps from the mirror");
+    assert_eq!(
+        client_engine.export().epoch_tag,
+        origin_tag,
+        "epoch tags match end to end"
+    );
+    assert_eq!(client_engine.day(), origin_engine.day());
+
+    // The chain serves identical predictions.
+    let pairs = all_pairs();
+    for &(s, d) in &pairs {
+        let a = origin_engine.query(s, d).expect("origin serves");
+        let b = client_engine.query(s, d).expect("chain end serves");
+        assert_eq!(a.fwd_clusters, b.fwd_clusters);
+        assert!((a.rtt.ms() - b.rtt.ms()).abs() < 1e-12);
+    }
+
+    // Publish a delta at the origin while remote clients hammer the
+    // mirror: the swap must lose nothing anywhere on the chain.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mirror_addr = mirror.local_addr();
+    let hammers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let pairs = pairs.clone();
+            thread::spawn(move || {
+                let mut client = NetClient::connect(mirror_addr).expect("hammer connect");
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for r in client.query_batch(&pairs).expect("batch keeps working") {
+                        r.expect("no query may fail while the delta propagates");
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(20));
+    let day = origin_engine
+        .apply_delta(&ring_shortcut_delta(RING, 0))
+        .expect("origin applies the delta");
+    assert_eq!(day, 1);
+    // Each hop pulls from the one above it — exactly what the
+    // `--mirror` refresh loop does on its interval.
+    assert_eq!(
+        mirror_engine.update(&mut upstream).expect("mirror update"),
+        1,
+        "the mirror pulls the origin's delta"
+    );
+    assert_eq!(
+        client_engine
+            .update(&mut downstream)
+            .expect("client update"),
+        1,
+        "the client pulls the delta the mirror retained"
+    );
+    thread::sleep(Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(served > 0, "the hammers really ran");
+
+    // The whole chain landed on the same new generation...
+    let new_tag = origin_engine.export().epoch_tag;
+    assert_ne!(new_tag, origin_tag, "the delta changed the atlas");
+    assert_eq!(mirror_engine.export().epoch_tag, new_tag);
+    assert_eq!(client_engine.export().epoch_tag, new_tag);
+    assert_eq!(client_engine.day(), 1);
+    // ...and the chain end serves the day-1 shortcut.
+    let far = RING / 2;
+    let path = client_engine
+        .query(ring_ip(0), ring_ip(far))
+        .expect("routable");
+    assert_eq!(
+        path.fwd_clusters.len(),
+        2,
+        "day-1 shortcut at the chain end"
+    );
+    // Zero failed queries mid-swap, on the engines and over the wire.
+    assert_eq!(mirror_engine.stats().errors, 0);
+    assert_eq!(mirror.counters().faults, 0);
+}
+
+/// An atlas bigger than `max_frame_bytes` must arrive as more chunks,
+/// never as a bigger frame.
+#[test]
+fn oversized_atlas_fetch_is_chunked_to_the_frame_limit() {
+    let limits = Limits {
+        max_frame_bytes: 1024,
+        ..Limits::default()
+    };
+    let engine = ring_engine(64);
+    assert!(
+        engine.export().bytes.len() > limits.max_frame_bytes as usize,
+        "the test atlas must exceed one frame"
+    );
+    let server = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            limits,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    let head = client.atlas_head().expect("head");
+    assert!(
+        head.chunk_size + inano_net::wire::CHUNK_WIRE_OVERHEAD <= limits.max_frame_bytes,
+        "a chunk (plus framing) must fit one frame"
+    );
+    assert!(
+        head.n_chunks() >= 2,
+        "an atlas of {} bytes over {}-byte chunks must take several",
+        head.full_len,
+        head.chunk_size
+    );
+
+    // The standard reader path assembles it and lands on the same tag.
+    let second = QueryEngine::bootstrap(&mut client, ring_service_config())
+        .expect("bootstrap through many small chunks");
+    assert_eq!(second.export().epoch_tag, engine.export().epoch_tag);
+    second
+        .query(ring_ip(0), ring_ip(5))
+        .expect("the chunked copy serves queries");
+}
+
+/// A generation swap landing between a client's head and its chunk
+/// fetches must surface as a typed `VersionRaced` fault — and the
+/// reader must recover by restarting at the new head.
+#[test]
+fn generation_swap_mid_fetch_is_a_typed_race_the_reader_survives() {
+    let engine = ring_engine(RING);
+    let server =
+        NetServer::bind_single("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+            .expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    let stale = client.atlas_head().expect("head");
+    engine
+        .apply_delta(&ring_shortcut_delta(RING, 0))
+        .expect("swap under the fetch");
+    match client.fetch_full_chunk_on(ShardId::DEFAULT, stale.epoch_tag, 0) {
+        Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::VersionRaced),
+        other => panic!("want typed VersionRaced, got {other:?}"),
+    }
+    // Stale chunk indexes are typed too, and neither fault cost us the
+    // connection.
+    let fresh = client.atlas_head().expect("fresh head");
+    match client.fetch_full_chunk_on(ShardId::DEFAULT, fresh.epoch_tag, fresh.n_chunks() + 7) {
+        Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::ChunkOutOfRange),
+        other => panic!("want typed ChunkOutOfRange, got {other:?}"),
+    }
+
+    // The reader's restart logic turns the race into a clean fetch of
+    // the *new* generation.
+    let (version, bytes) = AtlasReader::default()
+        .fetch_full(&mut client)
+        .expect("reader recovers from the race");
+    assert_eq!(version.day, 1);
+    assert_eq!(version.epoch_tag, engine.export().epoch_tag);
+    assert_eq!(bytes.len() as u64, version.full_len);
+}
+
+/// Fetching a delta nobody retains is `None`; fetching its chunks is a
+/// typed race (re-head, refetch full), never a connection loss.
+#[test]
+fn missing_deltas_are_none_and_their_chunks_are_typed_races() {
+    let engine = ring_engine(RING);
+    let server =
+        NetServer::bind_single("127.0.0.1:0", Arc::clone(&engine), ServerConfig::default())
+            .expect("bind");
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+
+    assert!(client
+        .fetch_delta_on(ShardId::DEFAULT, 0)
+        .expect("no delta yet")
+        .is_none());
+    match client.fetch_delta_chunk_on(ShardId::DEFAULT, 0, 0) {
+        Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::VersionRaced),
+        other => panic!("want typed VersionRaced, got {other:?}"),
+    }
+
+    // After a swap the origin retains the delta it applied, and serves
+    // it back out chunked.
+    engine
+        .apply_delta(&ring_shortcut_delta(RING, 0))
+        .expect("swap");
+    let handle = client
+        .fetch_delta_on(ShardId::DEFAULT, 0)
+        .expect("delta query")
+        .expect("the applied delta is retained");
+    assert_eq!((handle.from_day, handle.to_day), (0, 1));
+    let (got, bytes) = AtlasReader::default()
+        .fetch_delta(&mut client, 0)
+        .expect("delta fetch")
+        .expect("retained");
+    assert_eq!(got, handle);
+    assert_eq!(bytes.len() as u64, handle.len);
+    // Unknown shards fault typed on the fetch frames like everywhere.
+    match client.atlas_head_on(ShardId(9)) {
+        Err(NetError::Remote(fault)) => assert_eq!(fault.code, ErrorCode::UnknownShard),
+        other => panic!("want typed UnknownShard, got {other:?}"),
+    }
+    client.ping().expect("connection survives all of it");
+}

@@ -518,7 +518,7 @@ fn hostile_pipeliner_gets_typed_overloaded_not_unbounded_queueing() {
     let server = ring_server(ServerConfig {
         max_conns: 4,
         max_inflight: 2,
-        limits: Limits::default(),
+        ..ServerConfig::default()
     });
     let raw = TcpStream::connect(server.local_addr()).expect("connect");
     let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
@@ -582,6 +582,99 @@ fn hostile_pipeliner_gets_typed_overloaded_not_unbounded_queueing() {
         .expect("pong");
     assert_eq!(id, FLOOD + 1);
     assert!(matches!(frame, Frame::Pong));
+}
+
+#[test]
+fn shared_request_budget_rejects_typed_across_many_connections() {
+    // A server-wide request-memory budget barely bigger than one large
+    // batch, and several connections flooding large batches without
+    // reading a byte: replies back up, queued requests pile against
+    // the *shared* budget, and the excess must come back as typed
+    // Overloaded errors — per request, in order, with every connection
+    // still serving afterwards and zero protocol faults. This is the
+    // cross-connection bound the per-connection in-flight cap cannot
+    // give: each connection here stays far under `max_inflight`.
+    let batch_pairs = Limits::default().max_batch as usize;
+    let server = ring_server(ServerConfig {
+        max_conns: 8,
+        max_inflight: 64,
+        // ~1.5 large batches' worth of pair bytes.
+        max_request_bytes: batch_pairs * 8 * 3 / 2,
+        limits: Limits::default(),
+    });
+
+    const CONNS: usize = 4;
+    const FLOOD: u64 = 8;
+    let batch = Frame::QueryBatch {
+        shard: ShardId::DEFAULT,
+        pairs: vec![(ring_ip(0), ring_ip(6)); batch_pairs],
+    };
+    let conns: Vec<TcpStream> = (0..CONNS)
+        .map(|_| TcpStream::connect(server.local_addr()).expect("connect"))
+        .collect();
+    let writers: Vec<_> = conns
+        .iter()
+        .map(|c| {
+            let mut w = c.try_clone().expect("clone");
+            let batch = batch.clone();
+            thread::spawn(move || {
+                for id in 1..=FLOOD {
+                    w.write_all(&batch.encode(id)).expect("flood writes");
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer");
+    }
+    // Let the floods pile up against responders nobody is draining.
+    thread::sleep(Duration::from_millis(200));
+
+    let reply_limits = Limits {
+        max_frame_bytes: 32 << 20,
+        max_batch: Limits::default().max_batch,
+    };
+    let mut served = 0u64;
+    let mut overloaded = 0u64;
+    for raw in &conns {
+        let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+        for want_id in 1..=FLOOD {
+            let (id, frame) = read_frame(&mut reader, &reply_limits)
+                .expect("reply readable")
+                .expect("one reply per request");
+            assert_eq!(id, want_id, "rejections stay in request order");
+            match frame {
+                Frame::PathBatch { results } => {
+                    assert!(results.iter().all(|r| r.is_ok()));
+                    served += 1;
+                }
+                Frame::Error { fault } => {
+                    assert_eq!(fault.code, ErrorCode::Overloaded);
+                    overloaded += 1;
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        // Once its backlog drains, every connection still serves.
+        raw.try_clone()
+            .expect("clone")
+            .write_all(&Frame::Ping.encode(FLOOD + 1))
+            .expect("ping writes");
+        let (id, frame) = read_frame(&mut reader, &reply_limits)
+            .expect("pong readable")
+            .expect("pong");
+        assert_eq!(id, FLOOD + 1);
+        assert!(matches!(frame, Frame::Pong));
+    }
+    assert_eq!(served + overloaded, CONNS as u64 * FLOOD);
+    assert!(served >= 1, "within-budget requests are served");
+    assert!(
+        overloaded >= 1,
+        "a flood beyond the shared budget must see typed rejections"
+    );
+    let counters = server.counters();
+    assert_eq!(counters.overloaded, overloaded);
+    assert_eq!(counters.faults, 0, "throttling is not a fault");
 }
 
 #[test]

@@ -5,9 +5,10 @@
 //! is a typed per-frame error, a payload of `max_frame_bytes` decodes,
 //! one byte more is fatal.
 
+use inano_core::{AtlasVersion, DeltaHandle};
 use inano_model::{ErrorCode, Ipv4};
-use inano_net::wire::{read_frame, Frame, Limits, ReadError, HEADER_BYTES};
-use inano_net::{WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
+use inano_net::wire::{read_frame, Frame, Limits, ReadError, CHUNK_WIRE_OVERHEAD, HEADER_BYTES};
+use inano_net::{chunk_size_for, WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
 use inano_service::ShardId;
 use proptest::prelude::*;
 
@@ -84,6 +85,28 @@ prop_compose! {
 }
 
 prop_compose! {
+    fn arb_version()(
+        day in any::<u32>(),
+        epoch_tag in any::<u64>(),
+        full_len in any::<u64>(),
+        chunk_size in any::<u32>(),
+    ) -> AtlasVersion {
+        AtlasVersion { day, epoch_tag, full_len, chunk_size }
+    }
+}
+
+prop_compose! {
+    fn arb_delta_handle()(
+        from_day in any::<u32>(),
+        to_day in any::<u32>(),
+        len in any::<u64>(),
+        chunk_size in any::<u32>(),
+    ) -> DeltaHandle {
+        DeltaHandle { from_day, to_day, len, chunk_size }
+    }
+}
+
+prop_compose! {
     fn arb_result()(
         is_ok in any::<bool>(),
         path in arb_path(),
@@ -97,7 +120,7 @@ prop_compose! {
 // exercised (the stand-in proptest has no `prop_oneof!`).
 prop_compose! {
     fn arb_frame()(
-        variant in 0usize..13,
+        variant in 0usize..20,
         shard in any::<u16>(),
         pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
         results in proptest::collection::vec(arb_result(), 0..20),
@@ -107,6 +130,12 @@ prop_compose! {
         epoch in any::<u64>(),
         day in any::<u32>(),
         shard_infos in proptest::collection::vec(arb_shard_info(), 0..16),
+        version in arb_version(),
+        handle in proptest::option::of(arb_delta_handle()),
+        epoch_tag in any::<u64>(),
+        idx in any::<u32>(),
+        crc in any::<u64>(),
+        chunk in proptest::collection::vec(any::<u8>(), 0..300),
         fault in arb_fault(),
     ) -> Frame {
         match variant {
@@ -125,6 +154,13 @@ prop_compose! {
             9 => Frame::EpochReply { epoch, day },
             10 => Frame::ListShards,
             11 => Frame::ShardsReply { shards: shard_infos },
+            12 => Frame::AtlasHead { shard: ShardId(shard) },
+            13 => Frame::AtlasHeadReply { version },
+            14 => Frame::FetchFullChunk { shard: ShardId(shard), epoch_tag, idx },
+            15 => Frame::FetchDelta { shard: ShardId(shard), have_day: day },
+            16 => Frame::DeltaReply { handle },
+            17 => Frame::FetchDeltaChunk { shard: ShardId(shard), from_day: day, idx },
+            18 => Frame::ChunkReply { idx, crc, bytes: chunk },
             _ => Frame::Error { fault },
         }
     }
@@ -201,6 +237,46 @@ proptest! {
                 prop_assert_eq!(fault.code, ErrorCode::FrameTooLarge);
             }
             other => prop_assert!(false, "want fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_replies_cut_by_chunk_size_for_always_fit_the_frame_limit(
+        max_frame in 32u32..8192,
+        fill in any::<u8>(),
+    ) {
+        // The sender-side rule (`chunk_size_for`) and the receiver-side
+        // limit must agree at the exact edge: a maximal chunk decodes,
+        // and one extra byte in the body is a fatal FrameTooLarge.
+        let limits = Limits { max_frame_bytes: max_frame, max_batch: 16 };
+        let cs = chunk_size_for(&limits);
+        prop_assert!(cs >= 1);
+        let frame = Frame::ChunkReply {
+            idx: 0,
+            crc: 7,
+            bytes: vec![fill; cs as usize],
+        };
+        let bytes = frame.encode(3);
+        let payload = (bytes.len() - HEADER_BYTES) as u32;
+        prop_assert!(payload <= max_frame, "payload {payload} over {max_frame}");
+        let (_, got) = decode(&bytes, &limits).expect("maximal chunk decodes").unwrap();
+        prop_assert_eq!(got, frame);
+
+        if payload == max_frame {
+            // Exactly at the edge: cs + overhead filled the frame, so
+            // one more body byte must be refused from the header alone.
+            let over = Frame::ChunkReply {
+                idx: 0,
+                crc: 7,
+                bytes: vec![fill; cs as usize + 1],
+            };
+            match decode(&over.encode(4), &limits) {
+                Err(ReadError::Fatal(fault)) => {
+                    prop_assert_eq!(fault.code, ErrorCode::FrameTooLarge);
+                }
+                other => prop_assert!(false, "want fatal, got {other:?}"),
+            }
+            prop_assert_eq!(payload, cs + CHUNK_WIRE_OVERHEAD);
         }
     }
 

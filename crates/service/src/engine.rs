@@ -29,9 +29,13 @@
 use crate::cache::ShardedCache;
 use crate::stats::{Metrics, ServiceStats};
 use inano_atlas::{codec, Atlas, AtlasDelta};
-use inano_core::{AtlasSource, PathPredictor, PredictedPath, PredictorConfig};
+use inano_core::{
+    chunk_span, content_tag, AtlasReader, AtlasSource, AtlasVersion, DeltaHandle, PathPredictor,
+    PredictedPath, PredictorConfig,
+};
 use inano_model::{Ipv4, ModelError};
 use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -82,6 +86,97 @@ impl Generation {
     }
 }
 
+/// Daily deltas retained for re-serving ([`QueryEngine::delta_blob`]).
+/// A mirror that lags further than this refetches the full atlas; one
+/// day per entry, so the cap is about a month of history.
+pub const DELTA_LOG_CAP: usize = 32;
+
+/// One generation's encoded bytes plus everything a dissemination head
+/// needs: what [`QueryEngine::export`] snapshots so any server can act
+/// as an atlas mirror.
+pub struct AtlasSnapshot {
+    /// Day of the encoded atlas.
+    pub day: u32,
+    /// Engine epoch the snapshot was cut at (the cache key for
+    /// re-encoding; local to this engine).
+    pub epoch: u64,
+    /// Content tag of `bytes` ([`content_tag`]) — identical on every
+    /// node of a mirror chain serving this generation, which is what
+    /// makes end-to-end "same atlas?" checks one integer compare.
+    pub epoch_tag: u64,
+    /// The encoded atlas, shared — chunk serving never copies the body.
+    pub bytes: Arc<[u8]>,
+    /// Per-chunk checksums, computed lazily and keyed by the chunk
+    /// size they were cut at (one server serves one chunk size) — so N
+    /// mirrors fetching the body cost one hash of it, not N.
+    chunk_crcs: Mutex<Option<(u32, Arc<[u64]>)>>,
+}
+
+impl AtlasSnapshot {
+    /// Checksums of every `chunk_size` chunk of the body, in index
+    /// order; cached after the first call per chunk size.
+    pub fn chunk_crcs(&self, chunk_size: u32) -> Arc<[u64]> {
+        let mut cached = self.chunk_crcs.lock();
+        if let Some((cut, crcs)) = cached.as_ref() {
+            if *cut == chunk_size {
+                return Arc::clone(crcs);
+            }
+        }
+        let len = self.bytes.len() as u64;
+        let crcs: Arc<[u64]> = (0..inano_core::n_chunks(len, chunk_size))
+            .map(|i| {
+                let span = chunk_span(len, chunk_size, i).expect("index below n_chunks");
+                content_tag(&self.bytes[span])
+            })
+            .collect();
+        *cached = Some((chunk_size, Arc::clone(&crcs)));
+        crcs
+    }
+    /// The wire-facing version descriptor for this snapshot, chunked at
+    /// `chunk_size`.
+    pub fn version(&self, chunk_size: u32) -> AtlasVersion {
+        AtlasVersion {
+            day: self.day,
+            epoch_tag: self.epoch_tag,
+            full_len: self.bytes.len() as u64,
+            chunk_size,
+        }
+    }
+
+    /// Chunk `idx` of the body at `chunk_size`, or a typed
+    /// out-of-range error.
+    pub fn chunk(&self, chunk_size: u32, idx: u32) -> Result<&[u8], ModelError> {
+        let span = chunk_span(self.bytes.len() as u64, chunk_size, idx)?;
+        Ok(&self.bytes[span])
+    }
+}
+
+/// One applied daily delta, retained in encoded form so downstream
+/// mirrors can fetch exactly the bytes this engine applied.
+pub struct DeltaBlob {
+    pub from_day: u32,
+    pub to_day: u32,
+    pub bytes: Arc<[u8]>,
+}
+
+impl DeltaBlob {
+    /// The wire-facing handle for this delta, chunked at `chunk_size`.
+    pub fn handle(&self, chunk_size: u32) -> DeltaHandle {
+        DeltaHandle {
+            from_day: self.from_day,
+            to_day: self.to_day,
+            len: self.bytes.len() as u64,
+            chunk_size,
+        }
+    }
+
+    /// Chunk `idx` of the delta body at `chunk_size`.
+    pub fn chunk(&self, chunk_size: u32, idx: u32) -> Result<&[u8], ModelError> {
+        let span = chunk_span(self.bytes.len() as u64, chunk_size, idx)?;
+        Ok(&self.bytes[span])
+    }
+}
+
 /// A chunk of a batch, dispatched to the worker pool.
 struct Job {
     pairs: Vec<(Ipv4, Ipv4)>,
@@ -105,6 +200,13 @@ pub struct QueryEngine {
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
     /// Configured pool size (stable across shutdown, for stats).
     n_workers: usize,
+    /// Cached encoding of the current generation, keyed by its epoch
+    /// (re-encoding a ~7MB atlas per mirror request would be the real
+    /// cost of serving as a mirror; this makes it once per swap).
+    export: Mutex<Option<Arc<AtlasSnapshot>>>,
+    /// Encoded deltas this engine applied, oldest first, capped at
+    /// [`DELTA_LOG_CAP`] — what downstream mirrors fetch.
+    delta_log: Mutex<VecDeque<Arc<DeltaBlob>>>,
 }
 
 impl QueryEngine {
@@ -160,15 +262,18 @@ impl QueryEngine {
             job_tx: RwLock::new(Some(job_tx)),
             workers: Mutex::new(workers),
             n_workers,
+            export: Mutex::new(None),
+            delta_log: Mutex::new(VecDeque::new()),
         }
     }
 
-    /// Bootstrap from an [`AtlasSource`] (swarm, mirror, file, ...).
+    /// Bootstrap from an [`AtlasSource`] (swarm, mirror, file, ...):
+    /// the body arrives chunked and validated through [`AtlasReader`].
     pub fn bootstrap(
         source: &mut dyn AtlasSource,
         cfg: ServiceConfig,
     ) -> Result<QueryEngine, ModelError> {
-        let bytes = source.fetch_full()?;
+        let (_, bytes) = AtlasReader::default().fetch_full(source)?;
         let atlas = codec::decode(&bytes)?;
         Ok(QueryEngine::new(Arc::new(atlas), cfg))
     }
@@ -251,13 +356,15 @@ impl QueryEngine {
     /// write lock; the lock is held only to store the new pointer.
     pub fn apply_delta(&self, delta: &AtlasDelta) -> Result<u32, ModelError> {
         let _builder = self.swap_lock.lock();
-        self.swap_locked(delta)
+        self.swap_locked(delta, None)
     }
 
     /// The swap itself; caller must hold `swap_lock` so concurrent
     /// builders can't interleave between the generation read and the
-    /// pointer store.
-    fn swap_locked(&self, delta: &AtlasDelta) -> Result<u32, ModelError> {
+    /// pointer store. `encoded` is the delta's wire form when the
+    /// caller already has it (an `update` fetched it as bytes);
+    /// otherwise it is re-encoded here for the delta log.
+    fn swap_locked(&self, delta: &AtlasDelta, encoded: Option<Vec<u8>>) -> Result<u32, ModelError> {
         let base = self.generation();
         let next_atlas = Arc::new(delta.apply(base.predictor.atlas())?);
         let predictor = Arc::new(PathPredictor::new(next_atlas, self.cfg.predictor.clone()));
@@ -268,7 +375,54 @@ impl QueryEngine {
         let day = next.day();
         *self.current.write() = next;
         self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        // Retain the applied delta for downstream mirrors: the bytes a
+        // peer fetching `delta(from_day)` from this engine receives are
+        // exactly the bytes this engine applied.
+        let bytes = encoded.unwrap_or_else(|| delta.encode().0);
+        let mut log = self.delta_log.lock();
+        if log.len() == DELTA_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(Arc::new(DeltaBlob {
+            from_day: delta.from_day,
+            to_day: delta.to_day,
+            bytes: bytes.into(),
+        }));
         Ok(day)
+    }
+
+    /// Snapshot the serving generation's encoded bytes + version for
+    /// dissemination — what makes *any* engine an atlas origin. Cached
+    /// per epoch: the first call after a swap re-encodes, later calls
+    /// share the same `Arc`.
+    pub fn export(&self) -> Arc<AtlasSnapshot> {
+        let generation = self.generation();
+        let mut cached = self.export.lock();
+        if let Some(snap) = cached.as_ref() {
+            if snap.epoch == generation.epoch {
+                return Arc::clone(snap);
+            }
+        }
+        let (bytes, _) = codec::encode(generation.predictor.atlas());
+        let snap = Arc::new(AtlasSnapshot {
+            day: generation.day(),
+            epoch: generation.epoch,
+            epoch_tag: content_tag(&bytes),
+            bytes: bytes.into(),
+            chunk_crcs: Mutex::new(None),
+        });
+        *cached = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// The retained delta leaving `have_day`, if this engine applied
+    /// one recently enough ([`DELTA_LOG_CAP`]).
+    pub fn delta_blob(&self, have_day: u32) -> Option<Arc<DeltaBlob>> {
+        self.delta_log
+            .lock()
+            .iter()
+            .find(|b| b.from_day == have_day)
+            .cloned()
     }
 
     /// Fetch and apply every delta the source has beyond the current
@@ -279,12 +433,19 @@ impl QueryEngine {
     /// `apply_delta`/`update` can't swap between this loop's day read
     /// and its apply, which would otherwise surface as a spurious
     /// wrong-base error from a delta that is simply already applied.
+    /// That means the fetch itself runs under the lock — with a
+    /// network-backed source (`NetClient`/`MirrorSource`), bound its
+    /// I/O (`NetClient::set_io_timeout`) so a hung upstream stalls
+    /// this updater with a typed error instead of wedging every
+    /// builder forever. Queries are unaffected either way: they never
+    /// take the builder lock.
     pub fn update(&self, source: &mut dyn AtlasSource) -> Result<usize, ModelError> {
         let _builder = self.swap_lock.lock();
+        let reader = AtlasReader::default();
         let mut applied = 0;
-        while let Some(bytes) = source.fetch_delta(self.day())? {
+        while let Some((_, bytes)) = reader.fetch_delta(source, self.day())? {
             let delta = AtlasDelta::decode(&bytes)?;
-            self.swap_locked(&delta)?;
+            self.swap_locked(&delta, Some(bytes))?;
             applied += 1;
         }
         Ok(applied)
@@ -314,6 +475,31 @@ impl QueryEngine {
     /// work — they serve inline).
     pub fn is_shut_down(&self) -> bool {
         self.job_tx.read().is_none()
+    }
+
+    /// Swap in a whole new atlas generation: a monthly full refresh at
+    /// an origin, or a mirror re-bootstrapping after falling off its
+    /// upstream's retained delta chain. The epoch bumps like any delta
+    /// swap — caches invalidate, the export snapshot re-encodes — but
+    /// no delta is logged: there is no delta that produces this
+    /// generation, so downstream mirrors bridge the discontinuity the
+    /// same way, by refetching the full atlas. Returns the new day.
+    pub fn replace_atlas(&self, atlas: Arc<Atlas>) -> u32 {
+        let _builder = self.swap_lock.lock();
+        let base = self.generation();
+        let predictor = Arc::new(PathPredictor::new(atlas, self.cfg.predictor.clone()));
+        let next = Arc::new(Generation {
+            epoch: base.epoch + 1,
+            predictor,
+        });
+        let day = next.day();
+        *self.current.write() = next;
+        self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        // The retained deltas belong to the abandoned chain; serving
+        // them on would walk lagging mirrors down a dead generation
+        // instead of forcing the full resync this replace demands.
+        self.delta_log.lock().clear();
+        day
     }
 
     /// Snapshot the engine's counters.

@@ -43,6 +43,6 @@ pub mod registry;
 pub mod stats;
 
 pub use cache::{CacheCounters, CacheKey, ShardedCache};
-pub use engine::{Generation, QueryEngine, ServiceConfig};
+pub use engine::{AtlasSnapshot, DeltaBlob, Generation, QueryEngine, ServiceConfig, DELTA_LOG_CAP};
 pub use registry::{RegistryConfig, RegistryStats, ShardId, ShardRegistry, ShardSpec};
 pub use stats::{quantile_from_counts, LatencyHistogram, Metrics, ServiceStats};

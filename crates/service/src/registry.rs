@@ -247,6 +247,26 @@ impl ShardRegistry {
         Ok((generation.epoch, generation.day()))
     }
 
+    /// Swap a whole new atlas into one shard (see
+    /// [`QueryEngine::replace_atlas`]). Returns the shard's new day.
+    pub fn replace_atlas(&self, shard: ShardId, atlas: Arc<Atlas>) -> Result<u32, ModelError> {
+        Ok(self.engine(shard)?.replace_atlas(atlas))
+    }
+
+    /// One shard's dissemination snapshot (see [`QueryEngine::export`]).
+    pub fn export(&self, shard: ShardId) -> Result<Arc<crate::engine::AtlasSnapshot>, ModelError> {
+        Ok(self.engine(shard)?.export())
+    }
+
+    /// One shard's retained delta leaving `have_day`, if any.
+    pub fn delta_blob(
+        &self,
+        shard: ShardId,
+        have_day: u32,
+    ) -> Result<Option<Arc<crate::engine::DeltaBlob>>, ModelError> {
+        Ok(self.engine(shard)?.delta_blob(have_day))
+    }
+
     /// Snapshot every shard plus the exact aggregate.
     pub fn stats(&self) -> RegistryStats {
         let shards: Vec<(ShardId, ServiceStats)> =

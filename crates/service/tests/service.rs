@@ -319,3 +319,41 @@ fn serves_and_updates_through_the_swarm() {
     let r = engine.query(ip(0), ip(4)).expect("routable at day 1");
     assert_eq!(r.fwd_clusters.len(), 2, "served from the day-1 atlas");
 }
+
+#[test]
+fn replace_atlas_swaps_a_whole_generation_without_logging_a_delta() {
+    let engine = QueryEngine::new(
+        Arc::new(ring_atlas(8, 0)),
+        ServiceConfig {
+            workers: 2,
+            predictor: ring_cfg(),
+            ..ServiceConfig::default()
+        },
+    );
+    let before_tag = engine.export().epoch_tag;
+    engine.query(ip(0), ip(3)).expect("day-0 world serves");
+    // A delta applied first is retained for downstream mirrors...
+    engine
+        .apply_delta(&AtlasDelta::between(&ring_atlas(8, 0), &ring_atlas(8, 1)))
+        .expect("delta applies");
+    assert!(engine.delta_blob(0).is_some());
+
+    // A full replace models a monthly refresh or a mirror resync: the
+    // new world may be days ahead with no bridging delta at all.
+    let day = engine.replace_atlas(Arc::new(ring_atlas(12, 9)));
+    assert_eq!(day, 9);
+    assert_eq!(engine.day(), 9);
+    assert_eq!(engine.epoch(), 2, "a replace bumps the epoch like a swap");
+    assert_eq!(engine.stats().swaps, 2);
+    // The export snapshot re-encodes the new generation...
+    let snap = engine.export();
+    assert_eq!(snap.day, 9);
+    assert_ne!(snap.epoch_tag, before_tag);
+    // ...queries land in the new (bigger) world...
+    let r = engine.query(ip(0), ip(10)).expect("ring-12 pair routable");
+    assert!(!r.fwd_clusters.is_empty());
+    // ...and the delta log is emptied: the retained 0→1 delta belongs
+    // to the abandoned chain, and serving it would walk a lagging
+    // mirror down a dead generation instead of forcing a full resync.
+    assert!(engine.delta_blob(0).is_none());
+}

@@ -1,12 +1,20 @@
 //! An [`AtlasSource`] that hands out atlas bytes "through" the simulated
 //! swarm: fetches succeed and the simulation's completion time is
 //! recorded, so examples can report realistic bootstrap latencies.
+//!
+//! The source serves the chunked v2 API natively: the encoded bodies
+//! live behind shared `Arc<[u8]>`s and every chunk is a copy of just
+//! its span — the old blob API cloned the *entire* encoded atlas per
+//! peer fetch, which at §5 scale (a ~7MB atlas, thousands of peers) is
+//! gigabytes of needless allocation at the seed.
 
 use crate::sim::{simulate_swarm, SwarmConfig, SwarmReport};
 use inano_atlas::{codec, Atlas, AtlasDelta};
-use inano_core::AtlasSource;
+use inano_core::DEFAULT_CHUNK_SIZE;
+use inano_core::{chunk_span, content_tag, AtlasChunk, AtlasSource, AtlasVersion, DeltaHandle};
 use inano_model::ModelError;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Most recent download reports retained by a [`SwarmSource`]. A
 /// long-lived engine fetches a delta per day forever; an unbounded log
@@ -14,16 +22,28 @@ use std::collections::VecDeque;
 /// [`SwarmSource::take_downloads`] available to drain them.
 pub const DOWNLOAD_LOG_CAP: usize = 64;
 
+/// One encoded delta body with its precomputed day span.
+struct DeltaEntry {
+    from_day: u32,
+    to_day: u32,
+    bytes: Arc<[u8]>,
+}
+
 /// Serves a full atlas plus a chain of daily deltas, simulating a swarm
-/// download for each fetch.
+/// download for each logical fetch (the simulation runs once per body,
+/// on its first chunk; later chunks of the same body ride that swarm).
 pub struct SwarmSource {
-    full: Vec<u8>,
-    deltas: Vec<Vec<u8>>,
+    day: u32,
+    full: Arc<[u8]>,
+    full_tag: u64,
+    deltas: Vec<DeltaEntry>,
+    chunk_size: u32,
     swarm: SwarmConfig,
     /// Reports of the most recent downloads, in fetch order, capped at
     /// [`DOWNLOAD_LOG_CAP`].
     downloads: VecDeque<SwarmReport>,
     fetches: u64,
+    bytes_served: u64,
 }
 
 impl SwarmSource {
@@ -33,15 +53,24 @@ impl SwarmSource {
         let mut deltas = Vec::new();
         let mut prev = day0;
         for next in later_days {
-            deltas.push(AtlasDelta::between(prev, next).encode().0);
+            let delta = AtlasDelta::between(prev, next);
+            deltas.push(DeltaEntry {
+                from_day: delta.from_day,
+                to_day: delta.to_day,
+                bytes: delta.encode().0.into(),
+            });
             prev = next;
         }
         SwarmSource {
-            full,
+            day: day0.day,
+            full_tag: content_tag(&full),
+            full: full.into(),
             deltas,
+            chunk_size: DEFAULT_CHUNK_SIZE,
             swarm,
             downloads: VecDeque::new(),
             fetches: 0,
+            bytes_served: 0,
         }
     }
 
@@ -59,6 +88,18 @@ impl SwarmSource {
             self.downloads.pop_front();
         }
         self.downloads.push_back(simulate_swarm(&cfg));
+    }
+
+    /// Serve one chunk of a shared body, counting the bytes and — on
+    /// the body's first chunk — running the swarm simulation for the
+    /// whole download.
+    fn serve_chunk(&mut self, body: &Arc<[u8]>, idx: u32) -> Result<AtlasChunk, ModelError> {
+        let span = chunk_span(body.len() as u64, self.chunk_size, idx)?;
+        if idx == 0 {
+            self.swarm_fetch(body.len());
+        }
+        self.bytes_served += span.len() as u64;
+        Ok(AtlasChunk::of(body[span].to_vec()))
     }
 
     /// The retained download reports, oldest first (at most
@@ -80,6 +121,13 @@ impl SwarmSource {
         self.fetches
     }
 
+    /// Total chunk bytes handed out over this source's lifetime — the
+    /// seed-side serving cost, which the blob API hid by cloning whole
+    /// atlases.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
     /// Completion time of the most recent fetch, seconds.
     pub fn last_fetch_secs(&self) -> Option<f64> {
         self.downloads.back().map(|r| r.median_completion())
@@ -87,21 +135,45 @@ impl SwarmSource {
 }
 
 impl AtlasSource for SwarmSource {
-    fn fetch_full(&mut self) -> Result<Vec<u8>, ModelError> {
-        self.swarm_fetch(self.full.len());
-        Ok(self.full.clone())
+    fn head(&mut self) -> Result<AtlasVersion, ModelError> {
+        Ok(AtlasVersion {
+            day: self.day,
+            epoch_tag: self.full_tag,
+            full_len: self.full.len() as u64,
+            chunk_size: self.chunk_size,
+        })
     }
 
-    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<Vec<u8>>, ModelError> {
-        for d in &self.deltas {
-            let parsed = AtlasDelta::decode(d)?;
-            if parsed.from_day == have_day {
-                let bytes = d.clone();
-                self.swarm_fetch(bytes.len());
-                return Ok(Some(bytes));
-            }
-        }
-        Ok(None)
+    fn fetch_full_chunk(&mut self, idx: u32) -> Result<AtlasChunk, ModelError> {
+        let body = Arc::clone(&self.full);
+        self.serve_chunk(&body, idx)
+    }
+
+    fn fetch_delta(&mut self, have_day: u32) -> Result<Option<DeltaHandle>, ModelError> {
+        Ok(self
+            .deltas
+            .iter()
+            .find(|d| d.from_day == have_day)
+            .map(|d| DeltaHandle {
+                from_day: d.from_day,
+                to_day: d.to_day,
+                len: d.bytes.len() as u64,
+                chunk_size: self.chunk_size,
+            }))
+    }
+
+    fn fetch_delta_chunk(&mut self, from_day: u32, idx: u32) -> Result<AtlasChunk, ModelError> {
+        let Some(body) = self
+            .deltas
+            .iter()
+            .find(|d| d.from_day == from_day)
+            .map(|d| Arc::clone(&d.bytes))
+        else {
+            return Err(ModelError::VersionRaced(format!(
+                "no delta leaving day {from_day}"
+            )));
+        };
+        self.serve_chunk(&body, idx)
     }
 }
 
@@ -109,6 +181,7 @@ impl AtlasSource for SwarmSource {
 mod tests {
     use super::*;
     use inano_atlas::{LinkAnnotation, Plane};
+    use inano_core::AtlasReader;
     use inano_model::{Asn, ClusterId, LatencyMs};
 
     fn atlas(day: u32, extra_link: bool) -> Atlas {
@@ -151,15 +224,53 @@ mod tests {
                 ..SwarmConfig::default()
             },
         );
-        let full = src.fetch_full().unwrap();
+        let reader = AtlasReader::default();
+        let (version, full) = reader.fetch_full(&mut src).expect("full fetch");
         assert!(!full.is_empty());
+        assert_eq!(version.day, 0);
+        assert_eq!(version.epoch_tag, content_tag(&full));
         assert_eq!(src.downloads().len(), 1);
-        let delta = src.fetch_delta(0).unwrap();
-        assert!(delta.is_some());
+        assert_eq!(src.bytes_served(), full.len() as u64);
+        let (handle, delta) = reader
+            .fetch_delta(&mut src, 0)
+            .expect("delta fetch")
+            .expect("a delta leaves day 0");
+        assert_eq!((handle.from_day, handle.to_day), (0, 1));
+        assert_eq!(delta.len() as u64, handle.len);
         assert_eq!(src.downloads().len(), 2);
+        assert_eq!(src.bytes_served(), (full.len() + delta.len()) as u64);
         // The delta is smaller, so it downloads faster.
         assert!(src.downloads()[1].makespan <= src.downloads()[0].makespan);
-        assert!(src.fetch_delta(1).unwrap().is_none());
+        assert!(reader.fetch_delta(&mut src, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunks_come_from_a_shared_body_not_a_fresh_clone() {
+        let d0 = atlas(0, false);
+        let mut src = SwarmSource::new(
+            &d0,
+            &[],
+            SwarmConfig {
+                n_peers: 4,
+                ..SwarmConfig::default()
+            },
+        );
+        let head = src.head().expect("head");
+        // Peer fetches only ever copy a chunk-sized span; the encoded
+        // body itself stays shared (one Arc, not one clone per fetch).
+        let before = Arc::strong_count(&src.full);
+        let c = src.fetch_full_chunk(0).expect("chunk");
+        assert!(c.verify());
+        assert_eq!(
+            c.bytes.len() as u64,
+            head.full_len.min(head.chunk_size as u64)
+        );
+        assert_eq!(Arc::strong_count(&src.full), before);
+        // Out-of-range indexes are typed, not panics.
+        assert!(matches!(
+            src.fetch_full_chunk(head.n_chunks()),
+            Err(ModelError::ChunkOutOfRange(_))
+        ));
     }
 
     #[test]
@@ -173,8 +284,10 @@ mod tests {
                 ..SwarmConfig::default()
             },
         );
+        // Chunk 0 of the full body is what triggers a simulated swarm
+        // download; every peer bootstrap starts there.
         for _ in 0..(DOWNLOAD_LOG_CAP + 40) {
-            src.fetch_full().unwrap();
+            src.fetch_full_chunk(0).unwrap();
         }
         assert_eq!(src.downloads().len(), DOWNLOAD_LOG_CAP);
         assert_eq!(src.total_fetches(), (DOWNLOAD_LOG_CAP + 40) as u64);
@@ -184,7 +297,7 @@ mod tests {
         assert!(src.downloads().is_empty());
         assert_eq!(src.last_fetch_secs(), None);
         // The counter survives the drain; the buffer refills.
-        src.fetch_full().unwrap();
+        src.fetch_full_chunk(0).unwrap();
         assert_eq!(src.downloads().len(), 1);
         assert_eq!(src.total_fetches(), (DOWNLOAD_LOG_CAP + 41) as u64);
     }

@@ -108,7 +108,36 @@ fn main() {
         "shard 0 served {} queries, cache hit rate {:.2}",
         stats.queries, stats.cache_hit_rate
     );
+
+    // Any server is also an atlas *mirror*: fetch shard 1's atlas over
+    // the wire (chunked + checksummed) and stand up a second engine
+    // from it — `MirrorSource` is an `AtlasSource` like any other.
+    // (`inano-serve --mirror ADDR` is this loop as a binary.)
+    let mut upstream = inano::net::MirrorSource::connect(server.local_addr(), ShardId(1))
+        .expect("connect a mirror source");
+    let mirrored = inano::service::QueryEngine::bootstrap(
+        &mut upstream,
+        inano::service::ServiceConfig {
+            predictor: ring_predictor_config(),
+            ..inano::service::ServiceConfig::default()
+        },
+    )
+    .expect("bootstrap an engine over the wire");
+    let origin_tag = registry.export(ShardId(1)).expect("export").epoch_tag;
+    println!(
+        "mirrored shard 1 over the wire: day {}, epoch tag {:#018x} (origin tag {:#018x}, {})",
+        mirrored.day(),
+        mirrored.export().epoch_tag,
+        origin_tag,
+        if mirrored.export().epoch_tag == origin_tag {
+            "identical"
+        } else {
+            "DIVERGED?!"
+        },
+    );
+
     server.shutdown();
     registry.shutdown();
+    mirrored.shutdown();
     println!("clean shutdown");
 }

@@ -30,11 +30,12 @@ fn main() {
     let _ = sizes;
 
     // A client fetches the atlas (here from memory; `inano::swarm`
-    // provides a swarming source) and serves queries locally.
-    let mut source = StaticSource {
+    // provides a swarming source and `inano::net` a wire-level mirror
+    // source) and serves queries locally.
+    let mut source = inano::core::BlobSource::new(StaticSource {
         full: bytes,
         deltas: vec![],
-    };
+    });
     let client =
         INanoClient::bootstrap(&mut source, PredictorConfig::full()).expect("atlas decodes");
     println!("client bootstrapped at day {}", client.day());
