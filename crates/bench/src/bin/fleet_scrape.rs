@@ -8,22 +8,135 @@
 //! merging histograms, where averaging per-server percentiles would be
 //! statistically meaningless.
 //!
-//! Usage: `fleet_scrape --connect ADDR [--connect ADDR]...`
+//! With `--interval MS` the scraper becomes a time-series poller over
+//! the protocol-v4 `Metrics` frame: every tick it pulls each server's
+//! unified [`MetricsDump`], merges them (counters sum, histograms sum
+//! element-wise, gauges take the fleet max) and appends one sample —
+//! fleet queries, deltas applied, full resyncs, and the *fleet lag*
+//! (max minus min serving day across every scraped shard, the spread a
+//! mid-run delta swap opens and a mirror refresh closes). The samples
+//! ship as one `fleet_timeseries` BENCH JSON line.
+//!
+//! Usage: `fleet_scrape --connect ADDR [--connect ADDR]...
+//!         [--interval MS [--ticks T]]`
+//!
+//! [`MetricsDump`]: inano_obs::MetricsDump
 
-use inano_net::cli::repeated;
+use inano_net::cli::{arg, repeated};
 use inano_net::NetClient;
+use inano_obs::MetricsDump;
 use inano_service::{ServiceStats, ShardId};
+use std::time::{Duration, Instant};
 
-fn main() {
-    let targets = repeated(&["--connect"]);
-    if targets.is_empty() {
-        eprintln!("usage: fleet_scrape --connect ADDR [--connect ADDR]...");
-        std::process::exit(2);
+/// One merged-fleet sample.
+struct Tick {
+    t_ms: u64,
+    queries: u64,
+    deltas_applied: u64,
+    full_resyncs: u64,
+    fleet_lag_days: u64,
+}
+
+/// The serving-day spread across every shard of every dump: 0 when the
+/// whole fleet serves the same generation, positive while a swap at
+/// the origin has not yet propagated to every mirror.
+fn fleet_lag_days(dumps: &[MetricsDump]) -> u64 {
+    let mut min_day = u64::MAX;
+    let mut max_day = 0u64;
+    for dump in dumps {
+        for (name, value) in &dump.entries {
+            if name.starts_with("shard") && name.ends_with(".day") && !name.contains(".mirror.") {
+                if let inano_obs::MetricValue::Gauge(day) = value {
+                    min_day = min_day.min(*day);
+                    max_day = max_day.max(*day);
+                }
+            }
+        }
     }
+    if min_day == u64::MAX {
+        0
+    } else {
+        max_day - min_day
+    }
+}
 
+/// Poll every server's metrics dump once; panics carry the failing
+/// address so a dead fleet member is nameable from the error alone.
+fn scrape(clients: &mut [(String, NetClient)]) -> Vec<MetricsDump> {
+    clients
+        .iter_mut()
+        .map(|(addr, client)| {
+            client
+                .metrics()
+                .unwrap_or_else(|e| panic!("metrics scrape of {addr}: {e}"))
+        })
+        .collect()
+}
+
+fn timeseries(targets: &[(String, String)], interval_ms: u64, ticks: usize) {
+    let mut clients: Vec<(String, NetClient)> = targets
+        .iter()
+        .map(|(_, addr)| {
+            let client =
+                NetClient::connect(addr).unwrap_or_else(|e| panic!("connect to {addr}: {e}"));
+            (addr.clone(), client)
+        })
+        .collect();
+    let started = Instant::now();
+    let mut samples: Vec<Tick> = Vec::with_capacity(ticks);
+    for tick in 0..ticks {
+        if tick > 0 {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        let dumps = scrape(&mut clients);
+        let lag = fleet_lag_days(&dumps);
+        let merged = MetricsDump::merged(dumps.iter());
+        let sample = Tick {
+            t_ms: started.elapsed().as_millis() as u64,
+            queries: merged.counter_sum(".queries"),
+            deltas_applied: merged.counter_sum(".mirror.deltas_applied"),
+            full_resyncs: merged.counter_sum(".mirror.full_resyncs"),
+            fleet_lag_days: lag,
+        };
+        eprintln!(
+            "tick {tick}: t={}ms queries={} deltas_applied={} full_resyncs={} fleet_lag_days={}",
+            sample.t_ms,
+            sample.queries,
+            sample.deltas_applied,
+            sample.full_resyncs,
+            sample.fleet_lag_days
+        );
+        samples.push(sample);
+    }
+    // Counters merged from per-server dumps must never go backwards
+    // tick over tick; a false here means a server restarted mid-run
+    // (or the merge is broken) and the series is not comparable.
+    let monotone = samples
+        .windows(2)
+        .all(|w| w[1].queries >= w[0].queries && w[1].deltas_applied >= w[0].deltas_applied);
+    let rendered: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"t_ms\":{},\"queries\":{},\"deltas_applied\":{},\"full_resyncs\":{},\
+                 \"fleet_lag_days\":{}}}",
+                s.t_ms, s.queries, s.deltas_applied, s.full_resyncs, s.fleet_lag_days
+            )
+        })
+        .collect();
+    // The contract line: exactly one JSON record on stdout.
+    println!(
+        "{{\"bench\":\"fleet_timeseries\",\"servers\":{},\"interval_ms\":{interval_ms},\
+         \"monotone\":{monotone},\"ticks\":[{}]}}",
+        clients.len(),
+        rendered.join(","),
+    );
+}
+
+fn one_shot(targets: &[(String, String)]) {
     let mut parts: Vec<ServiceStats> = Vec::new();
     let mut servers = 0usize;
-    for (_, addr) in &targets {
+    for (_, addr) in targets {
         let mut client =
             NetClient::connect(addr).unwrap_or_else(|e| panic!("connect to {addr}: {e}"));
         let shards = client
@@ -60,4 +173,21 @@ fn main() {
         fleet.day,
         fleet.workers,
     );
+}
+
+fn main() {
+    let targets = repeated(&["--connect"]);
+    if targets.is_empty() {
+        eprintln!(
+            "usage: fleet_scrape --connect ADDR [--connect ADDR]... [--interval MS [--ticks T]]"
+        );
+        std::process::exit(2);
+    }
+    let interval_ms: u64 = arg("--interval", 0);
+    if interval_ms > 0 {
+        let ticks: usize = arg("--ticks", 5);
+        timeseries(&targets, interval_ms, ticks.max(1));
+    } else {
+        one_shot(&targets);
+    }
 }

@@ -4,8 +4,14 @@
 //! Fetches the full shard-0 atlas from both servers over the wire (the
 //! same chunked, checksummed path any peer bootstrap uses), asserts the
 //! epoch tags match, then asks both servers the same `--queries` random
-//! ring queries and asserts the answers are identical. Exits non-zero
-//! on any mismatch; on success prints one BENCH JSON line.
+//! ring queries and asserts the answers are identical.
+//!
+//! Every failure path names the role (`origin`/`mirror`), address and
+//! shard it died on, and the probe's last stderr word is one typed
+//! summary line — `PROBE OK` or
+//! `PROBE FAIL role=... addr=... shard=... stage=...` — so a harness
+//! can grep the verdict without parsing the story above it. On success
+//! stdout carries exactly one BENCH JSON line, as ever.
 //!
 //! Usage: `mirror_probe --origin ADDR --mirror ADDR [--ring N]
 //!         [--queries Q]`
@@ -17,34 +23,59 @@ use inano_net::demo::ring_ip;
 use inano_net::NetClient;
 use rand::Rng;
 
+/// The probed shard: both fetch paths and the parity batch talk to the
+/// default shard only.
+const SHARD: u16 = 0;
+
+/// Tell the failure story, emit the typed summary line, exit non-zero.
+fn fail(role: &str, addr: &str, stage: &str, why: impl std::fmt::Display) -> ! {
+    eprintln!("mirror_probe: {stage} against {role} {addr} (shard {SHARD}): {why}");
+    eprintln!("PROBE FAIL role={role} addr={addr} shard={SHARD} stage={stage}");
+    std::process::exit(1);
+}
+
 fn main() {
     let origin: String = arg("--origin", String::new());
     let mirror: String = arg("--mirror", String::new());
     let ring: u32 = arg("--ring", 64);
     let queries: usize = arg("--queries", 500);
-    assert!(
-        !origin.is_empty() && !mirror.is_empty(),
-        "usage: mirror_probe --origin ADDR --mirror ADDR [--ring N] [--queries Q]"
-    );
+    if origin.is_empty() || mirror.is_empty() {
+        eprintln!("usage: mirror_probe --origin ADDR --mirror ADDR [--ring N] [--queries Q]");
+        std::process::exit(2);
+    }
 
     // The client fetch: both atlases arrive over the wire through the
     // chunked AtlasSource the servers expose.
     let reader = AtlasReader::default();
     let mut origin_client =
-        NetClient::connect(&origin).unwrap_or_else(|e| panic!("connect to origin {origin}: {e}"));
+        NetClient::connect(&origin).unwrap_or_else(|e| fail("origin", &origin, "connect", e));
     let mut mirror_client =
-        NetClient::connect(&mirror).unwrap_or_else(|e| panic!("connect to mirror {mirror}: {e}"));
+        NetClient::connect(&mirror).unwrap_or_else(|e| fail("mirror", &mirror, "connect", e));
     let (origin_head, origin_bytes) = reader
         .fetch_full(&mut origin_client)
-        .unwrap_or_else(|e| panic!("fetch origin atlas: {e}"));
+        .unwrap_or_else(|e| fail("origin", &origin, "fetch-full", e));
     let (mirror_head, mirror_bytes) = reader
         .fetch_full(&mut mirror_client)
-        .unwrap_or_else(|e| panic!("fetch mirror atlas: {e}"));
-    assert_eq!(
-        origin_head.epoch_tag, mirror_head.epoch_tag,
-        "origin and mirror serve different atlas generations"
-    );
-    assert_eq!(origin_bytes, mirror_bytes, "tag equal but bytes differ?!");
+        .unwrap_or_else(|e| fail("mirror", &mirror, "fetch-full", e));
+    if origin_head.epoch_tag != mirror_head.epoch_tag {
+        fail(
+            "mirror",
+            &mirror,
+            "atlas-parity",
+            format!(
+                "serves tag {:#018x} (day {}) but the origin serves {:#018x} (day {})",
+                mirror_head.epoch_tag, mirror_head.day, origin_head.epoch_tag, origin_head.day
+            ),
+        );
+    }
+    if origin_bytes != mirror_bytes {
+        fail(
+            "mirror",
+            &mirror,
+            "atlas-parity",
+            "tag equal but bytes differ?!",
+        );
+    }
     eprintln!(
         "atlas parity: day {}, tag {:#018x}, {} bytes in {} chunk(s) from each server",
         origin_head.day,
@@ -64,10 +95,10 @@ fn main() {
         .collect();
     let from_origin = origin_client
         .query_batch(&pairs)
-        .unwrap_or_else(|e| panic!("origin batch: {e}"));
+        .unwrap_or_else(|e| fail("origin", &origin, "query-batch", e));
     let from_mirror = mirror_client
         .query_batch(&pairs)
-        .unwrap_or_else(|e| panic!("mirror batch: {e}"));
+        .unwrap_or_else(|e| fail("mirror", &mirror, "query-batch", e));
     let mut mismatches = 0usize;
     for (i, (a, b)) in from_origin.iter().zip(&from_mirror).enumerate() {
         // Routes and AS paths must agree exactly; RTT/loss only to
@@ -93,7 +124,14 @@ fn main() {
             }
         }
     }
-    assert_eq!(mismatches, 0, "{mismatches} of {queries} queries diverge");
+    if mismatches > 0 {
+        fail(
+            "mirror",
+            &mirror,
+            "query-parity",
+            format!("{mismatches} of {queries} queries diverge from the origin"),
+        );
+    }
 
     println!(
         "{{\"bench\":\"mirror_probe\",\"tag\":\"{:#018x}\",\"atlas_bytes\":{},\"chunks\":{},\
@@ -102,4 +140,5 @@ fn main() {
         origin_head.full_len,
         origin_head.n_chunks(),
     );
+    eprintln!("PROBE OK origin={origin} mirror={mirror} shard={SHARD}");
 }

@@ -369,6 +369,37 @@ fn main() {
             "shard 0 counters: {} queries, cache hit rate {:.3}, epoch {}, day {}",
             stats.queries, stats.cache_hit_rate, stats.epoch, stats.day
         );
+        // Protocol-v4 observability, exercised under the load it just
+        // measured: the unified dump's per-shard query counters must
+        // agree exactly with what the loadgen issued, and a traced
+        // call returns its stage breakdown.
+        let dump = probe.metrics().expect("metrics dump over the wire");
+        assert_eq!(
+            dump.counter_sum(".queries"),
+            served + faults,
+            "the metrics dump accounts for every query issued"
+        );
+        let (reply, t) = probe.call_traced(&Frame::Ping).expect("traced ping");
+        assert!(matches!(reply, Frame::Pong), "traced ping answers Pong");
+        eprintln!(
+            "traced ping: decode {}us, queue {}us, engine {}us, encode {}us",
+            t.decode_us, t.queue_us, t.engine_us, t.encode_us
+        );
+        // Dropping the threshold to 0 logs the next request whatever
+        // its latency — the drain below proves the ring is live.
+        srv.slow_log().set_threshold_us(0);
+        probe
+            .query_batch(&pairs[..pairs.len().min(8)])
+            .expect("slow-log probe batch");
+        let slow = srv.slow_log().drain();
+        assert!(!slow.is_empty(), "a zero threshold logs every request");
+        eprintln!(
+            "slow-log: {} entr{} drained, slowest {}us ({})",
+            slow.len(),
+            if slow.len() == 1 { "y" } else { "ies" },
+            slow[0].latency_us,
+            slow[0].what
+        );
         srv.shutdown();
         srv.registry().shutdown();
     }

@@ -116,6 +116,10 @@ impl DeltaHandle {
     }
 }
 
+/// A fully fetched delta: the handle that advertised it plus its
+/// validated, reassembled body.
+pub type FetchedDelta = (DeltaHandle, Vec<u8>);
+
 /// One checksummed chunk of an atlas or delta body.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AtlasChunk {
@@ -202,6 +206,17 @@ impl AtlasReader {
         &self,
         source: &mut dyn AtlasSource,
     ) -> Result<(AtlasVersion, Vec<u8>), ModelError> {
+        self.fetch_full_counted(source).map(|(v, b, _)| (v, b))
+    }
+
+    /// [`AtlasReader::fetch_full`], additionally reporting how many
+    /// whole-body restarts (version races, tag mismatches) the fetch
+    /// recovered from — the feed for a mirror's `races_recovered`
+    /// metric.
+    pub fn fetch_full_counted(
+        &self,
+        source: &mut dyn AtlasSource,
+    ) -> Result<(AtlasVersion, Vec<u8>, u32), ModelError> {
         let mut restarts = 0;
         loop {
             let head = source.head()?;
@@ -209,7 +224,9 @@ impl AtlasReader {
             match self.body(head.full_len, head.chunk_size, &mut |i| {
                 source.fetch_full_chunk(i)
             }) {
-                Ok(body) if content_tag(&body) == head.epoch_tag => return Ok((head, body)),
+                Ok(body) if content_tag(&body) == head.epoch_tag => {
+                    return Ok((head, body, restarts))
+                }
                 // An assembled body whose tag disagrees with its head
                 // means the source changed under us without saying so;
                 // treat it like a declared race.
@@ -232,11 +249,21 @@ impl AtlasReader {
         &self,
         source: &mut dyn AtlasSource,
         have_day: u32,
-    ) -> Result<Option<(DeltaHandle, Vec<u8>)>, ModelError> {
+    ) -> Result<Option<FetchedDelta>, ModelError> {
+        self.fetch_delta_counted(source, have_day).map(|(r, _)| r)
+    }
+
+    /// [`AtlasReader::fetch_delta`], additionally reporting recovered
+    /// restarts (see [`AtlasReader::fetch_full_counted`]).
+    pub fn fetch_delta_counted(
+        &self,
+        source: &mut dyn AtlasSource,
+        have_day: u32,
+    ) -> Result<(Option<FetchedDelta>, u32), ModelError> {
         let mut restarts = 0;
         loop {
             let Some(handle) = source.fetch_delta(have_day)? else {
-                return Ok(None);
+                return Ok((None, restarts));
             };
             if handle.from_day != have_day {
                 return Err(ModelError::Decode(format!(
@@ -248,7 +275,7 @@ impl AtlasReader {
             match self.body(handle.len, handle.chunk_size, &mut |i| {
                 source.fetch_delta_chunk(handle.from_day, i)
             }) {
-                Ok(body) => return Ok(Some((handle, body))),
+                Ok(body) => return Ok((Some((handle, body)), restarts)),
                 Err(e) if is_race(&e) => {}
                 Err(e) => return Err(e),
             }

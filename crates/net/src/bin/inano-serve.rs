@@ -17,10 +17,19 @@
 //! hop. Every `inano-serve` serves the fetch frames, so a mirror of a
 //! mirror works: the §5 swarm, spelled as a chain of ordinary servers.
 //!
+//! `--metrics-text ADDR` additionally serves the server's unified
+//! metrics registry as Prometheus text exposition over one-shot
+//! HTTP/1.0 on `ADDR` — `curl http://ADDR/metrics` from any scraper.
+//! `--demo-swap-ms MS` applies one synthetic ring delta to shard 0
+//! after `MS` milliseconds (ring worlds only), so demos and smoke
+//! tests can watch a mid-run generation swap ripple through the
+//! `shard0.swaps` / mirror-lag series.
+//!
 //! Usage:
 //!   inano-serve [--bind 127.0.0.1] [--port 4711]
 //!               [--atlas FILE | --ring N]...
 //!               [--mirror ADDR [--refresh-ms MS] [--predictor full|ring]]
+//!               [--metrics-text ADDR] [--demo-swap-ms MS]
 //!               [--workers W] [--max-conns C] [--max-inflight R]
 //!               [--max-request-bytes B] [--max-frame-bytes B] [--max-batch Q]
 //!
@@ -29,10 +38,12 @@
 
 use inano_core::{AtlasReader, PredictorConfig};
 use inano_net::cli::{arg, repeated};
-use inano_net::demo::{ring_atlas, ring_predictor_config};
+use inano_net::demo::{ring_atlas, ring_predictor_config, ring_shortcut_delta};
 use inano_net::{Limits, MirrorSource, NetClient, NetServer, ServerConfig};
+use inano_obs::textserve::{render_prometheus, MetricsTextServer};
 use inano_service::{RegistryConfig, ShardId, ShardRegistry, ShardSpec};
 use std::io::Write;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -108,8 +119,17 @@ fn resync_full(
     if head.epoch_tag == registry.export(id)?.epoch_tag {
         return Ok(None);
     }
-    let (_, bytes) = AtlasReader::default().fetch_full(source)?;
+    let (_, bytes, races) = AtlasReader::default().fetch_full_counted(source)?;
+    if races > 0 {
+        registry
+            .engine(id)?
+            .mirror_metrics()
+            .races_recovered
+            .fetch_add(races as u64, Ordering::Relaxed);
+    }
     let atlas = inano_atlas::codec::decode(&bytes)?;
+    // `replace_atlas` counts the full resync on the engine's own
+    // mirror series.
     Ok(Some(registry.replace_atlas(id, Arc::new(atlas))?))
 }
 
@@ -174,6 +194,8 @@ fn main() {
     let max_batch: u32 = arg("--max-batch", Limits::default().max_batch);
     let mirror: String = arg("--mirror", String::new());
     let refresh_ms: u64 = arg("--refresh-ms", 1000);
+    let metrics_text: String = arg("--metrics-text", String::new());
+    let demo_swap_ms: u64 = arg("--demo-swap-ms", 0);
 
     let (specs, mirror_sources) = if mirror.is_empty() {
         (local_specs(), Vec::new())
@@ -275,6 +297,43 @@ fn main() {
         },
     )
     .expect("bind server socket");
+
+    // The scrape plane: the same registry dump the wire's `Metrics`
+    // frame answers, rendered as Prometheus text for anything that
+    // speaks HTTP instead of the inano protocol.
+    let _metrics_text = if metrics_text.is_empty() {
+        None
+    } else {
+        let obs = Arc::clone(server.metrics());
+        let http = MetricsTextServer::bind(metrics_text.as_str(), move || {
+            render_prometheus(&obs.dump())
+        })
+        .expect("bind --metrics-text socket");
+        eprintln!("metrics-text: http://{}/metrics", http.local_addr());
+        Some(http)
+    };
+
+    if demo_swap_ms > 0 {
+        let registry = Arc::clone(&registry);
+        // The delta is built against the ring world of the first
+        // --ring flag (default ring when no shard flag was given).
+        let ring_n: u32 = repeated(&["--atlas", "--ring"])
+            .first()
+            .filter(|(flag, _)| flag == "--ring")
+            .and_then(|(_, value)| value.parse().ok())
+            .unwrap_or(64);
+        std::thread::Builder::new()
+            .name("inano-demo-swap".into())
+            .spawn(move || {
+                std::thread::sleep(Duration::from_millis(demo_swap_ms));
+                let day = registry.epoch(ShardId(0)).map(|(_, d)| d).unwrap_or(0);
+                match registry.apply_delta(ShardId(0), &ring_shortcut_delta(ring_n, day)) {
+                    Ok(day) => eprintln!("demo swap: shard 0 advanced to day {day}"),
+                    Err(e) => eprintln!("demo swap failed (ring worlds only): {e}"),
+                }
+            })
+            .expect("spawn demo swap thread");
+    }
 
     // The contract line smoke tests wait for; flush so a pipe sees it.
     println!("LISTENING {}", server.local_addr());

@@ -15,10 +15,11 @@
 //! and then re-submitting after every receive — that hides a full
 //! round-trip time behind server-side work.
 
-use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault};
+use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault, TRACE_FLAG};
 use crate::wire::{WirePath, WireResolution, WireShardInfo, WireStats};
 use inano_core::{AtlasChunk, AtlasSource, AtlasVersion, DeltaHandle};
 use inano_model::{ErrorCode, Ipv4, ModelError};
+use inano_obs::{MetricsDump, TraceTimings};
 use inano_service::ShardId;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -195,6 +196,49 @@ impl NetClient {
             )));
         }
         Ok(reply)
+    }
+
+    /// Synchronous round trip with the trace bit set on the request
+    /// id: the reply plus the server's decode → queue → engine →
+    /// encode breakdown from the `TraceReply` trailer. An error reply
+    /// carries no trailer (the server's rule too) and surfaces as
+    /// [`NetError::Remote`] exactly like [`NetClient::call`].
+    pub fn call_traced(&mut self, frame: &Frame) -> Result<(Frame, TraceTimings), NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Ids count from 1, so the flag bit can never collide with a
+        // real id this side of 2^63 requests.
+        let wire_id = id | TRACE_FLAG;
+        write_frame(&mut self.writer, wire_id, frame)?;
+        self.writer.flush()?;
+        let (got_id, reply) = self.recv()?;
+        if let Frame::Error { fault } = reply {
+            return Err(NetError::Remote(fault));
+        }
+        if got_id != wire_id {
+            return Err(NetError::Protocol(format!(
+                "reply id {got_id} for traced request {wire_id}"
+            )));
+        }
+        match self.recv()? {
+            (trailer_id, Frame::TraceReply { timings }) if trailer_id == wire_id => {
+                Ok((reply, timings))
+            }
+            (trailer_id, Frame::TraceReply { .. }) => Err(NetError::Protocol(format!(
+                "trailer id {trailer_id} for traced request {wire_id}"
+            ))),
+            (_, other) => Err(unexpected("TraceReply", &other)),
+        }
+    }
+
+    /// The server's unified metrics dump: `srv.*`, `shardN.*` and any
+    /// series the host registered (`swarm.*`), sorted by name. What
+    /// `fleet_scrape` polls and merges across a fleet.
+    pub fn metrics(&mut self) -> Result<MetricsDump, NetError> {
+        match self.call(&Frame::Metrics)? {
+            Frame::MetricsReply { dump } => Ok(dump),
+            other => Err(unexpected("MetricsReply", &other)),
+        }
     }
 
     pub fn ping(&mut self) -> Result<(), NetError> {

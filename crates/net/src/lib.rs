@@ -6,14 +6,17 @@
 //!
 //! Three layers, separable and individually tested:
 //!
-//! * [`wire`] — a compact length-prefixed binary protocol, version 3
+//! * [`wire`] — a compact length-prefixed binary protocol, version 4
 //!   (magic, version, request id, typed frames: `QueryBatch`,
 //!   `Resolve`, `Stats`, `Epoch` — each carrying an optional shard id,
 //!   default shard 0 — plus `ListShards`, `Ping`, the atlas
 //!   dissemination frames `AtlasHead`/`FetchFullChunk`/`FetchDelta`/
-//!   `FetchDeltaChunk`, and typed error frames carrying
-//!   [`inano_model::ErrorCode`]s), with receiver-side [`Limits`] on
-//!   frame and batch size;
+//!   `FetchDeltaChunk`, the observability frames `Metrics`/
+//!   `MetricsReply`/`TraceReply` with the [`wire::TRACE_FLAG`]
+//!   request-id bit opting a request into a stage-timing trailer, and
+//!   typed error frames carrying [`inano_model::ErrorCode`]s), with
+//!   receiver-side [`Limits`] on frame and batch size — v3 clients
+//!   interoperate unchanged;
 //! * [`server`] — a threaded TCP server ([`NetServer`], shipped as the
 //!   `inano-serve` binary) hosting a whole
 //!   [`inano_service::ShardRegistry`] of independent atlas shards
@@ -51,6 +54,7 @@ pub use client::{MirrorSource, NetClient, NetError};
 pub use server::{NetServer, ServerConfig, ServerCounters};
 pub use wire::{
     chunk_size_for, Frame, Limits, WireFault, WirePath, WireResolution, WireShardInfo, WireStats,
+    TRACE_FLAG,
 };
 
 /// Re-exported so `inano-net` users can name shards without a direct

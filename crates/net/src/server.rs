@@ -41,6 +41,19 @@
 //!   connection keeps serving — a pipelined client loses one request,
 //!   not the stream.
 //!
+//! ## Observability
+//!
+//! Every server carries an [`inano_obs::MetricsRegistry`]
+//! ([`NetServer::metrics`]): the raw `srv.*` listener counters and a
+//! per-shard collector over the registry (`shardN.*` engine, cache and
+//! mirror series, including the `shardN.latency_us` histogram) are
+//! folded into one dump answered over the wire (`Frame::Metrics`) and
+//! rendered by the `--metrics-text` endpoint. A request id with the
+//! [`TRACE_FLAG`] bit set gets a `TraceReply` trailer after its
+//! (non-error) reply carrying the decode → queue → engine → encode
+//! breakdown, and every request is offered to a slow-query ring
+//! ([`NetServer::slow_log`]) keyed on its responder-side latency.
+//!
 //! ## Shutdown
 //!
 //! [`NetServer::shutdown`] (also run on drop) stops the accept loop
@@ -49,9 +62,10 @@
 //! registry is shared and is *not* shut down — that's its owner's
 //! call.
 
-use crate::wire::{chunk_size_for, read_frame, write_frame, Frame, Limits, ReadError, WireFault};
-use crate::wire::{WirePath, WireResolution, WireShardInfo, WireStats};
+use crate::wire::{chunk_size_for, read_frame_timed, write_frame, Frame, Limits, ReadError};
+use crate::wire::{WireFault, WirePath, WireResolution, WireShardInfo, WireStats, TRACE_FLAG};
 use inano_model::{ErrorCode, ModelError};
+use inano_obs::{MetricValue, MetricsRegistry, SlowLog, TraceCtx};
 use inano_service::{QueryEngine, ShardRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -59,8 +73,16 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread;
+use std::time::Instant;
+
+/// Entries the slow-query ring retains (oldest overwritten first).
+const SLOW_LOG_CAPACITY: usize = 128;
+
+/// Default responder-side latency past which a request is logged as
+/// slow; retune live via [`NetServer::slow_log`].
+const SLOW_LOG_THRESHOLD_US: u64 = 10_000;
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -109,12 +131,17 @@ pub struct ServerCounters {
 
 struct Shared {
     registry: Arc<ShardRegistry>,
+    obs: Arc<MetricsRegistry>,
+    slow: Arc<SlowLog>,
     cfg: ServerConfig,
     shutdown: AtomicBool,
     active: AtomicUsize,
     /// Estimated bytes of queued-but-unanswered requests, across every
     /// connection (see [`ServerConfig::max_request_bytes`]).
     request_bytes: AtomicUsize,
+    /// High-water mark of `request_bytes` over the server's lifetime
+    /// (the `srv.request_bytes_peak` gauge).
+    request_bytes_peak: AtomicUsize,
     accepted: AtomicU64,
     rejected: AtomicU64,
     faults: AtomicU64,
@@ -142,12 +169,16 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let obs = Arc::new(MetricsRegistry::new());
         let shared = Arc::new(Shared {
             registry,
+            obs,
+            slow: Arc::new(SlowLog::new(SLOW_LOG_CAPACITY, SLOW_LOG_THRESHOLD_US)),
             cfg,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             request_bytes: AtomicUsize::new(0),
+            request_bytes_peak: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             faults: AtomicU64::new(0),
@@ -155,6 +186,8 @@ impl NetServer {
             streams: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
         });
+        attach_server_collector(&shared);
+        attach_shard_collector(&shared.obs, &shared.registry);
         let accept = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -191,6 +224,22 @@ impl NetServer {
         &self.shared.registry
     }
 
+    /// The server's unified metrics registry: `srv.*` listener series
+    /// plus collector-fed `shardN.*` engine/cache/mirror series. The
+    /// same dump answers `Frame::Metrics` on the wire and feeds the
+    /// `--metrics-text` endpoint; callers may register their own
+    /// series (the swarm layer does).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.obs
+    }
+
+    /// The slow-query ring: every request's responder-side latency is
+    /// offered to it; entries over the threshold are retained top-K
+    /// and drained by operators.
+    pub fn slow_log(&self) -> &Arc<SlowLog> {
+        &self.shared.slow
+    }
+
     pub fn counters(&self) -> ServerCounters {
         ServerCounters {
             active: self.shared.active.load(Ordering::Relaxed),
@@ -224,6 +273,96 @@ impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Fold the listener's raw counters into the metrics registry as
+/// `srv.*` series at dump time. Holding only a [`Weak`] breaks the
+/// `Shared` → registry → collector cycle, so dropping the server still
+/// frees it.
+fn attach_server_collector(shared: &Arc<Shared>) {
+    let weak: Weak<Shared> = Arc::downgrade(shared);
+    shared.obs.register_collector(move |out| {
+        let Some(s) = weak.upgrade() else { return };
+        let counter = |v: &AtomicU64| MetricValue::Counter(v.load(Ordering::Relaxed));
+        out.push(("srv.accepted".into(), counter(&s.accepted)));
+        out.push(("srv.rejected".into(), counter(&s.rejected)));
+        out.push(("srv.faults".into(), counter(&s.faults)));
+        out.push(("srv.overloaded".into(), counter(&s.overloaded)));
+        let gauge = |v: usize| MetricValue::Gauge(v as u64);
+        out.push(("srv.active".into(), gauge(s.active.load(Ordering::Relaxed))));
+        out.push((
+            "srv.request_bytes".into(),
+            gauge(s.request_bytes.load(Ordering::Relaxed)),
+        ));
+        out.push((
+            "srv.request_bytes_peak".into(),
+            gauge(s.request_bytes_peak.load(Ordering::Relaxed)),
+        ));
+    });
+}
+
+/// Snapshot every shard's engine, cache and mirror series as
+/// `shardN.*` at dump time — no per-request bookkeeping beyond what
+/// the engines already keep, so serving pays nothing for this.
+fn attach_shard_collector(obs: &MetricsRegistry, registry: &Arc<ShardRegistry>) {
+    let registry = Arc::clone(registry);
+    obs.register_collector(move |out| {
+        for (id, engine) in registry.iter() {
+            let n = id.raw();
+            let stats = engine.stats();
+            let mirror = engine.mirror_stats();
+            out.push((
+                format!("shard{n}.queries"),
+                MetricValue::Counter(stats.queries),
+            ));
+            out.push((
+                format!("shard{n}.errors"),
+                MetricValue::Counter(stats.errors),
+            ));
+            out.push((format!("shard{n}.swaps"), MetricValue::Counter(stats.swaps)));
+            out.push((
+                format!("shard{n}.cache.hits"),
+                MetricValue::Counter(stats.cache_hits),
+            ));
+            out.push((
+                format!("shard{n}.cache.misses"),
+                MetricValue::Counter(stats.cache_misses),
+            ));
+            out.push((
+                format!("shard{n}.cache.evictions"),
+                MetricValue::Counter(stats.cache_evictions),
+            ));
+            out.push((format!("shard{n}.epoch"), MetricValue::Gauge(stats.epoch)));
+            out.push((
+                format!("shard{n}.day"),
+                MetricValue::Gauge(stats.day as u64),
+            ));
+            out.push((
+                format!("shard{n}.latency_us"),
+                MetricValue::Histogram(stats.latency_buckets),
+            ));
+            out.push((
+                format!("shard{n}.mirror.deltas_applied"),
+                MetricValue::Counter(mirror.deltas_applied),
+            ));
+            out.push((
+                format!("shard{n}.mirror.full_resyncs"),
+                MetricValue::Counter(mirror.full_resyncs),
+            ));
+            out.push((
+                format!("shard{n}.mirror.races_recovered"),
+                MetricValue::Counter(mirror.races_recovered),
+            ));
+            out.push((
+                format!("shard{n}.mirror.lag_days"),
+                MetricValue::Gauge(mirror.lag_days as u64),
+            ));
+            out.push((
+                format!("shard{n}.mirror.upstream_day"),
+                MetricValue::Gauge(mirror.upstream_day as u64),
+            ));
+        }
+    });
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -363,6 +502,17 @@ fn frame_cost(frame: &Frame) -> usize {
             .sum(),
         Frame::ChunkReply { bytes, .. } => bytes.len(),
         Frame::StatsReply { stats } => 64 + stats.latency_buckets.len() * 8,
+        Frame::MetricsReply { dump } => dump
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                48 + name.len()
+                    + match value {
+                        MetricValue::Histogram(buckets) => buckets.len() * 8,
+                        MetricValue::Counter(_) | MetricValue::Gauge(_) => 8,
+                    }
+            })
+            .sum(),
         Frame::ShardsReply { shards } => shards.len() * std::mem::size_of::<WireShardInfo>(),
         Frame::Error { fault } => fault.message.len(),
         _ => 0,
@@ -379,6 +529,9 @@ enum Work<'a> {
         request_id: u64,
         frame: Frame,
         claim: Claim<'a>,
+        /// Live when the request id carried [`TRACE_FLAG`]: the stage
+        /// clock that becomes the `TraceReply` trailer.
+        trace: Option<TraceCtx>,
     },
     /// Read but refused: the in-flight cap or the server-wide memory
     /// budget was hit. Carrying only the id keeps a rejected backlog
@@ -420,8 +573,12 @@ fn read_loop<'a>(
     shared: &'a Shared,
 ) -> io::Result<()> {
     loop {
-        match read_frame(reader, &shared.cfg.limits) {
-            Ok(Some((request_id, frame))) => {
+        match read_frame_timed(reader, &shared.cfg.limits) {
+            Ok(Some((request_id, frame, decode_us))) => {
+                // The trace clock starts the moment decode ends, so
+                // queue time (however long the responder backlog) is
+                // charged to the queue stage, not to decode.
+                let trace = (request_id & TRACE_FLAG != 0).then(|| TraceCtx::begin(decode_us));
                 let Some(claim) = try_claim(
                     &shared.request_bytes,
                     shared.cfg.max_request_bytes,
@@ -442,10 +599,15 @@ fn read_loop<'a>(
                     }
                     continue;
                 };
+                shared.request_bytes_peak.fetch_max(
+                    shared.request_bytes.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
                 match tx.try_send(Work::Request {
                     request_id,
                     frame,
                     claim,
+                    trace,
                 }) {
                     Ok(()) => {}
                     Err(TrySendError::Full(work)) => {
@@ -483,8 +645,10 @@ fn read_loop<'a>(
     }
 }
 
-/// The responder half: pop work in order, write replies. On a write
-/// failure it closes the socket so the blocked reader returns too.
+/// The responder half: pop work in order, write replies (and, for
+/// traced requests answered without error, the `TraceReply` trailer).
+/// On a write failure it closes the socket so the blocked reader
+/// returns too.
 fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
     let mut writer = BufWriter::new(&stream);
     for work in rx {
@@ -495,13 +659,37 @@ fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
         // The request's budget claim lives until after its reply is
         // written (that is when the request's memory is truly gone).
         let mut _claim = None;
+        let mut trace = None;
+        // Responder-side latency (engine + encode, not queue) feeds the
+        // slow-query ring; `(frame type, batch size)` is kept out-of
+        // -band so the description closure outlives the frame.
+        let started = Instant::now();
+        let mut slow_key: Option<(u8, usize)> = None;
         let (request_id, reply, close) = match work {
             Work::Request {
                 request_id,
                 frame,
                 claim,
+                trace: t,
             } => {
-                let reply = respond(shared.registry.as_ref(), &frame, &shared.cfg.limits);
+                trace = t;
+                if let Some(t) = trace.as_mut() {
+                    t.dequeued();
+                }
+                let reply = respond(
+                    shared.registry.as_ref(),
+                    shared.obs.as_ref(),
+                    &frame,
+                    &shared.cfg.limits,
+                );
+                if let Some(t) = trace.as_mut() {
+                    t.served();
+                }
+                let batch = match &frame {
+                    Frame::QueryBatch { pairs, .. } => pairs.len(),
+                    _ => 0,
+                };
+                slow_key = Some((frame.frame_type(), batch));
                 drop(frame);
                 _claim = Some(claim);
                 (request_id, reply, false)
@@ -515,10 +703,29 @@ fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
             Work::Fault { request_id, fault } => (request_id, Frame::Error { fault }, false),
             Work::Fatal { fault } => (0, Frame::Error { fault }, true),
         };
-        if count_fault && matches!(reply, Frame::Error { .. }) {
+        let is_error = matches!(reply, Frame::Error { .. });
+        if count_fault && is_error {
             shared.faults.fetch_add(1, Ordering::Relaxed);
         }
-        let wrote = write_frame(&mut writer, request_id, &reply).and_then(|()| writer.flush());
+        let wrote = write_frame(&mut writer, request_id, &reply)
+            .and_then(|()| writer.flush())
+            .and_then(|()| match trace.take() {
+                // The trailer follows every *non-error* traced reply —
+                // the same rule the client applies, so a pipelined
+                // stream never misparses an error as a trailer.
+                Some(t) if !is_error => {
+                    let timings = t.finish();
+                    write_frame(&mut writer, request_id, &Frame::TraceReply { timings })
+                        .and_then(|()| writer.flush())
+                }
+                _ => Ok(()),
+            });
+        if let Some((frame_type, batch)) = slow_key {
+            let us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            shared.slow.record_with(us, || {
+                format!("frame {frame_type:#04x} id={request_id} pairs={batch}")
+            });
+        }
         if wrote.is_err() || close {
             // Unblock the reader (it may be mid-read or mid-send);
             // its next operation fails and the connection winds down.
@@ -531,9 +738,15 @@ fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
 /// Map one decoded request to its reply frame, routing shard-addressed
 /// requests through the registry. `limits` bound the chunk size every
 /// atlas body is served in: one chunk always fits one frame.
-fn respond(registry: &ShardRegistry, frame: &Frame, limits: &Limits) -> Frame {
+fn respond(
+    registry: &ShardRegistry,
+    obs: &MetricsRegistry,
+    frame: &Frame,
+    limits: &Limits,
+) -> Frame {
     match frame {
         Frame::Ping => Frame::Pong,
+        Frame::Metrics => Frame::MetricsReply { dump: obs.dump() },
         Frame::QueryBatch { shard, pairs } => match registry.engine(*shard) {
             Ok(engine) => Frame::PathBatch {
                 results: engine
@@ -654,6 +867,8 @@ fn respond(registry: &ShardRegistry, frame: &Frame, limits: &Limits) -> Frame {
         | Frame::AtlasHeadReply { .. }
         | Frame::DeltaReply { .. }
         | Frame::ChunkReply { .. }
+        | Frame::MetricsReply { .. }
+        | Frame::TraceReply { .. }
         | Frame::Error { .. } => Frame::Error {
             fault: WireFault::new(
                 ErrorCode::UnexpectedFrame,

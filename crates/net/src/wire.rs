@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! magic      u32  0x694E614E ("iNaN")
-//! version    u8   2
+//! version    u8   4
 //! frame type u8   see the FT_* constants
 //! request id u64  echoed verbatim in the reply
 //! payload    u32  payload length in bytes
@@ -61,6 +61,27 @@
 //! [`ErrorCode::ChunkOutOfRange`] fault; none of these ever cost the
 //! connection.
 //!
+//! ## Version 4: observability
+//!
+//! v4 is strictly additive — every v3 frame encodes byte-identically,
+//! so receivers accept any version in
+//! [`MIN_VERSION`]`..=`[`VERSION`] and a v3 peer keeps working
+//! untouched. Two additions:
+//!
+//! * `Metrics` → `MetricsReply` dumps the server's whole
+//!   [`inano_obs::MetricsRegistry`] as stable name/value pairs
+//!   (counters, gauges, raw log₂ histograms — the scrape plane's wire
+//!   form; merge semantics live on [`inano_obs::MetricsDump`]).
+//! * **Request tracing**: a client may set [`TRACE_FLAG`] (bit 63) on
+//!   its request id. Ids are client-chosen and echoed verbatim, so the
+//!   flag rides the existing header with zero new bytes; sequential
+//!   clients never collide with it. For a flagged request whose reply
+//!   is not `Error`, the server writes a `TraceReply` *trailer* frame
+//!   (same id, [`inano_obs::TraceTimings`]: decode → queue → engine →
+//!   encode µs) immediately after the main reply. Error replies carry
+//!   no trailer — both sides apply that rule, so pipelining stays
+//!   aligned.
+//!
 //! ## Error handling
 //!
 //! Decoding distinguishes two failure severities, and the distinction
@@ -81,20 +102,37 @@
 
 use inano_core::{AtlasVersion, DeltaHandle, PredictedPath, Resolution, DEFAULT_CHUNK_SIZE};
 use inano_model::{Asn, ClusterId, ErrorCode, Ipv4, LatencyMs, LossRate, ModelError, PrefixId};
+use inano_obs::{MetricValue, MetricsDump, TraceTimings};
 use inano_service::{ServiceStats, ShardId};
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// `"iNaN"` in ASCII.
 pub const MAGIC: u32 = 0x694E_614E;
-/// Current protocol version (3: atlas dissemination — `AtlasHead`,
-/// chunked `FetchFullChunk`/`FetchDelta`/`FetchDeltaChunk`).
-pub const VERSION: u8 = 3;
+/// Current protocol version (4: observability — `Metrics` dumps and
+/// the `TRACE_FLAG` timing trailer).
+pub const VERSION: u8 = 4;
+/// Oldest version this receiver still accepts. v4 added only new frame
+/// types, so every v3 frame is bit-identical under v4 and refusing it
+/// would break working peers for nothing.
+pub const MIN_VERSION: u8 = 3;
+/// Most log₂ latency buckets accepted in one histogram on the wire —
+/// shared by `StatsReply` and `MetricsReply` (the engine ships 40;
+/// bucket index feeds a `1 << i`, so a foreign histogram must not be
+/// allowed to claim thousands).
+pub const MAX_BUCKETS: usize = 64;
 /// Fixed frame-header size in bytes.
 pub const HEADER_BYTES: usize = 18;
-/// Most log₂ latency buckets accepted in a `StatsReply` (the engine
-/// ships 40; bucket index feeds a `1 << i`, so a foreign histogram
-/// must not be allowed to claim thousands).
-pub const MAX_LATENCY_BUCKETS: usize = 64;
+/// Most entries accepted in one `MetricsReply` (a serve process has a
+/// few dozen per shard; thousands of shards is beyond this protocol).
+pub const MAX_METRICS_ENTRIES: usize = 16_384;
+
+/// Bit 63 of the request id: the client asks for a [`Frame::TraceReply`]
+/// trailer after the reply. Ids are client-chosen (ours count up from
+/// 1), so the flag can never collide with a sequential id, and servers
+/// echo the id verbatim — flag included — which keeps pipelined
+/// id-matching working for tracing and non-tracing requests alike.
+pub const TRACE_FLAG: u64 = 1 << 63;
 
 pub const FT_PING: u8 = 0x01;
 pub const FT_QUERY_BATCH: u8 = 0x02;
@@ -106,6 +144,7 @@ pub const FT_ATLAS_HEAD: u8 = 0x07;
 pub const FT_FETCH_FULL_CHUNK: u8 = 0x08;
 pub const FT_FETCH_DELTA: u8 = 0x09;
 pub const FT_FETCH_DELTA_CHUNK: u8 = 0x0A;
+pub const FT_METRICS: u8 = 0x0B;
 pub const FT_PONG: u8 = 0x81;
 pub const FT_PATH_BATCH: u8 = 0x82;
 pub const FT_RESOLVE_REPLY: u8 = 0x83;
@@ -115,6 +154,8 @@ pub const FT_SHARDS_REPLY: u8 = 0x86;
 pub const FT_ATLAS_HEAD_REPLY: u8 = 0x87;
 pub const FT_CHUNK_REPLY: u8 = 0x88;
 pub const FT_DELTA_REPLY: u8 = 0x89;
+pub const FT_TRACE_REPLY: u8 = 0x8A;
+pub const FT_METRICS_REPLY: u8 = 0x8B;
 pub const FT_ERROR: u8 = 0xEE;
 
 /// Fixed `ChunkReply` payload overhead: chunk index (4) + checksum (8)
@@ -403,6 +444,18 @@ pub enum Frame {
         crc: u64,
         bytes: Vec<u8>,
     },
+    /// Dump the server-wide metrics registry (v4; not shard-scoped —
+    /// the registry's names carry the shard).
+    Metrics,
+    MetricsReply {
+        dump: MetricsDump,
+    },
+    /// The timing trailer a [`TRACE_FLAG`]ged request earns, written
+    /// immediately after its (non-`Error`) main reply under the same
+    /// request id.
+    TraceReply {
+        timings: TraceTimings,
+    },
     Error {
         fault: WireFault,
     },
@@ -586,13 +639,16 @@ impl Frame {
             Frame::DeltaReply { .. } => FT_DELTA_REPLY,
             Frame::FetchDeltaChunk { .. } => FT_FETCH_DELTA_CHUNK,
             Frame::ChunkReply { .. } => FT_CHUNK_REPLY,
+            Frame::Metrics => FT_METRICS,
+            Frame::MetricsReply { .. } => FT_METRICS_REPLY,
+            Frame::TraceReply { .. } => FT_TRACE_REPLY,
             Frame::Error { .. } => FT_ERROR,
         }
     }
 
     fn encode_payload(&self, buf: &mut Vec<u8>) {
         match self {
-            Frame::Ping | Frame::Pong | Frame::ListShards => {}
+            Frame::Ping | Frame::Pong | Frame::ListShards | Frame::Metrics => {}
             Frame::Stats { shard } | Frame::Epoch { shard } => put_u16(buf, shard.raw()),
             Frame::QueryBatch { shard, pairs } => {
                 put_u16(buf, shard.raw());
@@ -657,7 +713,7 @@ impl Frame {
                 // Histograms are short (40 buckets today); truncating
                 // at the receiver-side cap keeps every encoded frame
                 // decodable.
-                let n = stats.latency_buckets.len().min(MAX_LATENCY_BUCKETS);
+                let n = stats.latency_buckets.len().min(MAX_BUCKETS);
                 debug_assert_eq!(
                     n,
                     stats.latency_buckets.len(),
@@ -726,6 +782,43 @@ impl Frame {
                 put_u64(buf, *crc);
                 put_u32(buf, bytes.len() as u32);
                 buf.extend_from_slice(bytes);
+            }
+            Frame::MetricsReply { dump } => {
+                let n = dump.entries.len().min(MAX_METRICS_ENTRIES);
+                debug_assert_eq!(n, dump.entries.len(), "registry beyond wire bounds");
+                put_u32(buf, n as u32);
+                for (name, value) in &dump.entries[..n] {
+                    match value {
+                        MetricValue::Counter(v) => {
+                            buf.push(0);
+                            put_str(buf, name);
+                            put_u64(buf, *v);
+                        }
+                        MetricValue::Gauge(v) => {
+                            buf.push(1);
+                            put_str(buf, name);
+                            put_u64(buf, *v);
+                        }
+                        MetricValue::Histogram(buckets) => {
+                            buf.push(2);
+                            put_str(buf, name);
+                            // Same receiver-side cap as `StatsReply`'s
+                            // buckets — one shared constant, one rule.
+                            let b = buckets.len().min(MAX_BUCKETS);
+                            debug_assert_eq!(b, buckets.len(), "histogram beyond wire bounds");
+                            put_u16(buf, b as u16);
+                            for &c in &buckets[..b] {
+                                put_u64(buf, c);
+                            }
+                        }
+                    }
+                }
+            }
+            Frame::TraceReply { timings } => {
+                put_u32(buf, timings.decode_us);
+                put_u32(buf, timings.queue_us);
+                put_u32(buf, timings.engine_us);
+                put_u32(buf, timings.encode_us);
             }
             Frame::Error { fault } => put_fault(buf, fault),
         }
@@ -846,10 +939,10 @@ impl Frame {
                     workers: c.u32()?,
                     latency_buckets: {
                         let n = c.u16()? as usize;
-                        if n > MAX_LATENCY_BUCKETS {
+                        if n > MAX_BUCKETS {
                             return Err(WireFault::new(
                                 ErrorCode::Malformed,
-                                format!("{n} latency buckets exceed limit {MAX_LATENCY_BUCKETS}"),
+                                format!("{n} latency buckets exceed limit {MAX_BUCKETS}"),
                             ));
                         }
                         (0..n).map(|_| c.u64()).collect::<Result<_, _>>()?
@@ -929,6 +1022,57 @@ impl Frame {
                     c.take(n)?.to_vec()
                 },
             },
+            FT_METRICS => Frame::Metrics,
+            FT_METRICS_REPLY => {
+                let n = c.u32()? as usize;
+                if n > MAX_METRICS_ENTRIES {
+                    return Err(WireFault::new(
+                        ErrorCode::Malformed,
+                        format!("{n} metric entries exceed limit {MAX_METRICS_ENTRIES}"),
+                    ));
+                }
+                let mut entries = Vec::new();
+                for _ in 0..n {
+                    let kind = c.u8()?;
+                    let name = c.string()?;
+                    let value = match kind {
+                        0 => MetricValue::Counter(c.u64()?),
+                        1 => MetricValue::Gauge(c.u64()?),
+                        2 => MetricValue::Histogram({
+                            let b = c.u16()? as usize;
+                            if b > MAX_BUCKETS {
+                                return Err(WireFault::new(
+                                    ErrorCode::Malformed,
+                                    format!("{b} latency buckets exceed limit {MAX_BUCKETS}"),
+                                ));
+                            }
+                            (0..b).map(|_| c.u64()).collect::<Result<_, _>>()?
+                        }),
+                        tag => {
+                            return Err(WireFault::new(
+                                ErrorCode::Malformed,
+                                format!("bad metric kind {tag}"),
+                            ))
+                        }
+                    };
+                    entries.push((name, value));
+                }
+                // Re-establish the dump's sorted-names invariant — the
+                // merge/lookup helpers binary-search, and a hostile
+                // sender must not be able to break them.
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                Frame::MetricsReply {
+                    dump: MetricsDump { entries },
+                }
+            }
+            FT_TRACE_REPLY => Frame::TraceReply {
+                timings: TraceTimings {
+                    decode_us: c.u32()?,
+                    queue_us: c.u32()?,
+                    engine_us: c.u32()?,
+                    encode_us: c.u32()?,
+                },
+            },
             FT_ERROR => Frame::Error { fault: c.fault()? },
             t => {
                 return Err(WireFault::new(
@@ -950,16 +1094,28 @@ pub fn write_frame(w: &mut impl Write, request_id: u64, frame: &Frame) -> io::Re
 /// Read one frame from `r`. `Ok(None)` is a clean EOF at a frame
 /// boundary; EOF inside a frame is an [`io::ErrorKind::UnexpectedEof`].
 pub fn read_frame(r: &mut impl Read, limits: &Limits) -> Result<Option<(u64, Frame)>, ReadError> {
+    read_frame_timed(r, limits).map(|r| r.map(|(id, frame, _)| (id, frame)))
+}
+
+/// [`read_frame`], additionally reporting how long the read + parse
+/// took (µs, measured from after the first header byte arrived so idle
+/// time between frames is not charged) — the `decode` stage of a
+/// request trace.
+pub fn read_frame_timed(
+    r: &mut impl Read,
+    limits: &Limits,
+) -> Result<Option<(u64, Frame, u32)>, ReadError> {
     let mut header = [0u8; HEADER_BYTES];
     // First byte separately: a clean close between frames is not an error.
     match r.read(&mut header[..1]) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
         Err(e) if e.kind() == io::ErrorKind::Interrupted => {
-            return read_frame(r, limits);
+            return read_frame_timed(r, limits);
         }
         Err(e) => return Err(ReadError::Io(e)),
     }
+    let started = Instant::now();
     r.read_exact(&mut header[1..])?;
     let magic = u32::from_be_bytes(header[0..4].try_into().unwrap());
     if magic != MAGIC {
@@ -969,10 +1125,10 @@ pub fn read_frame(r: &mut impl Read, limits: &Limits) -> Result<Option<(u64, Fra
         )));
     }
     let version = header[4];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ReadError::Fatal(WireFault::new(
             ErrorCode::BadVersion,
-            format!("got version {version}, want {VERSION}"),
+            format!("got version {version}, want {MIN_VERSION}..={VERSION}"),
         )));
     }
     let frame_type = header[5];
@@ -990,7 +1146,10 @@ pub fn read_frame(r: &mut impl Read, limits: &Limits) -> Result<Option<(u64, Fra
     let mut payload = vec![0u8; payload_len as usize];
     r.read_exact(&mut payload)?;
     match Frame::decode_payload(frame_type, &payload, limits) {
-        Ok(frame) => Ok(Some((request_id, frame))),
+        Ok(frame) => {
+            let decode_us = started.elapsed().as_micros().min(u32::MAX as u128) as u32;
+            Ok(Some((request_id, frame, decode_us)))
+        }
         Err(fault) => Err(ReadError::Frame { request_id, fault }),
     }
 }
@@ -1261,6 +1420,121 @@ mod tests {
             Err(ReadError::Frame { fault, .. }) => assert_eq!(fault.code, ErrorCode::Malformed),
             other => panic!("want per-frame error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn observability_frames_round_trip() {
+        round_trip(Frame::Metrics, 30);
+        round_trip(
+            Frame::MetricsReply {
+                dump: MetricsDump::default(),
+            },
+            31,
+        );
+        round_trip(
+            Frame::MetricsReply {
+                dump: MetricsDump {
+                    entries: vec![
+                        (
+                            "shard0.latency_us".into(),
+                            MetricValue::Histogram(vec![0, 3, 1]),
+                        ),
+                        ("shard0.queries".into(), MetricValue::Counter(42)),
+                        ("srv.active".into(), MetricValue::Gauge(2)),
+                    ],
+                },
+            },
+            32,
+        );
+        round_trip(
+            Frame::TraceReply {
+                timings: TraceTimings {
+                    decode_us: 1,
+                    queue_us: 200,
+                    engine_us: 30_000,
+                    encode_us: 4,
+                },
+            },
+            33 | TRACE_FLAG,
+        );
+    }
+
+    #[test]
+    fn a_version_3_frame_still_decodes_under_v4() {
+        // v4 added only new frame types; a v3 peer's frames are
+        // bit-identical except the version byte, and must keep working.
+        let frame = Frame::QueryBatch {
+            shard: ShardId(1),
+            pairs: vec![(Ipv4(1), Ipv4(2))],
+        };
+        let mut bytes = frame.encode(6);
+        assert_eq!(bytes[4], VERSION);
+        bytes[4] = 3;
+        let (id, got) = read_frame(&mut &bytes[..], &Limits::default())
+            .expect("v3 frame decodes")
+            .expect("not EOF");
+        assert_eq!(id, 6);
+        assert_eq!(got, frame);
+        // Anything outside the window stays a fatal BadVersion.
+        for bad in [0u8, 2, VERSION + 1] {
+            bytes[4] = bad;
+            match read_frame(&mut &bytes[..], &Limits::default()) {
+                Err(ReadError::Fatal(fault)) => assert_eq!(fault.code, ErrorCode::BadVersion),
+                other => panic!("want fatal BadVersion for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_metrics_entry_count_is_a_typed_malformed_fault() {
+        let mut bytes = Frame::MetricsReply {
+            dump: MetricsDump::default(),
+        }
+        .encode(1);
+        // The empty dump's payload is just the u32 entry count; claim
+        // far over the cap. The decoder must refuse at the count.
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&u32::MAX.to_be_bytes());
+        match read_frame(&mut &bytes[..], &Limits::default()) {
+            Err(ReadError::Frame { fault, .. }) => assert_eq!(fault.code, ErrorCode::Malformed),
+            other => panic!("want per-frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decoded_metrics_dumps_are_re_sorted() {
+        // A hostile sender may ship names out of order; the decoder
+        // restores the sorted invariant the merge helpers rely on.
+        let dump = MetricsDump {
+            entries: vec![
+                ("z.last".into(), MetricValue::Counter(1)),
+                ("a.first".into(), MetricValue::Counter(2)),
+            ],
+        };
+        let bytes = Frame::MetricsReply { dump }.encode(2);
+        let (_, got) = read_frame(&mut &bytes[..], &Limits::default())
+            .unwrap()
+            .unwrap();
+        match got {
+            Frame::MetricsReply { dump } => {
+                assert_eq!(dump.entries[0].0, "a.first");
+                assert_eq!(dump.counter("z.last"), 1);
+            }
+            other => panic!("want metrics reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_frame_timed_reports_a_decode_duration() {
+        let bytes = Frame::Ping.encode(5);
+        let (id, frame, decode_us) = read_frame_timed(&mut &bytes[..], &Limits::default())
+            .expect("decodes")
+            .expect("not EOF");
+        assert_eq!(id, 5);
+        assert_eq!(frame, Frame::Ping);
+        // An in-memory read is fast; the point is it's measured, not 0
+        // by construction on a slow CI box.
+        assert!(decode_us < 1_000_000, "decode_us {decode_us}");
     }
 
     #[test]

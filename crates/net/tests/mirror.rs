@@ -13,7 +13,7 @@ use inano_core::AtlasReader;
 use inano_model::{ErrorCode, Ipv4};
 use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
 use inano_net::{Limits, MirrorSource, NetClient, NetError, NetServer, ServerConfig};
-use inano_service::{QueryEngine, ServiceConfig, ShardId};
+use inano_service::{MirrorStats, QueryEngine, ServiceConfig, ShardId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -167,6 +167,88 @@ fn mirror_chain_propagates_the_atlas_and_its_deltas() {
     // Zero failed queries mid-swap, on the engines and over the wire.
     assert_eq!(mirror_engine.stats().errors, 0);
     assert_eq!(mirror.counters().faults, 0);
+}
+
+/// The mirror-side convergence instruments, end to end: the lag gauge
+/// rises when the upstream moves, falls to zero after a refresh, and a
+/// broken delta chain is bridged by a full resync that the counters
+/// record.
+#[test]
+fn mirror_lag_gauge_falls_after_refresh_and_resyncs_count_broken_chains() {
+    let origin_engine = ring_engine(RING);
+    let origin = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&origin_engine),
+        ServerConfig::default(),
+    )
+    .expect("bind origin");
+    let mut upstream = MirrorSource::connect(origin.local_addr(), ShardId::DEFAULT)
+        .expect("connect mirror to origin");
+    let mirror_engine = Arc::new(
+        QueryEngine::bootstrap(&mut upstream, ring_service_config())
+            .expect("mirror bootstraps from the origin"),
+    );
+    assert_eq!(
+        mirror_engine.mirror_stats(),
+        MirrorStats::default(),
+        "a fresh mirror has followed nothing yet"
+    );
+
+    // A delta lands at the origin; one refresh converges the mirror
+    // and says so in the gauges.
+    origin_engine
+        .apply_delta(&ring_shortcut_delta(RING, 0))
+        .expect("origin applies the delta");
+    assert_eq!(mirror_engine.update(&mut upstream).expect("refresh"), 1);
+    let s = mirror_engine.mirror_stats();
+    assert_eq!(s.deltas_applied, 1);
+    assert_eq!(s.upstream_day, 1);
+    assert_eq!(s.lag_days, 0, "converged right after the refresh");
+    assert_eq!(s.full_resyncs, 0);
+
+    // The origin restarts onto a fresh generation (empty delta log,
+    // day jump): no delta bridges the gap, and the refresh must say
+    // how far behind the mirror now is rather than claim convergence.
+    origin_engine.replace_atlas(Arc::new(ring_atlas(RING, 5)));
+    assert_eq!(
+        mirror_engine.update(&mut upstream).expect("refresh"),
+        0,
+        "no delta leaves day 1 any more"
+    );
+    let s = mirror_engine.mirror_stats();
+    assert_eq!(s.deltas_applied, 1, "nothing new applied");
+    assert_eq!(s.upstream_day, 5);
+    assert_eq!(s.lag_days, 4, "the broken chain leaves the mirror behind");
+
+    // The bridge is a full resync — what `inano-serve`'s refresh loop
+    // does — and the counters record it as such.
+    let (_, bytes) = AtlasReader::default()
+        .fetch_full(&mut upstream)
+        .expect("full refetch over the wire");
+    let atlas = inano_atlas::codec::decode(&bytes).expect("decode refetched atlas");
+    mirror_engine.replace_atlas(Arc::new(atlas));
+    let s = mirror_engine.mirror_stats();
+    assert_eq!(s.full_resyncs, 1);
+    assert_eq!(s.lag_days, 0, "the full swap pays the lag off");
+    assert_eq!(mirror_engine.day(), 5);
+    assert_eq!(mirror_engine.update(&mut upstream).expect("refresh"), 0);
+    assert_eq!(mirror_engine.mirror_stats().lag_days, 0);
+
+    // The same series is what the scrape plane publishes: a server
+    // fronting the mirror engine answers them in its metrics dump.
+    let mirror_srv = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&mirror_engine),
+        ServerConfig::default(),
+    )
+    .expect("bind mirror server");
+    let mut probe = NetClient::connect(mirror_srv.local_addr()).expect("probe connect");
+    let dump = probe.metrics().expect("metrics over the wire");
+    assert_eq!(dump.counter("shard0.mirror.deltas_applied"), 1);
+    assert_eq!(dump.counter("shard0.mirror.full_resyncs"), 1);
+    assert_eq!(dump.gauge("shard0.mirror.lag_days"), 0);
+    assert_eq!(dump.gauge("shard0.mirror.upstream_day"), 5);
+    assert_eq!(dump.gauge("shard0.day"), 5);
 }
 
 /// An atlas bigger than `max_frame_bytes` must arrive as more chunks,

@@ -9,6 +9,7 @@ use inano_core::{AtlasVersion, DeltaHandle};
 use inano_model::{ErrorCode, Ipv4};
 use inano_net::wire::{read_frame, Frame, Limits, ReadError, CHUNK_WIRE_OVERHEAD, HEADER_BYTES};
 use inano_net::{chunk_size_for, WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
+use inano_obs::{MetricValue, MetricsDump, MetricsRegistry, TraceTimings};
 use inano_service::ShardId;
 use proptest::prelude::*;
 
@@ -107,6 +108,50 @@ prop_compose! {
 }
 
 prop_compose! {
+    fn arb_metric_value()(
+        kind in 0usize..3,
+        v in any::<u64>(),
+        buckets in proptest::collection::vec(any::<u64>(), 0..40),
+    ) -> MetricValue {
+        match kind {
+            0 => MetricValue::Counter(v),
+            1 => MetricValue::Gauge(v),
+            _ => MetricValue::Histogram(buckets),
+        }
+    }
+}
+
+prop_compose! {
+    // Sorted and name-deduped, matching the invariant `MetricsDump`
+    // holds (and the decoder restores), so round-trip equality is fair.
+    fn arb_dump()(
+        raw in proptest::collection::vec(
+            (proptest::collection::vec(97u8..123, 1..24), arb_metric_value()),
+            0..12,
+        ),
+    ) -> MetricsDump {
+        let mut entries: Vec<(String, MetricValue)> = raw
+            .into_iter()
+            .map(|(name, v)| (String::from_utf8(name).expect("ascii"), v))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|a, b| a.0 == b.0);
+        MetricsDump { entries }
+    }
+}
+
+prop_compose! {
+    fn arb_timings()(
+        decode_us in any::<u32>(),
+        queue_us in any::<u32>(),
+        engine_us in any::<u32>(),
+        encode_us in any::<u32>(),
+    ) -> TraceTimings {
+        TraceTimings { decode_us, queue_us, engine_us, encode_us }
+    }
+}
+
+prop_compose! {
     fn arb_result()(
         is_ok in any::<bool>(),
         path in arb_path(),
@@ -120,7 +165,7 @@ prop_compose! {
 // exercised (the stand-in proptest has no `prop_oneof!`).
 prop_compose! {
     fn arb_frame()(
-        variant in 0usize..20,
+        variant in 0usize..23,
         shard in any::<u16>(),
         pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
         results in proptest::collection::vec(arb_result(), 0..20),
@@ -137,6 +182,8 @@ prop_compose! {
         crc in any::<u64>(),
         chunk in proptest::collection::vec(any::<u8>(), 0..300),
         fault in arb_fault(),
+        dump in arb_dump(),
+        timings in arb_timings(),
     ) -> Frame {
         match variant {
             0 => Frame::Ping,
@@ -161,7 +208,10 @@ prop_compose! {
             16 => Frame::DeltaReply { handle },
             17 => Frame::FetchDeltaChunk { shard: ShardId(shard), from_day: day, idx },
             18 => Frame::ChunkReply { idx, crc, bytes: chunk },
-            _ => Frame::Error { fault },
+            19 => Frame::Error { fault },
+            20 => Frame::Metrics,
+            21 => Frame::MetricsReply { dump },
+            _ => Frame::TraceReply { timings },
         }
     }
 }
@@ -291,6 +341,30 @@ proptest! {
                 other => prop_assert!(false, "unexpected outcome {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn merging_per_server_dumps_equals_the_dump_of_combined_counters(
+        incrs in proptest::collection::vec((0usize..6, any::<u32>(), any::<u32>()), 0..20),
+    ) {
+        // Two "servers" (A, B) each count some events; a third registry
+        // C counts A's and B's events together. The fleet merge of A's
+        // and B's dumps must equal C's dump exactly — the property that
+        // makes `fleet_scrape`'s time series additive.
+        let names = ["a.q", "a.e", "b.hits", "b.misses", "srv.x", "srv.y"];
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        let c = MetricsRegistry::new();
+        for (ni, va, vb) in incrs {
+            let name = names[ni];
+            a.counter(name).add(va as u64);
+            b.counter(name).add(vb as u64);
+            let combined = c.counter(name);
+            combined.add(va as u64);
+            combined.add(vb as u64);
+        }
+        let merged = MetricsDump::merged([&a.dump(), &b.dump()]);
+        prop_assert_eq!(merged, c.dump());
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Observability substrate for the iPlane Nano serving fleet.
+//!
+//! Everything a running `inano-serve` knows about itself funnels
+//! through here: the unified [`MetricsRegistry`] (named counters,
+//! gauges and log₂ [`LatencyHistogram`]s behind cheap atomic handles),
+//! the mergeable [`MetricsDump`] snapshot it exports (counters and
+//! histograms merge exactly, like `ServiceStats::aggregate`), the
+//! request-scoped [`TraceCtx`] that times a request through the
+//! decode → queue → engine → encode stages, the drainable [`SlowLog`]
+//! of the worst-latency requests, and a [`textserve`] module that
+//! renders a dump as Prometheus-style text exposition over a trivial
+//! HTTP/1.0 responder.
+//!
+//! The crate is deliberately dependency-free (std only): it sits below
+//! `inano-service`, `inano-net` and `inano-swarm` in the workspace, so
+//! anything it pulled in would be paid by every layer above it.
+
+mod hist;
+mod registry;
+mod slowlog;
+pub mod textserve;
+mod trace;
+
+pub use hist::{quantile_from_counts, LatencyHistogram, BUCKETS};
+pub use registry::{Counter, Gauge, MetricValue, MetricsDump, MetricsRegistry};
+pub use slowlog::{SlowEntry, SlowLog};
+pub use trace::{TraceCtx, TraceTimings};

@@ -1,0 +1,119 @@
+//! A ring buffer of the worst-latency requests, cheap enough to sit on
+//! every request's exit path.
+//!
+//! The fast path is one relaxed atomic load: a request under the
+//! threshold touches nothing else — no lock, no allocation (the
+//! description closure is never called). Requests over the threshold
+//! claim a slot by bumping an atomic cursor and store an entry behind
+//! that slot's mutex; with one mutex per slot, writers only contend
+//! when the ring wraps faster than a lock hand-off, and readers
+//! ([`SlowLog::drain`]) never block the request path for more than one
+//! slot at a time.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One over-threshold request: what it was and how long it took.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEntry {
+    pub latency_us: u64,
+    /// Free-form description (frame kind, shard, request id...).
+    pub what: String,
+}
+
+/// The drainable top-K slow-query ring. See the module docs.
+pub struct SlowLog {
+    threshold_us: AtomicU64,
+    cursor: AtomicUsize,
+    slots: Vec<Mutex<Option<SlowEntry>>>,
+}
+
+impl SlowLog {
+    /// A ring of `capacity` slots recording requests at or over
+    /// `threshold_us` microseconds.
+    pub fn new(capacity: usize, threshold_us: u64) -> SlowLog {
+        SlowLog {
+            threshold_us: AtomicU64::new(threshold_us),
+            cursor: AtomicUsize::new(0),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Retune the threshold live (0 records everything).
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Record a request that took `latency_us`. Below the threshold
+    /// this is one atomic load and `what` is never called.
+    pub fn record_with(&self, latency_us: u64, what: impl FnOnce() -> String) {
+        if latency_us < self.threshold_us.load(Ordering::Relaxed) {
+            return;
+        }
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[slot].lock().expect("slow-log slot") = Some(SlowEntry {
+            latency_us,
+            what: what(),
+        });
+    }
+
+    /// Take every retained entry, worst first, leaving the ring empty.
+    pub fn drain(&self) -> Vec<SlowEntry> {
+        let mut out: Vec<SlowEntry> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("slow-log slot").take())
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.latency_us));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_never_builds_the_description() {
+        let log = SlowLog::new(4, 1000);
+        log.record_with(10, || panic!("must not be called"));
+        assert!(log.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_returns_worst_first_and_empties_the_ring() {
+        let log = SlowLog::new(8, 100);
+        for us in [150u64, 5000, 100, 700] {
+            log.record_with(us, || format!("q{us}"));
+        }
+        let drained = log.drain();
+        let lat: Vec<u64> = drained.iter().map(|e| e.latency_us).collect();
+        assert_eq!(lat, vec![5000, 700, 150, 100]);
+        assert_eq!(drained[0].what, "q5000");
+        assert!(log.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_most_recent_k() {
+        let log = SlowLog::new(2, 0);
+        for us in 1..=5u64 {
+            log.record_with(us, String::new);
+        }
+        let lat: Vec<u64> = log.drain().into_iter().map(|e| e.latency_us).collect();
+        assert_eq!(lat, vec![5, 4]);
+    }
+
+    #[test]
+    fn threshold_is_live_tunable() {
+        let log = SlowLog::new(4, u64::MAX);
+        log.record_with(1 << 40, || "huge".into());
+        assert!(log.drain().is_empty(), "u64::MAX threshold records nothing");
+        log.set_threshold_us(0);
+        log.record_with(1, || "tiny".into());
+        assert_eq!(log.drain().len(), 1);
+    }
+}

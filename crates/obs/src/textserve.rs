@@ -1,0 +1,213 @@
+//! Prometheus-style text exposition for a [`MetricsDump`], and the
+//! trivial HTTP/1.0 responder `inano-serve --metrics-text` mounts it
+//! on.
+//!
+//! The responder is deliberately not a web server: it reads and
+//! discards one request head, writes one `200 OK` with the rendered
+//! registry, and closes — exactly the subset `curl` and a Prometheus
+//! scraper need, with zero dependencies and no connection reuse to get
+//! wrong.
+
+use crate::registry::{MetricValue, MetricsDump};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Registry names use `.` as the namespace separator
+/// (`shard0.mirror.deltas_applied`); Prometheus names admit only
+/// `[a-zA-Z0-9_:]`, so everything else becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a dump as Prometheus text exposition (version 0.0.4):
+/// counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le="..."}` series (bucket `i` covers `[2^i, 2^(i+1))` µs,
+/// so its upper bound is `2^(i+1)`) plus `+Inf` and `_count`.
+pub fn render_prometheus(dump: &MetricsDump) -> String {
+    let mut out = String::new();
+    for (name, value) in &dump.entries {
+        let pname = sanitize(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {v}\n"));
+            }
+            MetricValue::Histogram(buckets) => {
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                let mut cum = 0u64;
+                for (i, &c) in buckets.iter().enumerate() {
+                    cum = cum.saturating_add(c);
+                    if c != 0 {
+                        let le = 1u128 << (i + 1).min(127);
+                        out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                }
+                out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                out.push_str(&format!("{pname}_count {cum}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// A running `--metrics-text` endpoint. Dropping it stops the accept
+/// thread (within one poll interval) and closes the listener.
+pub struct MetricsTextServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsTextServer {
+    /// Bind `addr` and serve `body()` to every HTTP request, each
+    /// rendered fresh at request time.
+    pub fn bind<A, F>(addr: A, body: F) -> io::Result<MetricsTextServer>
+    where
+        A: ToSocketAddrs,
+        F: Fn() -> String + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = thread::Builder::new()
+            .name("inano-metrics-text".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // One request, one response, close. Errors
+                            // (a scraper hanging up early) only cost
+                            // that one connection.
+                            let _ = answer(stream, &body);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })
+            .expect("spawn metrics-text thread");
+        Ok(MetricsTextServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn answer(stream: std::net::TcpStream, body: &dyn Fn() -> String) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    // Read up to the blank line ending the request head; the request
+    // line and headers are irrelevant — every path gets the metrics.
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 {
+        if line == "\r\n" || line == "\n" || line.trim().is_empty() {
+            break;
+        }
+        line.clear();
+    }
+    let text = body();
+    let mut stream = reader.into_inner();
+    stream.write_all(
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+            text.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.write_all(text.as_bytes())?;
+    stream.flush()
+}
+
+impl Drop for MetricsTextServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    #[test]
+    fn render_counters_gauges_histograms() {
+        let d = MetricsDump {
+            entries: vec![
+                (
+                    "shard0.mirror.deltas_applied".into(),
+                    MetricValue::Counter(2),
+                ),
+                ("srv.active".into(), MetricValue::Gauge(3)),
+                (
+                    "shard0.latency_us".into(),
+                    MetricValue::Histogram(vec![0, 1, 2]),
+                ),
+            ],
+        };
+        let text = render_prometheus(&d);
+        assert!(text.contains("shard0_mirror_deltas_applied 2\n"), "{text}");
+        assert!(text.contains("# TYPE srv_active gauge\nsrv_active 3\n"));
+        // Bucket 1 covers [2,4): le=4, cumulative 1; bucket 2 adds 2.
+        assert!(text.contains("shard0_latency_us_bucket{le=\"4\"} 1\n"));
+        assert!(text.contains("shard0_latency_us_bucket{le=\"8\"} 3\n"));
+        assert!(text.contains("shard0_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("shard0_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn http_responder_serves_a_fresh_dump_per_request() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("srv.accepted");
+        let body_reg = Arc::clone(&reg);
+        let srv =
+            MetricsTextServer::bind("127.0.0.1:0", move || render_prometheus(&body_reg.dump()))
+                .expect("bind metrics text");
+
+        let fetch = |addr: SocketAddr| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+                .expect("request");
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).expect("response");
+            buf
+        };
+
+        c.inc();
+        let first = fetch(srv.local_addr());
+        assert!(first.starts_with("HTTP/1.0 200 OK\r\n"), "{first}");
+        assert!(first.contains("srv_accepted 1\n"), "{first}");
+        c.add(4);
+        let second = fetch(srv.local_addr());
+        assert!(second.contains("srv_accepted 5\n"), "{second}");
+    }
+}

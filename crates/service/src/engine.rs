@@ -27,7 +27,7 @@
 //! lock is taken.
 
 use crate::cache::ShardedCache;
-use crate::stats::{Metrics, ServiceStats};
+use crate::stats::{Metrics, MirrorMetrics, MirrorStats, ServiceStats};
 use inano_atlas::{codec, Atlas, AtlasDelta};
 use inano_core::{
     chunk_span, content_tag, AtlasReader, AtlasSource, AtlasVersion, DeltaHandle, PathPredictor,
@@ -207,6 +207,9 @@ pub struct QueryEngine {
     /// Encoded deltas this engine applied, oldest first, capped at
     /// [`DELTA_LOG_CAP`] — what downstream mirrors fetch.
     delta_log: Mutex<VecDeque<Arc<DeltaBlob>>>,
+    /// How this engine follows its upstream (all zero on an origin);
+    /// see [`MirrorStats`].
+    mirror: MirrorMetrics,
 }
 
 impl QueryEngine {
@@ -264,6 +267,7 @@ impl QueryEngine {
             n_workers,
             export: Mutex::new(None),
             delta_log: Mutex::new(VecDeque::new()),
+            mirror: MirrorMetrics::default(),
         }
     }
 
@@ -443,10 +447,37 @@ impl QueryEngine {
         let _builder = self.swap_lock.lock();
         let reader = AtlasReader::default();
         let mut applied = 0;
-        while let Some((_, bytes)) = reader.fetch_delta(source, self.day())? {
+        loop {
+            let (fetched, races) = reader.fetch_delta_counted(source, self.day())?;
+            if races > 0 {
+                self.mirror
+                    .races_recovered
+                    .fetch_add(races as u64, Ordering::Relaxed);
+            }
+            let Some((_, bytes)) = fetched else { break };
             let delta = AtlasDelta::decode(&bytes)?;
             self.swap_locked(&delta, Some(bytes))?;
             applied += 1;
+        }
+        if applied > 0 {
+            self.mirror
+                .deltas_applied
+                .fetch_add(applied as u64, Ordering::Relaxed);
+        }
+        // Best-effort convergence probe: where is the upstream head
+        // relative to us now? A head the delta chain couldn't reach
+        // (the chain is broken — the origin replaced its atlas) leaves
+        // the lag gauge nonzero, which is the mirror-refresh loop's
+        // cue to fall back to a full resync. A probe failure keeps the
+        // applied deltas; the gauges just go stale until the next tick.
+        if let Ok(head) = source.head() {
+            self.mirror
+                .upstream_day
+                .store(head.day as u64, Ordering::Relaxed);
+            self.mirror.lag_days.store(
+                head.day.saturating_sub(self.day()) as u64,
+                Ordering::Relaxed,
+            );
         }
         Ok(applied)
     }
@@ -495,6 +526,10 @@ impl QueryEngine {
         let day = next.day();
         *self.current.write() = next;
         self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        self.mirror.full_resyncs.fetch_add(1, Ordering::Relaxed);
+        // A full swap puts us at the new generation's day; any lag the
+        // broken delta chain accumulated is paid off.
+        self.mirror.lag_days.store(0, Ordering::Relaxed);
         // The retained deltas belong to the abandoned chain; serving
         // them on would walk lagging mirrors down a dead generation
         // instead of forcing the full resync this replace demands.
@@ -532,6 +567,17 @@ impl QueryEngine {
             workers: self.n_workers,
             latency_buckets,
         }
+    }
+
+    /// The live mirror-follow registers (for callers, like the serve
+    /// bin's resync path, that recover upstream races themselves).
+    pub fn mirror_metrics(&self) -> &MirrorMetrics {
+        &self.mirror
+    }
+
+    /// Snapshot of how this engine follows its upstream.
+    pub fn mirror_stats(&self) -> MirrorStats {
+        self.mirror.snapshot()
     }
 
     /// The result cache (for diagnostics and tests).

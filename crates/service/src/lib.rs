@@ -45,4 +45,6 @@ pub mod stats;
 pub use cache::{CacheCounters, CacheKey, ShardedCache};
 pub use engine::{AtlasSnapshot, DeltaBlob, Generation, QueryEngine, ServiceConfig, DELTA_LOG_CAP};
 pub use registry::{RegistryConfig, RegistryStats, ShardId, ShardRegistry, ShardSpec};
-pub use stats::{quantile_from_counts, LatencyHistogram, Metrics, ServiceStats};
+pub use stats::{
+    quantile_from_counts, LatencyHistogram, Metrics, MirrorMetrics, MirrorStats, ServiceStats,
+};

@@ -1,79 +1,16 @@
 //! Service metrics: lock-free counters plus a log₂-bucketed latency
 //! histogram, snapshotted into a [`ServiceStats`] value.
+//!
+//! The histogram itself ([`LatencyHistogram`], [`BUCKETS`],
+//! [`quantile_from_counts`]) lives in `inano-obs` since protocol v4 so
+//! the unified metrics registry can treat it as a first-class metric
+//! kind; the re-exports here keep every pre-v4 caller compiling
+//! unchanged.
+
+pub use inano_obs::{quantile_from_counts, LatencyHistogram, BUCKETS};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-
-/// Number of power-of-two latency buckets: bucket `i` covers
-/// `[2^i, 2^(i+1))` microseconds, so 40 buckets reach ~12 days.
-pub const BUCKETS: usize = 40;
-
-/// The quantile's bucket over a raw log₂ count vector, reported as the
-/// bucket's geometric midpoint (`1.5 × 2^i` µs) — bucket-resolution,
-/// which is all a power-of-two histogram can honestly claim. Shared by
-/// the live histogram and by aggregators merging snapshots from many
-/// engines (shards, fleet members): summing bucket vectors element-wise
-/// and calling this is exact, unlike averaging percentiles.
-pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
-    // A bucket index beyond u64's shift range can only come from a
-    // malformed foreign histogram (ours has 40 buckets); saturate
-    // rather than overflow the shift.
-    let midpoint = |i: usize| {
-        let base = 1u64 << i.min(63);
-        base.saturating_add(base / 2)
-    };
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-    let mut seen = 0;
-    for (i, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            return midpoint(i);
-        }
-    }
-    midpoint(counts.len().max(1) - 1)
-}
-
-/// Lock-free latency histogram over microseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    pub fn record_us(&self, us: u64) {
-        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// See [`quantile_from_counts`].
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        quantile_from_counts(&self.snapshot(), q)
-    }
-
-    /// A point-in-time copy of the raw bucket counts, in bucket order.
-    pub fn snapshot(&self) -> Vec<u64> {
-        self.buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
-    }
-
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-}
 
 /// The engine's live metric registers.
 #[derive(Debug)]
@@ -108,6 +45,49 @@ impl Metrics {
 
     pub fn elapsed_secs(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Counters tracking how a mirror's engine follows its upstream: how
+/// many deltas it applied, how often it fell back to a full resync,
+/// how many fetch races it recovered from, and how far behind the
+/// upstream head it last observed itself ([`MirrorStats::lag_days`]).
+/// All zero on an origin that never calls `update`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MirrorStats {
+    /// Deltas applied by `update` over this engine's lifetime.
+    pub deltas_applied: u64,
+    /// Full-atlas swaps via `replace_atlas` (broken delta chains).
+    pub full_resyncs: u64,
+    /// `VersionRaced`/`ChunkOutOfRange` restarts the fetch path
+    /// recovered from.
+    pub races_recovered: u64,
+    /// Upstream head day minus local day at the last `update` — the
+    /// convergence lag, ~0 on a healthy mirror.
+    pub lag_days: u32,
+    /// Upstream head day observed at the last `update`.
+    pub upstream_day: u32,
+}
+
+/// The live registers behind [`MirrorStats`].
+#[derive(Debug, Default)]
+pub struct MirrorMetrics {
+    pub deltas_applied: AtomicU64,
+    pub full_resyncs: AtomicU64,
+    pub races_recovered: AtomicU64,
+    pub lag_days: AtomicU64,
+    pub upstream_day: AtomicU64,
+}
+
+impl MirrorMetrics {
+    pub fn snapshot(&self) -> MirrorStats {
+        MirrorStats {
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            full_resyncs: self.full_resyncs.load(Ordering::Relaxed),
+            races_recovered: self.races_recovered.load(Ordering::Relaxed),
+            lag_days: self.lag_days.load(Ordering::Relaxed) as u32,
+            upstream_day: self.upstream_day.load(Ordering::Relaxed) as u32,
+        }
     }
 }
 
@@ -194,25 +174,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_bracket_the_data() {
-        let h = LatencyHistogram::default();
-        for us in [10u64, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
-            h.record_us(us);
-        }
-        let p50 = h.quantile_us(0.5);
-        assert!((8..=16).contains(&p50), "p50 bucket ~10us, got {p50}");
-        let p99 = h.quantile_us(0.99);
-        assert!((4096..=8192).contains(&p99), "p99 bucket ~5ms, got {p99}");
-        assert_eq!(h.count(), 10);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0);
-    }
-
-    #[test]
     fn aggregate_merges_buckets_not_percentiles() {
         let fast = Metrics::default();
         let slow = Metrics::default();
@@ -253,5 +214,16 @@ mod tests {
         assert_eq!(m.queries.load(Ordering::Relaxed), 2);
         assert_eq!(m.errors.load(Ordering::Relaxed), 1);
         assert_eq!(m.latency.count(), 2);
+    }
+
+    #[test]
+    fn mirror_metrics_snapshot() {
+        let m = MirrorMetrics::default();
+        m.deltas_applied.fetch_add(3, Ordering::Relaxed);
+        m.lag_days.store(2, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.deltas_applied, 3);
+        assert_eq!(s.lag_days, 2);
+        assert_eq!(s.full_resyncs, 0);
     }
 }

@@ -13,6 +13,7 @@ use inano_atlas::{codec, Atlas, AtlasDelta};
 use inano_core::DEFAULT_CHUNK_SIZE;
 use inano_core::{chunk_span, content_tag, AtlasChunk, AtlasSource, AtlasVersion, DeltaHandle};
 use inano_model::ModelError;
+use inano_obs::{Counter, MetricValue, MetricsRegistry};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -42,8 +43,10 @@ pub struct SwarmSource {
     /// Reports of the most recent downloads, in fetch order, capped at
     /// [`DOWNLOAD_LOG_CAP`].
     downloads: VecDeque<SwarmReport>,
-    fetches: u64,
-    bytes_served: u64,
+    /// Shared atomic handles (not plain `u64`s) so a metrics registry
+    /// can snapshot them at dump time while the source keeps serving.
+    fetches: Counter,
+    bytes_served: Counter,
 }
 
 impl SwarmSource {
@@ -69,9 +72,25 @@ impl SwarmSource {
             chunk_size: DEFAULT_CHUNK_SIZE,
             swarm,
             downloads: VecDeque::new(),
-            fetches: 0,
-            bytes_served: 0,
+            fetches: Counter::default(),
+            bytes_served: Counter::default(),
         }
+    }
+
+    /// Publish this source's lifetime counters into `obs` as the
+    /// `swarm.fetches` / `swarm.bytes_served` series: a collector
+    /// snapshots the shared handles at every dump, so the seed's
+    /// serving cost shows up in the same scrape as the query plane.
+    pub fn register_metrics(&self, obs: &MetricsRegistry) {
+        let fetches = self.fetches.clone();
+        let bytes_served = self.bytes_served.clone();
+        obs.register_collector(move |out| {
+            out.push(("swarm.fetches".into(), MetricValue::Counter(fetches.get())));
+            out.push((
+                "swarm.bytes_served".into(),
+                MetricValue::Counter(bytes_served.get()),
+            ));
+        });
     }
 
     fn swarm_fetch(&mut self, bytes: usize) {
@@ -83,7 +102,7 @@ impl SwarmSource {
             chunk_bytes: (bytes as f64 / 8.0).clamp(4.0e3, self.swarm.chunk_bytes),
             ..self.swarm.clone()
         };
-        self.fetches += 1;
+        self.fetches.inc();
         if self.downloads.len() == DOWNLOAD_LOG_CAP {
             self.downloads.pop_front();
         }
@@ -98,7 +117,7 @@ impl SwarmSource {
         if idx == 0 {
             self.swarm_fetch(body.len());
         }
-        self.bytes_served += span.len() as u64;
+        self.bytes_served.add(span.len() as u64);
         Ok(AtlasChunk::of(body[span].to_vec()))
     }
 
@@ -118,14 +137,14 @@ impl SwarmSource {
 
     /// Fetches served over this source's lifetime (never capped).
     pub fn total_fetches(&self) -> u64 {
-        self.fetches
+        self.fetches.get()
     }
 
     /// Total chunk bytes handed out over this source's lifetime — the
     /// seed-side serving cost, which the blob API hid by cloning whole
     /// atlases.
     pub fn bytes_served(&self) -> u64 {
-        self.bytes_served
+        self.bytes_served.get()
     }
 
     /// Completion time of the most recent fetch, seconds.
@@ -271,6 +290,26 @@ mod tests {
             src.fetch_full_chunk(head.n_chunks()),
             Err(ModelError::ChunkOutOfRange(_))
         ));
+    }
+
+    #[test]
+    fn registered_metrics_track_the_source() {
+        let d0 = atlas(0, false);
+        let mut src = SwarmSource::new(
+            &d0,
+            &[],
+            SwarmConfig {
+                n_peers: 4,
+                ..SwarmConfig::default()
+            },
+        );
+        let obs = MetricsRegistry::new();
+        src.register_metrics(&obs);
+        src.fetch_full_chunk(0).unwrap();
+        let dump = obs.dump();
+        assert_eq!(dump.counter("swarm.fetches"), 1);
+        assert!(src.bytes_served() > 0);
+        assert_eq!(dump.counter("swarm.bytes_served"), src.bytes_served());
     }
 
     #[test]
