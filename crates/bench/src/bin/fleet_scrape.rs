@@ -14,8 +14,13 @@
 //! element-wise, gauges take the fleet max) and appends one sample —
 //! fleet queries, deltas applied, full resyncs, and the *fleet lag*
 //! (max minus min serving day across every scraped shard, the spread a
-//! mid-run delta swap opens and a mirror refresh closes). The samples
-//! ship as one `fleet_timeseries` BENCH JSON line.
+//! mid-run delta swap opens and a mirror refresh closes). Each tick
+//! also drains every server's event journal (`Events` since the
+//! per-server cursor from the previous tick) and merges the new events
+//! into the sample by `(t_ms, seq)`; entries a server's bounded ring
+//! dropped between ticks are *counted* — the journal's `lost`
+//! accounting — and surface as `events_lost`, never silently skipped.
+//! The samples ship as one `fleet_timeseries` BENCH JSON line.
 //!
 //! Usage: `fleet_scrape --connect ADDR [--connect ADDR]...
 //!         [--interval MS [--ticks T]]`
@@ -35,6 +40,11 @@ struct Tick {
     deltas_applied: u64,
     full_resyncs: u64,
     fleet_lag_days: u64,
+    /// New journal events merged across the fleet this tick.
+    events: u64,
+    /// Ring entries dropped fleet-wide before this tick's scrape could
+    /// read them (cumulative across the run).
+    events_lost: u64,
 }
 
 /// The serving-day spread across every shard of every dump: 0 when the
@@ -74,6 +84,9 @@ fn scrape(clients: &mut [(String, NetClient)]) -> Vec<MetricsDump> {
 }
 
 fn timeseries(targets: &[(String, String)], interval_ms: u64, ticks: usize) {
+    // Per-server state: the address (for error messages), the client,
+    // and the event-journal cursor — the `next_seq` of the last page,
+    // so each tick only pulls events the previous tick hasn't seen.
     let mut clients: Vec<(String, NetClient)> = targets
         .iter()
         .map(|(_, addr)| {
@@ -82,8 +95,10 @@ fn timeseries(targets: &[(String, String)], interval_ms: u64, ticks: usize) {
             (addr.clone(), client)
         })
         .collect();
+    let mut cursors: Vec<u64> = vec![0; clients.len()];
     let started = Instant::now();
     let mut samples: Vec<Tick> = Vec::with_capacity(ticks);
+    let mut events_lost_total = 0u64;
     for tick in 0..ticks {
         if tick > 0 {
             std::thread::sleep(Duration::from_millis(interval_ms));
@@ -91,20 +106,48 @@ fn timeseries(targets: &[(String, String)], interval_ms: u64, ticks: usize) {
         let dumps = scrape(&mut clients);
         let lag = fleet_lag_days(&dumps);
         let merged = MetricsDump::merged(dumps.iter());
+        // Drain each server's journal since its cursor, then merge the
+        // new events into one fleet-ordered slice. A non-zero `lost`
+        // means the server's ring overwrote entries between ticks —
+        // report the gap, don't pretend the timeline is complete.
+        let mut new_events: Vec<(String, inano_obs::Event)> = Vec::new();
+        for (i, (addr, client)) in clients.iter_mut().enumerate() {
+            let page = client
+                .events(cursors[i])
+                .unwrap_or_else(|e| panic!("events scrape of {addr}: {e}"));
+            events_lost_total += page.lost;
+            cursors[i] = page.next_seq;
+            new_events.extend(page.events.into_iter().map(|e| (addr.clone(), e)));
+        }
+        new_events.sort_by_key(|(_, e)| (e.t_ms, e.seq));
+        for (addr, e) in &new_events {
+            eprintln!(
+                "  event {addr} seq={} t_ms={} {} {}",
+                e.seq,
+                e.t_ms,
+                e.kind.name(),
+                e.detail
+            );
+        }
         let sample = Tick {
             t_ms: started.elapsed().as_millis() as u64,
             queries: merged.counter_sum(".queries"),
             deltas_applied: merged.counter_sum(".mirror.deltas_applied"),
             full_resyncs: merged.counter_sum(".mirror.full_resyncs"),
             fleet_lag_days: lag,
+            events: new_events.len() as u64,
+            events_lost: events_lost_total,
         };
         eprintln!(
-            "tick {tick}: t={}ms queries={} deltas_applied={} full_resyncs={} fleet_lag_days={}",
+            "tick {tick}: t={}ms queries={} deltas_applied={} full_resyncs={} fleet_lag_days={} \
+             events={} events_lost={}",
             sample.t_ms,
             sample.queries,
             sample.deltas_applied,
             sample.full_resyncs,
-            sample.fleet_lag_days
+            sample.fleet_lag_days,
+            sample.events,
+            sample.events_lost
         );
         samples.push(sample);
     }
@@ -119,15 +162,21 @@ fn timeseries(targets: &[(String, String)], interval_ms: u64, ticks: usize) {
         .map(|s| {
             format!(
                 "{{\"t_ms\":{},\"queries\":{},\"deltas_applied\":{},\"full_resyncs\":{},\
-                 \"fleet_lag_days\":{}}}",
-                s.t_ms, s.queries, s.deltas_applied, s.full_resyncs, s.fleet_lag_days
+                 \"fleet_lag_days\":{},\"events\":{},\"events_lost\":{}}}",
+                s.t_ms,
+                s.queries,
+                s.deltas_applied,
+                s.full_resyncs,
+                s.fleet_lag_days,
+                s.events,
+                s.events_lost
             )
         })
         .collect();
     // The contract line: exactly one JSON record on stdout.
     println!(
         "{{\"bench\":\"fleet_timeseries\",\"servers\":{},\"interval_ms\":{interval_ms},\
-         \"monotone\":{monotone},\"ticks\":[{}]}}",
+         \"monotone\":{monotone},\"events_lost\":{events_lost_total},\"ticks\":[{}]}}",
         clients.len(),
         rendered.join(","),
     );

@@ -1,0 +1,672 @@
+//! `fleet_sim`: a whole mirror fleet in one process, driven over the
+//! real wire protocol, with scripted failures and the event journal as
+//! the assertion instrument.
+//!
+//! The harness spawns an origin plus an N-deep tree of mirrors (each a
+//! real [`NetServer`] with its own refresh loop, exactly the
+//! `inano-serve --mirror` logic), points hundreds of client workers at
+//! the fleet with a zipf destination mix and diurnal pacing, and then
+//! injects faults:
+//!
+//! * `kill-restart` — a leaf mirror's server is shut down, a delta
+//!   lands at the origin while it is dark, and the server is rebound;
+//!   recovery is the first `generation_swap` the restarted node
+//!   journals after the kill.
+//! * `chain-break` — a mirror's refresh is stalled while the origin
+//!   applies more than [`DELTA_LOG_CAP`] deltas, so the bridging delta
+//!   falls off the retained chain; recovery is the `full_resync` the
+//!   victim journals once its refresh resumes.
+//! * `hostile` — a pipeliner floods the origin with unacknowledged
+//!   batches past the in-flight cap; recovery is the journal's
+//!   `overload_start` → `overload_end` episode width.
+//!
+//! A scraper thread drains every server's journal on an interval
+//! (`NetClient::events` with a per-server cursor, reset when a node
+//! restarts onto a fresh journal) and merges the streams by
+//! `(t_ms, seq)` into one fleet timeline. Ring overwrites between
+//! scrapes are *counted* (`events_lost`), never silently skipped.
+//!
+//! The contract line is one `BENCH` JSON record: the merged timeline,
+//! one recovery latency per injected fault, and the query-failure
+//! split — failures inside an injected fault window are expected,
+//! failures outside must be zero.
+//!
+//! Usage: `fleet_sim [--mirrors N] [--depth D] [--clients C]
+//!         [--ring N] [--refresh-ms MS] [--scrape-ms MS]
+//!         [--faults kill-restart,chain-break,hostile] [--seed S]`
+
+use inano_atlas::{Atlas, AtlasDelta, LinkAnnotation, Plane};
+use inano_core::{AtlasReader, AtlasSource};
+use inano_model::{ClusterId, Ipv4, LatencyMs};
+use inano_net::cli::arg;
+use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config};
+use inano_net::{MirrorSource, NetClient, NetServer, ServerConfig};
+use inano_obs::{now_ms, Event, EventKind};
+use inano_service::{QueryEngine, ServiceConfig, ShardId, DELTA_LOG_CAP};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The day-`day` world: the demo ring plus, from day 1 on, a 0 ↔ n/2
+/// shortcut whose latency drifts a little every day — so every
+/// consecutive-day delta is non-empty and the origin can publish an
+/// arbitrarily long chain of them.
+fn sim_atlas(n: u32, day: u32) -> Atlas {
+    let mut a = ring_atlas(n, day);
+    if day > 0 {
+        let far = n / 2;
+        for (x, y) in [(0, far), (far, 0)] {
+            a.links.insert(
+                (ClusterId::new(x), ClusterId::new(y)),
+                LinkAnnotation {
+                    latency: Some(LatencyMs::new(0.5 + day as f64 * 0.001)),
+                    plane: Plane::TO_DST,
+                },
+            );
+        }
+    }
+    a
+}
+
+/// Publish the `day → day+1` delta at the origin; returns the new day.
+fn push_delta(origin: &QueryEngine, ring: u32, day: u32) -> u32 {
+    let delta = AtlasDelta::between(&sim_atlas(ring, day), &sim_atlas(ring, day + 1));
+    origin
+        .apply_delta(&delta)
+        .unwrap_or_else(|e| panic!("origin applies day-{day} delta: {e}"))
+}
+
+fn sim_service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        chunk: 16,
+        predictor: ring_predictor_config(),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Low in-flight cap so the hostile pipeliner reliably trips the
+/// overload path; normal workers are synchronous (one in flight).
+fn sim_server_config() -> ServerConfig {
+    ServerConfig {
+        max_conns: 512,
+        max_inflight: 32,
+        ..ServerConfig::default()
+    }
+}
+
+/// State every thread shares: current node addresses (they change on
+/// restart), worker counters, and the fault-window gate that decides
+/// whether a query failure is expected.
+struct Shared {
+    /// `addrs[0]` is the origin, `addrs[1 + m]` is mirror `m`.
+    addrs: Vec<Mutex<String>>,
+    labels: Vec<String>,
+    stop: AtomicBool,
+    /// > 0 while an injected fault window is open.
+    fault_open: AtomicU64,
+    served: AtomicU64,
+    failed_outside: AtomicU64,
+    failed_inside: AtomicU64,
+    /// Cumulative zipf weights over destination clusters.
+    zipf_cum: Vec<f64>,
+}
+
+impl Shared {
+    fn note_failure(&self) {
+        if self.fault_open.load(Ordering::Relaxed) > 0 {
+            self.failed_inside.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed_outside.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn addr(&self, node: usize) -> String {
+        self.addrs[node].lock().expect("addr table").clone()
+    }
+}
+
+fn zipf_cum(n: u32, exponent: f64) -> Vec<f64> {
+    let mut total = 0.0;
+    (0..n)
+        .map(|r| {
+            total += 1.0 / ((r + 1) as f64).powf(exponent);
+            total
+        })
+        .collect()
+}
+
+/// One zipf-ranked destination cluster.
+fn pick_zipf(cum: &[f64], rng: &mut SmallRng) -> u32 {
+    let x = rng.gen_range(0.0..*cum.last().expect("non-empty zipf table"));
+    cum.partition_point(|&c| c <= x) as u32
+}
+
+/// A worker batch: uniform sources, zipf destinations.
+fn batch(rng: &mut SmallRng, ring: u32, cum: &[f64]) -> Vec<(Ipv4, Ipv4)> {
+    (0..8)
+        .map(|_| {
+            let dst = pick_zipf(cum, rng);
+            let mut src = rng.gen_range(0..ring);
+            if src == dst {
+                src = (src + 1) % ring;
+            }
+            (ring_ip(src), ring_ip(dst))
+        })
+        .collect()
+}
+
+/// One client worker: pinned to a node, zipf query mix, diurnal
+/// pacing, reconnects through fault windows.
+fn worker_loop(i: usize, ring: u32, seed: u64, diurnal_ms: u64, shared: Arc<Shared>) {
+    let node = i % shared.addrs.len();
+    let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let started = Instant::now();
+    'outer: while !shared.stop.load(Ordering::Relaxed) {
+        let mut client = match NetClient::connect(shared.addr(node)) {
+            Ok(c) => c,
+            Err(_) => {
+                // Node down (kill window) or restarting: retry.
+                thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+        };
+        loop {
+            if shared.stop.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            let pairs = batch(&mut rng, ring, &shared.zipf_cum);
+            match client.query_batch(&pairs) {
+                Ok(results) => {
+                    for r in results {
+                        match r {
+                            Ok(_) => {
+                                shared.served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => shared.note_failure(),
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Connection-level failure (killed server, shed
+                    // load): classify and rebuild the connection.
+                    shared.note_failure();
+                    break;
+                }
+            }
+            // Diurnal pacing: the inter-batch gap swings over a short
+            // "day", so load peaks and troughs like §5's client mix.
+            let phase =
+                (started.elapsed().as_millis() as u64 % diurnal_ms) as f64 / diurnal_ms as f64;
+            let us = 300.0 * (1.0 + 0.9 * (std::f64::consts::TAU * phase).sin());
+            thread::sleep(Duration::from_micros(us.max(1.0) as u64));
+        }
+    }
+}
+
+/// The `inano-serve --mirror` refresh loop, in-harness: pull deltas
+/// from the upstream node every tick, bridge broken chains with a full
+/// resync, rebuild the upstream connection on any failure. `paused`
+/// simulates the process being dark while its server is killed.
+fn refresh_loop(
+    engine: Arc<QueryEngine>,
+    upstream_node: usize,
+    refresh_ms: u64,
+    paused: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+) {
+    let mut source: Option<MirrorSource> = None;
+    loop {
+        thread::sleep(Duration::from_millis(refresh_ms));
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if paused.load(Ordering::Relaxed) {
+            continue;
+        }
+        if source.is_none() {
+            source = MirrorSource::connect(shared.addr(upstream_node), ShardId::DEFAULT).ok();
+        }
+        let Some(src) = source.as_mut() else { continue };
+        match engine.update(src) {
+            Ok(0) => {
+                // Idle tick — unless the upstream's head moved without
+                // a bridging delta: refetch the full atlas.
+                match src.head() {
+                    Ok(head) if head.epoch_tag != engine.export().epoch_tag => {
+                        match AtlasReader::default().fetch_full(src) {
+                            Ok((_, bytes)) => match inano_atlas::codec::decode(&bytes) {
+                                Ok(atlas) => {
+                                    engine.replace_atlas(Arc::new(atlas));
+                                }
+                                Err(_) => source = None,
+                            },
+                            Err(_) => source = None,
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => source = None,
+                }
+            }
+            Ok(_) => {}
+            Err(_) => source = None,
+        }
+    }
+}
+
+/// Poll `node`'s journal (over the wire, like any remote observer)
+/// until an event of `kind` stamped at or after `after_ms` appears.
+fn await_event(
+    shared: &Shared,
+    node: usize,
+    kind: EventKind,
+    after_ms: u64,
+    timeout: Duration,
+) -> Option<Event> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(mut c) = NetClient::connect(shared.addr(node)) {
+            if let Ok(page) = c.events(0) {
+                if let Some(e) = page
+                    .events
+                    .iter()
+                    .filter(|e| e.kind == kind && e.t_ms >= after_ms)
+                    .min_by_key(|e| (e.t_ms, e.seq))
+                {
+                    return Some(e.clone());
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The journal scraper: one cursor per server, reset when the node
+/// restarts onto a fresh journal (new address = new ring), merging all
+/// streams into one timeline. Runs one final pass after stop so the
+/// post-fault tail is captured.
+#[allow(clippy::type_complexity)]
+fn scraper_loop(
+    shared: Arc<Shared>,
+    scrape_stop: Arc<AtomicBool>,
+    scrape_ms: u64,
+    timeline: Arc<Mutex<Vec<(String, Event)>>>,
+    events_lost: Arc<AtomicU64>,
+) {
+    let n = shared.addrs.len();
+    let mut cursors: Vec<(String, u64)> = (0..n).map(|i| (shared.addr(i), 0)).collect();
+    loop {
+        let final_pass = scrape_stop.load(Ordering::Relaxed);
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            let addr = shared.addr(i);
+            if addr != cursor.0 {
+                *cursor = (addr.clone(), 0);
+            }
+            let Ok(mut client) = NetClient::connect(&addr) else {
+                continue; // node dark mid-fault; next tick catches up
+            };
+            let Ok(page) = client.events(cursor.1) else {
+                continue;
+            };
+            events_lost.fetch_add(page.lost, Ordering::Relaxed);
+            cursor.1 = page.next_seq;
+            let mut tl = timeline.lock().expect("timeline");
+            let label = &shared.labels[i];
+            tl.extend(page.events.into_iter().map(|e| (label.clone(), e)));
+        }
+        if final_pass {
+            return;
+        }
+        thread::sleep(Duration::from_millis(scrape_ms));
+    }
+}
+
+fn main() {
+    let mirrors: usize = arg("--mirrors", 3);
+    let depth: usize = arg("--depth", 2);
+    let clients: usize = arg("--clients", 200);
+    let ring: u32 = arg("--ring", 24);
+    let refresh_ms: u64 = arg("--refresh-ms", 100);
+    let scrape_ms: u64 = arg("--scrape-ms", 200);
+    let diurnal_ms: u64 = arg("--diurnal-ms", 1000);
+    let seed: u64 = arg("--seed", 42);
+    let faults_arg: String = arg("--faults", "kill-restart,chain-break,hostile".to_string());
+    let faults: Vec<String> = faults_arg
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    for f in &faults {
+        assert!(
+            matches!(f.as_str(), "kill-restart" | "chain-break" | "hostile"),
+            "unknown fault {f:?} (want kill-restart, chain-break or hostile)"
+        );
+    }
+    assert!(mirrors >= 1, "--mirrors must be at least 1");
+    assert!(depth >= 1, "--depth must be at least 1");
+
+    // ---- build the fleet: origin first, then mirrors in index order
+    // (every parent has a lower index, so each hop can bootstrap over
+    // the wire from an already-live node).
+    let breadth = mirrors.div_ceil(depth);
+    let parent_of = |m: usize| if m < breadth { 0 } else { m - breadth + 1 };
+
+    let mut engines: Vec<Arc<QueryEngine>> = Vec::with_capacity(mirrors + 1);
+    let mut servers: Vec<Option<NetServer>> = Vec::with_capacity(mirrors + 1);
+    let mut addrs: Vec<Mutex<String>> = Vec::with_capacity(mirrors + 1);
+    let mut labels: Vec<String> = Vec::with_capacity(mirrors + 1);
+
+    let origin_engine = Arc::new(QueryEngine::new(
+        Arc::new(sim_atlas(ring, 0)),
+        sim_service_config(),
+    ));
+    let origin = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&origin_engine),
+        sim_server_config(),
+    )
+    .expect("bind origin");
+    addrs.push(Mutex::new(origin.local_addr().to_string()));
+    labels.push("origin".to_string());
+    engines.push(origin_engine);
+    servers.push(Some(origin));
+
+    for m in 0..mirrors {
+        let parent = parent_of(m);
+        let parent_addr = addrs[parent].lock().expect("addr table").clone();
+        let mut source = MirrorSource::connect(&parent_addr, ShardId::DEFAULT)
+            .unwrap_or_else(|e| panic!("m{m}: connect upstream {parent_addr}: {e}"));
+        let engine = Arc::new(
+            QueryEngine::bootstrap(&mut source, sim_service_config())
+                .unwrap_or_else(|e| panic!("m{m}: bootstrap from {parent_addr}: {e}")),
+        );
+        let server =
+            NetServer::bind_single("127.0.0.1:0", Arc::clone(&engine), sim_server_config())
+                .unwrap_or_else(|e| panic!("m{m}: bind: {e}"));
+        eprintln!(
+            "m{m}: mirroring node {} ({parent_addr}) at {}",
+            labels[parent],
+            server.local_addr()
+        );
+        addrs.push(Mutex::new(server.local_addr().to_string()));
+        labels.push(format!("m{m}"));
+        engines.push(engine);
+        servers.push(Some(server));
+    }
+
+    let shared = Arc::new(Shared {
+        addrs,
+        labels,
+        stop: AtomicBool::new(false),
+        fault_open: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        failed_outside: AtomicU64::new(0),
+        failed_inside: AtomicU64::new(0),
+        zipf_cum: zipf_cum(ring, 1.1),
+    });
+
+    // ---- refresh loops (one per mirror) + journal scraper + workers.
+    let pauses: Vec<Arc<AtomicBool>> = (0..mirrors)
+        .map(|_| Arc::new(AtomicBool::new(false)))
+        .collect();
+    let mut threads = Vec::new();
+    for m in 0..mirrors {
+        let engine = Arc::clone(&engines[m + 1]);
+        let paused = Arc::clone(&pauses[m]);
+        let shared = Arc::clone(&shared);
+        let upstream = parent_of(m);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("refresh-m{m}"))
+                .spawn(move || refresh_loop(engine, upstream, refresh_ms, paused, shared))
+                .expect("spawn refresh loop"),
+        );
+    }
+    let timeline = Arc::new(Mutex::new(Vec::new()));
+    let events_lost = Arc::new(AtomicU64::new(0));
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&scrape_stop);
+        let timeline = Arc::clone(&timeline);
+        let lost = Arc::clone(&events_lost);
+        thread::Builder::new()
+            .name("scraper".into())
+            .spawn(move || scraper_loop(shared, stop, scrape_ms, timeline, lost))
+            .expect("spawn scraper")
+    };
+    for i in 0..clients {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("worker-{i}"))
+                .spawn(move || worker_loop(i, ring, seed, diurnal_ms, shared))
+                .expect("spawn worker"),
+        );
+    }
+
+    // Warm up: let every worker connect and the fleet serve steadily.
+    thread::sleep(Duration::from_millis(400));
+
+    // ---- the fault script, one injection at a time.
+    let recovery_timeout = Duration::from_secs(20);
+    let mut origin_day = 0u32;
+    let mut fault_records = Vec::new();
+    let started = Instant::now();
+    for fault in &faults {
+        match fault.as_str() {
+            // Kill a leaf mirror's server, land a delta while it is
+            // dark, rebind, and time kill → first generation_swap.
+            "kill-restart" => {
+                let victim = mirrors; // node index of the last mirror (a leaf)
+                let label = shared.labels[victim].clone();
+                let fault_t = now_ms();
+                shared.fault_open.fetch_add(1, Ordering::SeqCst);
+                pauses[victim - 1].store(true, Ordering::SeqCst);
+                let server = servers[victim].take().expect("victim server is live");
+                server.shutdown();
+                drop(server);
+                eprintln!("fault kill-restart: {label} is dark");
+                origin_day = push_delta(&engines[0], ring, origin_day);
+                thread::sleep(Duration::from_millis(300));
+                let server = NetServer::bind_single(
+                    "127.0.0.1:0",
+                    Arc::clone(&engines[victim]),
+                    sim_server_config(),
+                )
+                .expect("rebind the killed mirror");
+                *shared.addrs[victim].lock().expect("addr table") = server.local_addr().to_string();
+                eprintln!(
+                    "fault kill-restart: {label} back at {}",
+                    server.local_addr()
+                );
+                servers[victim] = Some(server);
+                pauses[victim - 1].store(false, Ordering::SeqCst);
+                let ev = await_event(
+                    &shared,
+                    victim,
+                    EventKind::GenerationSwap,
+                    fault_t,
+                    recovery_timeout,
+                );
+                // Let stragglers on the old socket surface inside the
+                // window before it closes.
+                thread::sleep(Duration::from_millis(200));
+                shared.fault_open.fetch_sub(1, Ordering::SeqCst);
+                record_fault(&mut fault_records, "kill-restart", &label, fault_t, ev);
+            }
+            // Stall a mirror's refresh while the origin publishes more
+            // deltas than it retains, then time resume → full_resync.
+            "chain-break" => {
+                let victim = 1; // node index of mirror 0
+                let label = shared.labels[victim].clone();
+                pauses[victim - 1].store(true, Ordering::SeqCst);
+                // Let an in-flight refresh tick drain before breaking
+                // the chain under it.
+                thread::sleep(Duration::from_millis(refresh_ms * 2));
+                eprintln!(
+                    "fault chain-break: {label} stalled; origin publishes {} deltas",
+                    DELTA_LOG_CAP + 2
+                );
+                for _ in 0..DELTA_LOG_CAP + 2 {
+                    origin_day = push_delta(&engines[0], ring, origin_day);
+                }
+                let fault_t = now_ms();
+                pauses[victim - 1].store(false, Ordering::SeqCst);
+                let ev = await_event(
+                    &shared,
+                    victim,
+                    EventKind::FullResync,
+                    fault_t,
+                    recovery_timeout,
+                );
+                record_fault(&mut fault_records, "chain-break", &label, fault_t, ev);
+            }
+            // Flood the origin with unacknowledged batches past the
+            // in-flight cap; the episode width is the recovery.
+            "hostile" => {
+                let label = shared.labels[0].clone();
+                let fault_t = now_ms();
+                shared.fault_open.fetch_add(1, Ordering::SeqCst);
+                eprintln!("fault hostile: pipelining past the in-flight cap at {label}");
+                let flood: Vec<(Ipv4, Ipv4)> = (0..ring)
+                    .flat_map(|s| [(ring_ip(s), ring_ip((s + 1) % ring))])
+                    .collect();
+                let mut pipeliner =
+                    NetClient::connect(shared.addr(0)).expect("hostile pipeliner connects");
+                let depth = sim_server_config().max_inflight * 8;
+                let mut submitted = 0usize;
+                for _ in 0..depth {
+                    if pipeliner.submit_batch(&flood).is_err() {
+                        break; // server hung up on us: mission accomplished
+                    }
+                    submitted += 1;
+                }
+                for _ in 0..submitted {
+                    if pipeliner.recv().is_err() {
+                        break;
+                    }
+                }
+                drop(pipeliner);
+                let start = await_event(
+                    &shared,
+                    0,
+                    EventKind::OverloadStart,
+                    fault_t,
+                    recovery_timeout,
+                );
+                let ev = start.as_ref().and_then(|s| {
+                    await_event(&shared, 0, EventKind::OverloadEnd, s.t_ms, recovery_timeout)
+                });
+                thread::sleep(Duration::from_millis(200));
+                shared.fault_open.fetch_sub(1, Ordering::SeqCst);
+                let episode_start = start.map(|s| s.t_ms).unwrap_or(fault_t);
+                record_fault(&mut fault_records, "hostile", &label, episode_start, ev);
+            }
+            _ => unreachable!("validated above"),
+        }
+        // Steady-state gap between injections.
+        thread::sleep(Duration::from_millis(300));
+    }
+
+    // ---- drain: steady tail, then stop workers, then one final
+    // scrape pass (servers still up), then tear the fleet down.
+    thread::sleep(Duration::from_millis(400));
+    shared.stop.store(true, Ordering::SeqCst);
+    for t in threads {
+        let _ = t.join();
+    }
+    scrape_stop.store(true, Ordering::SeqCst);
+    let _ = scraper.join();
+    let duration_ms = started.elapsed().as_millis() as u64;
+    for s in servers.iter().flatten() {
+        s.shutdown();
+    }
+
+    // ---- merge and report.
+    let mut merged = timeline.lock().expect("timeline").clone();
+    merged.sort_by(|(na, a), (nb, b)| (a.t_ms, a.seq, na).cmp(&(b.t_ms, b.seq, nb)));
+    let conn_events = merged
+        .iter()
+        .filter(|(_, e)| matches!(e.kind, EventKind::ConnAccepted | EventKind::ConnClosed))
+        .count();
+    let timeline_json: Vec<String> = merged
+        .iter()
+        .filter(|(_, e)| !matches!(e.kind, EventKind::ConnAccepted | EventKind::ConnClosed))
+        .map(|(node, e)| {
+            format!(
+                "{{\"node\":{},\"seq\":{},\"t_ms\":{},\"kind\":{},\"detail\":{}}}",
+                json_str(node),
+                e.seq,
+                e.t_ms,
+                json_str(e.kind.name()),
+                json_str(&e.detail)
+            )
+        })
+        .collect();
+    // The contract line: exactly one JSON record on stdout.
+    println!(
+        "{{\"bench\":\"fleet_sim\",\"ring\":{ring},\"mirrors\":{mirrors},\"depth\":{depth},\
+         \"clients\":{clients},\"duration_ms\":{duration_ms},\"origin_day\":{origin_day},\
+         \"queries\":{},\"failed_queries\":{},\"failed_in_fault_windows\":{},\
+         \"events\":{},\"conn_events\":{conn_events},\"events_lost\":{},\
+         \"faults\":[{}],\"timeline\":[{}]}}",
+        shared.served.load(Ordering::Relaxed),
+        shared.failed_outside.load(Ordering::Relaxed),
+        shared.failed_inside.load(Ordering::Relaxed),
+        merged.len(),
+        events_lost.load(Ordering::Relaxed),
+        fault_records.join(","),
+        timeline_json.join(","),
+    );
+}
+
+/// A JSON string literal (quotes, backslashes and control bytes
+/// escaped) — journal details may quote upstream error messages.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One per-fault result row: the recovery latency is event-to-event
+/// (injection timestamp to the journal event that proves recovery),
+/// or -1 if the fleet never journaled recovery inside the timeout.
+fn record_fault(out: &mut Vec<String>, fault: &str, node: &str, fault_t: u64, ev: Option<Event>) {
+    let recovery_ms: i64 = ev
+        .as_ref()
+        .map(|e| e.t_ms.saturating_sub(fault_t) as i64)
+        .unwrap_or(-1);
+    let recovered_by = ev
+        .as_ref()
+        .map(|e| json_str(e.kind.name()))
+        .unwrap_or_else(|| "null".to_string());
+    eprintln!(
+        "fault {fault}: node={node} recovery_ms={recovery_ms} via={}",
+        ev.as_ref().map(|e| e.kind.name()).unwrap_or("timeout"),
+    );
+    out.push(format!(
+        "{{\"fault\":{},\"node\":{},\"injected_t_ms\":{fault_t},\"recovery_ms\":{recovery_ms},\
+         \"recovered_by\":{recovered_by}}}",
+        json_str(fault),
+        json_str(node),
+    ));
+}

@@ -18,8 +18,12 @@
 //! mirror works: the §5 swarm, spelled as a chain of ordinary servers.
 //!
 //! `--metrics-text ADDR` additionally serves the server's unified
-//! metrics registry as Prometheus text exposition over one-shot
-//! HTTP/1.0 on `ADDR` — `curl http://ADDR/metrics` from any scraper.
+//! metrics registry as Prometheus text exposition over HTTP/1.0 on
+//! `ADDR` — `curl http://ADDR/metrics` from any scraper. The page ends
+//! with two comment sections: the event journal's retained timeline
+//! (`# EVENT seq=...`) and the drained slow-query log (`# SLOW ...`).
+//! `GET /healthz` answers `ok <day> <epoch>` for shard 0, for probes
+//! that only want liveness plus the served generation.
 //! `--demo-swap-ms MS` applies one synthetic ring delta to shard 0
 //! after `MS` milliseconds (ring worlds only), so demos and smoke
 //! tests can watch a mid-run generation swap ripple through the
@@ -41,6 +45,7 @@ use inano_net::cli::{arg, repeated};
 use inano_net::demo::{ring_atlas, ring_predictor_config, ring_shortcut_delta};
 use inano_net::{Limits, MirrorSource, NetClient, NetServer, ServerConfig};
 use inano_obs::textserve::{render_prometheus, MetricsTextServer};
+use inano_obs::EventKind;
 use inano_service::{RegistryConfig, ShardId, ShardRegistry, ShardSpec};
 use std::io::Write;
 use std::sync::atomic::Ordering;
@@ -220,11 +225,29 @@ fn main() {
     let registry =
         Arc::new(ShardRegistry::build(specs, reg_cfg).expect("build the shard registry"));
 
+    let server = NetServer::bind(
+        format!("{bind}:{port}"),
+        Arc::clone(&registry),
+        ServerConfig {
+            max_conns,
+            max_inflight,
+            max_request_bytes,
+            limits: Limits {
+                max_frame_bytes,
+                max_batch,
+            },
+        },
+    )
+    .expect("bind server socket");
+
     // The refresh loop: poll the upstream for daily deltas and land
     // them on the local shards; downstream mirrors then fetch the same
-    // deltas from *us* (the engine retains what it applies).
+    // deltas from *us* (the engine retains what it applies). Spawned
+    // after the bind so failures can land on the server's event
+    // journal — serving starts at bind either way.
     if !mirror_sources.is_empty() && refresh_ms > 0 {
         let registry = Arc::clone(&registry);
+        let journal = Arc::clone(server.journal());
         let upstream = mirror.clone();
         std::thread::Builder::new()
             .name("inano-mirror-refresh".into())
@@ -248,6 +271,10 @@ fn main() {
                                 ),
                                 Err(e) => {
                                     eprintln!("{id}: resync check failed: {e}; reconnecting");
+                                    journal.emit(
+                                        EventKind::MirrorRefreshFailed,
+                                        format!("{id} resync: {e}"),
+                                    );
                                     match mirror_source(&upstream, *id) {
                                         Ok(fresh) => *source = fresh,
                                         Err(e) => {
@@ -269,6 +296,10 @@ fn main() {
                                 // continues on the last good atlas
                                 // either way.
                                 eprintln!("{id}: refresh failed: {e}; reconnecting upstream");
+                                journal.emit(
+                                    EventKind::MirrorRefreshFailed,
+                                    format!("{id} refresh: {e}"),
+                                );
                                 match mirror_source(&upstream, *id) {
                                     Ok(fresh) => *source = fresh,
                                     Err(e) => {
@@ -283,30 +314,51 @@ fn main() {
             .expect("spawn mirror refresh thread");
     }
 
-    let server = NetServer::bind(
-        format!("{bind}:{port}"),
-        Arc::clone(&registry),
-        ServerConfig {
-            max_conns,
-            max_inflight,
-            max_request_bytes,
-            limits: Limits {
-                max_frame_bytes,
-                max_batch,
-            },
-        },
-    )
-    .expect("bind server socket");
-
     // The scrape plane: the same registry dump the wire's `Metrics`
     // frame answers, rendered as Prometheus text for anything that
-    // speaks HTTP instead of the inano protocol.
+    // speaks HTTP instead of the inano protocol, with the event
+    // journal's retained timeline and the drained slow-query log
+    // appended as comment sections. `/healthz` answers liveness plus
+    // the shard-0 generation for probes that don't parse metrics.
     let _metrics_text = if metrics_text.is_empty() {
         None
     } else {
         let obs = Arc::clone(server.metrics());
-        let http = MetricsTextServer::bind(metrics_text.as_str(), move || {
-            render_prometheus(&obs.dump())
+        let journal = Arc::clone(server.journal());
+        let slow = Arc::clone(server.slow_log());
+        let reg = Arc::clone(&registry);
+        let http = MetricsTextServer::bind(metrics_text.as_str(), move |path| match path {
+            "/healthz" => {
+                let (epoch, day) = reg.epoch(ShardId(0)).unwrap_or((0, 0));
+                Some(format!("ok {day} {epoch}\n"))
+            }
+            p if p == "/" || p.starts_with("/metrics") => {
+                let mut body = render_prometheus(&obs.dump());
+                let page = journal.since(0);
+                body.push_str(&format!(
+                    "# EVENTS retained={} lost={} next_seq={}\n",
+                    page.events.len(),
+                    page.lost,
+                    page.next_seq
+                ));
+                for e in &page.events {
+                    body.push_str(&format!(
+                        "# EVENT seq={} t_ms={} kind={} detail={:?}\n",
+                        e.seq,
+                        e.t_ms,
+                        e.kind.name(),
+                        e.detail
+                    ));
+                }
+                for s in slow.drain() {
+                    body.push_str(&format!(
+                        "# SLOW latency_us={} what={:?}\n",
+                        s.latency_us, s.what
+                    ));
+                }
+                Some(body)
+            }
+            _ => None,
         })
         .expect("bind --metrics-text socket");
         eprintln!("metrics-text: http://{}/metrics", http.local_addr());

@@ -19,7 +19,7 @@ use crate::wire::{read_frame, write_frame, Frame, Limits, ReadError, WireFault, 
 use crate::wire::{WirePath, WireResolution, WireShardInfo, WireStats};
 use inano_core::{AtlasChunk, AtlasSource, AtlasVersion, DeltaHandle};
 use inano_model::{ErrorCode, Ipv4, ModelError};
-use inano_obs::{MetricsDump, TraceTimings};
+use inano_obs::{EventsPage, MetricsDump, TraceTimings};
 use inano_service::ShardId;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -238,6 +238,18 @@ impl NetClient {
         match self.call(&Frame::Metrics)? {
             Frame::MetricsReply { dump } => Ok(dump),
             other => Err(unexpected("MetricsReply", &other)),
+        }
+    }
+
+    /// Page the server's event journal from `since_seq`: the causal
+    /// timeline behind the metrics (swaps, resyncs, overload episodes,
+    /// connection churn). Poll with the returned page's `next_seq`;
+    /// its `lost` count reports ring overwrites instead of hiding
+    /// them. Pass 0 to read everything the ring retains.
+    pub fn events(&mut self, since_seq: u64) -> Result<EventsPage, NetError> {
+        match self.call(&Frame::Events { since_seq })? {
+            Frame::EventsReply { page } => Ok(page),
+            other => Err(unexpected("EventsReply", &other)),
         }
     }
 

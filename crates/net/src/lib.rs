@@ -6,17 +6,18 @@
 //!
 //! Three layers, separable and individually tested:
 //!
-//! * [`wire`] — a compact length-prefixed binary protocol, version 4
+//! * [`wire`] — a compact length-prefixed binary protocol, version 5
 //!   (magic, version, request id, typed frames: `QueryBatch`,
 //!   `Resolve`, `Stats`, `Epoch` — each carrying an optional shard id,
 //!   default shard 0 — plus `ListShards`, `Ping`, the atlas
 //!   dissemination frames `AtlasHead`/`FetchFullChunk`/`FetchDelta`/
 //!   `FetchDeltaChunk`, the observability frames `Metrics`/
 //!   `MetricsReply`/`TraceReply` with the [`wire::TRACE_FLAG`]
-//!   request-id bit opting a request into a stage-timing trailer, and
-//!   typed error frames carrying [`inano_model::ErrorCode`]s), with
-//!   receiver-side [`Limits`] on frame and batch size — v3 clients
-//!   interoperate unchanged;
+//!   request-id bit opting a request into a stage-timing trailer, the
+//!   event-journal frames `Events`/`EventsReply` paging the server's
+//!   causal timeline, and typed error frames carrying
+//!   [`inano_model::ErrorCode`]s), with receiver-side [`Limits`] on
+//!   frame and batch size — v3/v4 clients interoperate unchanged;
 //! * [`server`] — a threaded TCP server ([`NetServer`], shipped as the
 //!   `inano-serve` binary) hosting a whole
 //!   [`inano_service::ShardRegistry`] of independent atlas shards

@@ -53,6 +53,13 @@
 //! (non-error) reply carrying the decode → queue → engine → encode
 //! breakdown, and every request is offered to a slow-query ring
 //! ([`NetServer::slow_log`]) keyed on its responder-side latency.
+//! Alongside the counters runs the event journal
+//! ([`NetServer::journal`], paged by `Frame::Events`): connection
+//! accept/close, overload episode open/close (edge-triggered — a
+//! burst of rejections is two events), and — via
+//! [`QueryEngine::set_journal`] wiring at bind — every shard's
+//! generation swaps, delta applications, full resyncs and recovered
+//! races, all on one monotonically sequenced timeline.
 //!
 //! ## Shutdown
 //!
@@ -65,7 +72,7 @@
 use crate::wire::{chunk_size_for, read_frame_timed, write_frame, Frame, Limits, ReadError};
 use crate::wire::{WireFault, WirePath, WireResolution, WireShardInfo, WireStats, TRACE_FLAG};
 use inano_model::{ErrorCode, ModelError};
-use inano_obs::{MetricValue, MetricsRegistry, SlowLog, TraceCtx};
+use inano_obs::{EventJournal, EventKind, MetricValue, MetricsRegistry, SlowLog, TraceCtx};
 use inano_service::{QueryEngine, ShardRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -83,6 +90,11 @@ const SLOW_LOG_CAPACITY: usize = 128;
 /// Default responder-side latency past which a request is logged as
 /// slow; retune live via [`NetServer::slow_log`].
 const SLOW_LOG_THRESHOLD_US: u64 = 10_000;
+
+/// Events the journal ring retains. Sized for minutes of fleet churn
+/// between scrapes; a lapped scraper sees a `lost` count, never a gap
+/// it can't detect.
+const EVENT_JOURNAL_CAPACITY: usize = 1024;
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -133,6 +145,13 @@ struct Shared {
     registry: Arc<ShardRegistry>,
     obs: Arc<MetricsRegistry>,
     slow: Arc<SlowLog>,
+    journal: Arc<EventJournal>,
+    /// True while the server is inside an overload episode: set by the
+    /// first shed (admission refusal, in-flight cap, memory budget),
+    /// cleared by the first request served normally afterwards. The
+    /// transitions — not every shed — land in the journal, so a burst
+    /// of ten thousand rejections is two events, not ten thousand.
+    overloaded_now: AtomicBool,
     cfg: ServerConfig,
     shutdown: AtomicBool,
     active: AtomicUsize,
@@ -150,6 +169,23 @@ struct Shared {
     /// their reader threads.
     streams: Mutex<HashMap<u64, TcpStream>>,
     handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Record one shed request/connection, opening an overload episode
+    /// if none is running.
+    fn note_shed(&self, why: &str) {
+        if !self.overloaded_now.swap(true, Ordering::Relaxed) {
+            self.journal.emit(EventKind::OverloadStart, why);
+        }
+    }
+
+    /// Record a normally served request, closing any open episode.
+    fn note_served(&self) {
+        if self.overloaded_now.swap(false, Ordering::Relaxed) {
+            self.journal.emit(EventKind::OverloadEnd, "");
+        }
+    }
 }
 
 /// A running server; dropping it shuts it down.
@@ -170,10 +206,18 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let obs = Arc::new(MetricsRegistry::new());
+        let journal = Arc::new(EventJournal::new(EVENT_JOURNAL_CAPACITY));
+        // Hand every shard engine the journal so swaps, deltas and
+        // resyncs land on the same timeline as the listener's events.
+        for (id, engine) in registry.iter() {
+            engine.set_journal(Arc::clone(&journal), format!("shard{}", id.raw()));
+        }
         let shared = Arc::new(Shared {
             registry,
             obs,
             slow: Arc::new(SlowLog::new(SLOW_LOG_CAPACITY, SLOW_LOG_THRESHOLD_US)),
+            journal,
+            overloaded_now: AtomicBool::new(false),
             cfg,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
@@ -240,6 +284,15 @@ impl NetServer {
         &self.shared.slow
     }
 
+    /// The server's event journal: the causal timeline behind the
+    /// counters. Shard engines emit their swap/delta/resync events
+    /// into it, the listener adds connection churn and overload
+    /// episodes, and `Frame::Events` pages it over the wire. Callers
+    /// (the mirror refresh loop, the swarm layer) may emit their own.
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.shared.journal
+    }
+
     pub fn counters(&self) -> ServerCounters {
         ServerCounters {
             active: self.shared.active.load(Ordering::Relaxed),
@@ -297,6 +350,13 @@ fn attach_server_collector(shared: &Arc<Shared>) {
         out.push((
             "srv.request_bytes_peak".into(),
             gauge(s.request_bytes_peak.load(Ordering::Relaxed)),
+        ));
+        // One past the newest journal seq: a scraper whose cursor
+        // trails this by more than the ring capacity knows it lost
+        // events even without issuing an `Events` request.
+        out.push((
+            "srv.events_head".into(),
+            MetricValue::Gauge(s.journal.head_seq()),
         ));
     });
 }
@@ -393,6 +453,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             shared.faults.fetch_add(1, Ordering::Relaxed);
+            shared.note_shed("connection limit reached");
             let _ = refuse(
                 stream,
                 ErrorCode::Overloaded,
@@ -420,6 +481,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         shared.accepted.fetch_add(1, Ordering::Relaxed);
         let conn_id = next_id;
         next_id += 1;
+        shared
+            .journal
+            .emit(EventKind::ConnAccepted, format!("conn={conn_id}"));
         shared.streams.lock().insert(conn_id, clone);
         let worker = {
             let shared = Arc::clone(&shared);
@@ -429,6 +493,9 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     let _ = serve_connection(stream, &shared);
                     shared.streams.lock().remove(&conn_id);
                     shared.active.fetch_sub(1, Ordering::SeqCst);
+                    shared
+                        .journal
+                        .emit(EventKind::ConnClosed, format!("conn={conn_id}"));
                 })
                 .expect("spawn connection handler")
         };
@@ -514,6 +581,7 @@ fn frame_cost(frame: &Frame) -> usize {
             })
             .sum(),
         Frame::ShardsReply { shards } => shards.len() * std::mem::size_of::<WireShardInfo>(),
+        Frame::EventsReply { page } => page.events.iter().map(|e| 64 + e.detail.len()).sum(),
         Frame::Error { fault } => fault.message.len(),
         _ => 0,
     }
@@ -679,12 +747,16 @@ fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
                 let reply = respond(
                     shared.registry.as_ref(),
                     shared.obs.as_ref(),
+                    shared.journal.as_ref(),
                     &frame,
                     &shared.cfg.limits,
                 );
                 if let Some(t) = trace.as_mut() {
                     t.served();
                 }
+                // A request the server had room to serve closes any
+                // open overload episode.
+                shared.note_served();
                 let batch = match &frame {
                     Frame::QueryBatch { pairs, .. } => pairs.len(),
                     _ => 0,
@@ -696,6 +768,7 @@ fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
             }
             Work::Reject { request_id, reason } => {
                 shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                shared.note_shed(reason);
                 count_fault = false;
                 let fault = WireFault::new(ErrorCode::Overloaded, reason);
                 (request_id, Frame::Error { fault }, false)
@@ -741,12 +814,16 @@ fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
 fn respond(
     registry: &ShardRegistry,
     obs: &MetricsRegistry,
+    journal: &EventJournal,
     frame: &Frame,
     limits: &Limits,
 ) -> Frame {
     match frame {
         Frame::Ping => Frame::Pong,
         Frame::Metrics => Frame::MetricsReply { dump: obs.dump() },
+        Frame::Events { since_seq } => Frame::EventsReply {
+            page: journal.since(*since_seq),
+        },
         Frame::QueryBatch { shard, pairs } => match registry.engine(*shard) {
             Ok(engine) => Frame::PathBatch {
                 results: engine
@@ -868,6 +945,7 @@ fn respond(
         | Frame::DeltaReply { .. }
         | Frame::ChunkReply { .. }
         | Frame::MetricsReply { .. }
+        | Frame::EventsReply { .. }
         | Frame::TraceReply { .. }
         | Frame::Error { .. } => Frame::Error {
             fault: WireFault::new(

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! magic      u32  0x694E614E ("iNaN")
-//! version    u8   4
+//! version    u8   5
 //! frame type u8   see the FT_* constants
 //! request id u64  echoed verbatim in the reply
 //! payload    u32  payload length in bytes
@@ -82,6 +82,23 @@
 //!   no trailer — both sides apply that rule, so pipelining stays
 //!   aligned.
 //!
+//! ## Version 5: the event journal
+//!
+//! v5 is again strictly additive (the accept window stays
+//! [`MIN_VERSION`]`..=`[`VERSION`]; every v3/v4 frame encodes
+//! byte-identically). One addition: `Events { since_seq }` →
+//! `EventsReply` pages the server's [`inano_obs::EventJournal`] — the
+//! typed, monotonically sequenced ring behind the counters
+//! (generation swaps, delta applications, full resyncs, overload
+//! episodes, connection churn, mirror refresh failures). The reply
+//! carries the events at or past `since_seq` in ascending `seq` order,
+//! plus `lost` (requested sequence numbers the bounded ring had
+//! already overwritten — overflow is *reported*, never silent) and
+//! `next_seq` (the cursor to poll with). Event kinds travel as stable
+//! u8 codes ([`inano_obs::EventKind::code`]); a code this build
+//! doesn't know is skipped at decode, not a fault, so newer servers
+//! can add kinds without breaking older scrapers.
+//!
 //! ## Error handling
 //!
 //! Decoding distinguishes two failure severities, and the distinction
@@ -102,19 +119,18 @@
 
 use inano_core::{AtlasVersion, DeltaHandle, PredictedPath, Resolution, DEFAULT_CHUNK_SIZE};
 use inano_model::{Asn, ClusterId, ErrorCode, Ipv4, LatencyMs, LossRate, ModelError, PrefixId};
-use inano_obs::{MetricValue, MetricsDump, TraceTimings};
+use inano_obs::{Event, EventKind, EventsPage, MetricValue, MetricsDump, TraceTimings};
 use inano_service::{ServiceStats, ShardId};
 use std::io::{self, Read, Write};
 use std::time::Instant;
 
 /// `"iNaN"` in ASCII.
 pub const MAGIC: u32 = 0x694E_614E;
-/// Current protocol version (4: observability — `Metrics` dumps and
-/// the `TRACE_FLAG` timing trailer).
-pub const VERSION: u8 = 4;
-/// Oldest version this receiver still accepts. v4 added only new frame
-/// types, so every v3 frame is bit-identical under v4 and refusing it
-/// would break working peers for nothing.
+/// Current protocol version (5: the event journal — `Events` pages).
+pub const VERSION: u8 = 5;
+/// Oldest version this receiver still accepts. v4 and v5 added only
+/// new frame types, so every v3/v4 frame is bit-identical under v5 and
+/// refusing one would break working peers for nothing.
 pub const MIN_VERSION: u8 = 3;
 /// Most log₂ latency buckets accepted in one histogram on the wire —
 /// shared by `StatsReply` and `MetricsReply` (the engine ships 40;
@@ -126,6 +142,10 @@ pub const HEADER_BYTES: usize = 18;
 /// Most entries accepted in one `MetricsReply` (a serve process has a
 /// few dozen per shard; thousands of shards is beyond this protocol).
 pub const MAX_METRICS_ENTRIES: usize = 16_384;
+/// Most events in one `EventsReply` — comfortably above any journal
+/// ring capacity in use, low enough that a hostile count can't force a
+/// large allocation.
+pub const MAX_EVENTS_ENTRIES: usize = 4096;
 
 /// Bit 63 of the request id: the client asks for a [`Frame::TraceReply`]
 /// trailer after the reply. Ids are client-chosen (ours count up from
@@ -145,6 +165,7 @@ pub const FT_FETCH_FULL_CHUNK: u8 = 0x08;
 pub const FT_FETCH_DELTA: u8 = 0x09;
 pub const FT_FETCH_DELTA_CHUNK: u8 = 0x0A;
 pub const FT_METRICS: u8 = 0x0B;
+pub const FT_EVENTS: u8 = 0x0C;
 pub const FT_PONG: u8 = 0x81;
 pub const FT_PATH_BATCH: u8 = 0x82;
 pub const FT_RESOLVE_REPLY: u8 = 0x83;
@@ -156,6 +177,7 @@ pub const FT_CHUNK_REPLY: u8 = 0x88;
 pub const FT_DELTA_REPLY: u8 = 0x89;
 pub const FT_TRACE_REPLY: u8 = 0x8A;
 pub const FT_METRICS_REPLY: u8 = 0x8B;
+pub const FT_EVENTS_REPLY: u8 = 0x8C;
 pub const FT_ERROR: u8 = 0xEE;
 
 /// Fixed `ChunkReply` payload overhead: chunk index (4) + checksum (8)
@@ -450,6 +472,14 @@ pub enum Frame {
     MetricsReply {
         dump: MetricsDump,
     },
+    /// Page the server-wide event journal from `since_seq` (v5; not
+    /// shard-scoped — an event's detail names its shard).
+    Events {
+        since_seq: u64,
+    },
+    EventsReply {
+        page: EventsPage,
+    },
     /// The timing trailer a [`TRACE_FLAG`]ged request earns, written
     /// immediately after its (non-`Error`) main reply under the same
     /// request id.
@@ -641,6 +671,8 @@ impl Frame {
             Frame::ChunkReply { .. } => FT_CHUNK_REPLY,
             Frame::Metrics => FT_METRICS,
             Frame::MetricsReply { .. } => FT_METRICS_REPLY,
+            Frame::Events { .. } => FT_EVENTS,
+            Frame::EventsReply { .. } => FT_EVENTS_REPLY,
             Frame::TraceReply { .. } => FT_TRACE_REPLY,
             Frame::Error { .. } => FT_ERROR,
         }
@@ -812,6 +844,20 @@ impl Frame {
                             }
                         }
                     }
+                }
+            }
+            Frame::Events { since_seq } => put_u64(buf, *since_seq),
+            Frame::EventsReply { page } => {
+                put_u64(buf, page.lost);
+                put_u64(buf, page.next_seq);
+                let n = page.events.len().min(MAX_EVENTS_ENTRIES);
+                debug_assert_eq!(n, page.events.len(), "events page beyond wire bounds");
+                put_u32(buf, n as u32);
+                for e in &page.events[..n] {
+                    put_u64(buf, e.seq);
+                    put_u64(buf, e.t_ms);
+                    buf.push(e.kind.code());
+                    put_str(buf, &e.detail);
                 }
             }
             Frame::TraceReply { timings } => {
@@ -1063,6 +1109,48 @@ impl Frame {
                 entries.sort_by(|a, b| a.0.cmp(&b.0));
                 Frame::MetricsReply {
                     dump: MetricsDump { entries },
+                }
+            }
+            FT_EVENTS => Frame::Events {
+                since_seq: c.u64()?,
+            },
+            FT_EVENTS_REPLY => {
+                let lost = c.u64()?;
+                let next_seq = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > MAX_EVENTS_ENTRIES {
+                    return Err(WireFault::new(
+                        ErrorCode::Malformed,
+                        format!("{n} events exceed limit {MAX_EVENTS_ENTRIES}"),
+                    ));
+                }
+                let mut events = Vec::new();
+                for _ in 0..n {
+                    let seq = c.u64()?;
+                    let t_ms = c.u64()?;
+                    let code = c.u8()?;
+                    let detail = c.string()?;
+                    // A kind this build doesn't know (a newer peer's
+                    // addition) is skipped, not a fault — the payload
+                    // was still consumed, so the stream stays aligned.
+                    if let Some(kind) = EventKind::from_code(code) {
+                        events.push(Event {
+                            seq,
+                            t_ms,
+                            kind,
+                            detail,
+                        });
+                    }
+                }
+                // Re-establish the ascending-seq invariant the journal
+                // promises; a hostile sender must not break mergers.
+                events.sort_by_key(|e| e.seq);
+                Frame::EventsReply {
+                    page: EventsPage {
+                        events,
+                        lost,
+                        next_seq,
+                    },
                 }
             }
             FT_TRACE_REPLY => Frame::TraceReply {
@@ -1460,21 +1548,24 @@ mod tests {
     }
 
     #[test]
-    fn a_version_3_frame_still_decodes_under_v4() {
-        // v4 added only new frame types; a v3 peer's frames are
-        // bit-identical except the version byte, and must keep working.
+    fn version_3_and_4_frames_still_decode_under_v5() {
+        // v4 and v5 added only new frame types; an older peer's frames
+        // are bit-identical except the version byte, and must keep
+        // working.
         let frame = Frame::QueryBatch {
             shard: ShardId(1),
             pairs: vec![(Ipv4(1), Ipv4(2))],
         };
         let mut bytes = frame.encode(6);
         assert_eq!(bytes[4], VERSION);
-        bytes[4] = 3;
-        let (id, got) = read_frame(&mut &bytes[..], &Limits::default())
-            .expect("v3 frame decodes")
-            .expect("not EOF");
-        assert_eq!(id, 6);
-        assert_eq!(got, frame);
+        for old in [3u8, 4] {
+            bytes[4] = old;
+            let (id, got) = read_frame(&mut &bytes[..], &Limits::default())
+                .expect("old-version frame decodes")
+                .expect("not EOF");
+            assert_eq!(id, 6);
+            assert_eq!(got, frame);
+        }
         // Anything outside the window stays a fatal BadVersion.
         for bad in [0u8, 2, VERSION + 1] {
             bytes[4] = bad;
@@ -1482,6 +1573,105 @@ mod tests {
                 Err(ReadError::Fatal(fault)) => assert_eq!(fault.code, ErrorCode::BadVersion),
                 other => panic!("want fatal BadVersion for {bad}, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn event_frames_round_trip() {
+        round_trip(Frame::Events { since_seq: 0 }, 40);
+        round_trip(
+            Frame::Events {
+                since_seq: u64::MAX,
+            },
+            41,
+        );
+        round_trip(
+            Frame::EventsReply {
+                page: EventsPage::default(),
+            },
+            42,
+        );
+        round_trip(
+            Frame::EventsReply {
+                page: EventsPage {
+                    events: vec![
+                        Event {
+                            seq: 3,
+                            t_ms: 1_700_000_000_123,
+                            kind: EventKind::FullResync,
+                            detail: "shard0 day=4".into(),
+                        },
+                        Event {
+                            seq: 4,
+                            t_ms: 1_700_000_000_456,
+                            kind: EventKind::ConnClosed,
+                            detail: String::new(),
+                        },
+                    ],
+                    lost: 2,
+                    next_seq: 5,
+                },
+            },
+            43,
+        );
+    }
+
+    #[test]
+    fn hostile_events_count_is_a_typed_malformed_fault() {
+        let mut bytes = Frame::EventsReply {
+            page: EventsPage::default(),
+        }
+        .encode(1);
+        // The empty page's payload ends with the u32 event count; claim
+        // far over the cap. The decoder must refuse at the count.
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&u32::MAX.to_be_bytes());
+        match read_frame(&mut &bytes[..], &Limits::default()) {
+            Err(ReadError::Frame { fault, .. }) => assert_eq!(fault.code, ErrorCode::Malformed),
+            other => panic!("want per-frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_event_kind_codes_are_skipped_not_faulted() {
+        let mut bytes = Frame::EventsReply {
+            page: EventsPage {
+                events: vec![
+                    Event {
+                        seq: 1,
+                        t_ms: 10,
+                        kind: EventKind::DeltaApplied,
+                        detail: "d".into(),
+                    },
+                    Event {
+                        seq: 2,
+                        t_ms: 11,
+                        kind: EventKind::ConnAccepted,
+                        detail: "x".into(),
+                    },
+                ],
+                lost: 0,
+                next_seq: 3,
+            },
+        }
+        .encode(9);
+        // Corrupt the second event's kind byte to a code from the
+        // future: count(4) + [seq(8) + t_ms(8) + kind(1) + len(2) +
+        // detail(1)] puts it 24 bytes before the end (kind + len +
+        // detail of the last event).
+        let at = bytes.len() - 4;
+        assert_eq!(bytes[at], EventKind::ConnAccepted.code());
+        bytes[at] = 250;
+        let (_, got) = read_frame(&mut &bytes[..], &Limits::default())
+            .expect("decodes")
+            .expect("not EOF");
+        match got {
+            Frame::EventsReply { page } => {
+                assert_eq!(page.events.len(), 1);
+                assert_eq!(page.events[0].kind, EventKind::DeltaApplied);
+                assert_eq!(page.next_seq, 3);
+            }
+            other => panic!("want events reply, got {other:?}"),
         }
     }
 

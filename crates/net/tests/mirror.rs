@@ -13,6 +13,7 @@ use inano_core::AtlasReader;
 use inano_model::{ErrorCode, Ipv4};
 use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
 use inano_net::{Limits, MirrorSource, NetClient, NetError, NetServer, ServerConfig};
+use inano_obs::EventKind;
 use inano_service::{MirrorStats, QueryEngine, ServiceConfig, ShardId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -249,6 +250,89 @@ fn mirror_lag_gauge_falls_after_refresh_and_resyncs_count_broken_chains() {
     assert_eq!(dump.gauge("shard0.mirror.lag_days"), 0);
     assert_eq!(dump.gauge("shard0.mirror.upstream_day"), 5);
     assert_eq!(dump.gauge("shard0.day"), 5);
+}
+
+/// The causal timeline of a mirror kill → restart, observed entirely
+/// over the wire: a mirror's server dies, a delta lands at the origin
+/// while it is dark, and the rebound server's journal shows exactly
+/// the expected recovery sequence — one `generation_swap` then one
+/// `delta_applied`, in seq order, with nothing lost.
+#[test]
+fn killed_and_restarted_mirror_journals_the_expected_recovery_sequence() {
+    let origin_engine = ring_engine(RING);
+    let origin = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&origin_engine),
+        ServerConfig::default(),
+    )
+    .expect("bind origin");
+    let mut upstream = MirrorSource::connect(origin.local_addr(), ShardId::DEFAULT)
+        .expect("connect mirror to origin");
+    let mirror_engine = Arc::new(
+        QueryEngine::bootstrap(&mut upstream, ring_service_config())
+            .expect("mirror bootstraps from the origin"),
+    );
+    let mirror = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&mirror_engine),
+        ServerConfig::default(),
+    )
+    .expect("bind mirror");
+
+    // Before the fault, the mirror's timeline holds only connection
+    // lifecycle — no swaps have happened on this node.
+    let mut probe = NetClient::connect(mirror.local_addr()).expect("probe connect");
+    let quiet = probe.events(0).expect("events");
+    assert_eq!(quiet.lost, 0);
+    assert!(quiet
+        .events
+        .iter()
+        .all(|e| matches!(e.kind, EventKind::ConnAccepted | EventKind::ConnClosed)));
+
+    // Kill the mirror's server; the delta lands while it is dark.
+    drop(probe);
+    mirror.shutdown();
+    drop(mirror);
+    origin_engine
+        .apply_delta(&ring_shortcut_delta(RING, 0))
+        .expect("origin applies the delta mid-outage");
+
+    // Restart: a fresh socket and a fresh journal over the same engine
+    // (a real process restart reloads its cached atlas the same way).
+    // The first refresh tick bridges the missed delta.
+    let mirror = NetServer::bind_single(
+        "127.0.0.1:0",
+        Arc::clone(&mirror_engine),
+        ServerConfig::default(),
+    )
+    .expect("rebind mirror");
+    assert_eq!(
+        mirror_engine.update(&mut upstream).expect("refresh"),
+        1,
+        "the restarted mirror pulls the delta it missed"
+    );
+
+    // Over the wire, the recovery is exactly one swap of one delta.
+    let mut probe = NetClient::connect(mirror.local_addr()).expect("probe reconnect");
+    let page = probe.events(0).expect("events after restart");
+    assert_eq!(page.lost, 0, "the fresh ring dropped nothing");
+    let recovery: Vec<_> = page
+        .events
+        .iter()
+        .filter(|e| !matches!(e.kind, EventKind::ConnAccepted | EventKind::ConnClosed))
+        .collect();
+    assert_eq!(recovery.len(), 2, "exactly the recovery pair: {recovery:?}");
+    assert_eq!(recovery[0].kind, EventKind::GenerationSwap);
+    assert_eq!(recovery[0].detail, "shard0 epoch=1 day=1");
+    assert_eq!(recovery[1].kind, EventKind::DeltaApplied);
+    assert_eq!(recovery[1].detail, "shard0 from=0 to=1");
+    assert!(recovery[0].seq < recovery[1].seq, "causal order holds");
+
+    // The cursor starts empty after the page: nothing is replayed.
+    let tail = probe.events(page.next_seq).expect("cursor page");
+    assert_eq!(tail.lost, 0);
+    assert!(tail.events.is_empty());
+    assert_eq!(mirror_engine.day(), 1);
 }
 
 /// An atlas bigger than `max_frame_bytes` must arrive as more chunks,

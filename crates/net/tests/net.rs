@@ -12,6 +12,7 @@ use inano_model::{ErrorCode, Ipv4};
 use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config, ring_shortcut_delta};
 use inano_net::wire::{read_frame, Frame, Limits, HEADER_BYTES, MAGIC, VERSION};
 use inano_net::{NetClient, NetError, NetServer, ServerConfig};
+use inano_obs::EventKind;
 use inano_service::{QueryEngine, ServiceConfig, ShardId, ShardRegistry};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -178,6 +179,85 @@ fn bad_version_gets_a_typed_error_then_close() {
         Frame::Error { fault } => assert_eq!(fault.code, ErrorCode::BadVersion),
         other => panic!("want error frame, got {other:?}"),
     }
+}
+
+/// Protocol additivity, over a live socket: frames exactly as a v3 or
+/// v4 client would send them (same bytes, older version stamp) must be
+/// served by a v5 server with no behavioral difference.
+#[test]
+fn v3_and_v4_clients_interop_unchanged_against_a_v5_server() {
+    let server = ring_server(ServerConfig::default());
+    for old in [3u8, 4] {
+        let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut bytes = Frame::Ping.encode(7);
+        bytes[4] = old;
+        raw.write_all(&bytes).expect("write ping");
+        let (id, reply) = read_frame(&mut raw, &Limits::default())
+            .expect("answered")
+            .expect("one frame");
+        assert_eq!(id, 7);
+        assert!(matches!(reply, Frame::Pong), "v{old} ping answered");
+
+        let mut bytes = Frame::QueryBatch {
+            shard: ShardId::DEFAULT,
+            pairs: vec![(ring_ip(0), ring_ip(3))],
+        }
+        .encode(8);
+        bytes[4] = old;
+        raw.write_all(&bytes).expect("write batch");
+        let (id, reply) = read_frame(&mut raw, &Limits::default())
+            .expect("answered")
+            .expect("one frame");
+        assert_eq!(id, 8);
+        match reply {
+            Frame::PathBatch { results } => {
+                assert_eq!(results.len(), 1);
+                assert!(results[0].is_ok(), "v{old} query served");
+            }
+            other => panic!("want PathBatch, got {other:?}"),
+        }
+    }
+}
+
+/// The event journal over the wire: the server's own admission shows
+/// up on the timeline, seqs never reorder, and the `since_seq` cursor
+/// pages losslessly — a second request picks up exactly what happened
+/// after the first.
+#[test]
+fn events_flow_over_the_wire_with_lossless_cursor_paging() {
+    let server = ring_server(ServerConfig::default());
+    let mut client = NetClient::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let page = client.events(0).expect("events");
+    assert_eq!(page.lost, 0);
+    assert!(
+        page.events
+            .iter()
+            .any(|e| e.kind == EventKind::ConnAccepted),
+        "our own admission is on the timeline"
+    );
+    assert!(
+        page.events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "a page is strictly seq-ordered"
+    );
+
+    // A swap lands between pages; the cursor returns exactly the new
+    // events, nothing replayed, nothing dropped.
+    engine0(&server)
+        .apply_delta(&ring_shortcut_delta(RING, 0))
+        .expect("swap");
+    let next = client.events(page.next_seq).expect("second page");
+    assert_eq!(next.lost, 0);
+    assert!(next.events.iter().all(|e| e.seq >= page.next_seq));
+    let kinds: Vec<EventKind> = next.events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::GenerationSwap));
+    assert!(kinds.contains(&EventKind::DeltaApplied));
+
+    // The scrape plane can see the journal's head without an Events
+    // request: the `srv.events_head` gauge.
+    let dump = client.metrics().expect("metrics");
+    assert!(dump.gauge("srv.events_head") >= next.next_seq);
 }
 
 #[test]

@@ -9,7 +9,9 @@ use inano_core::{AtlasVersion, DeltaHandle};
 use inano_model::{ErrorCode, Ipv4};
 use inano_net::wire::{read_frame, Frame, Limits, ReadError, CHUNK_WIRE_OVERHEAD, HEADER_BYTES};
 use inano_net::{chunk_size_for, WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
-use inano_obs::{MetricValue, MetricsDump, MetricsRegistry, TraceTimings};
+use inano_obs::{
+    Event, EventKind, EventsPage, MetricValue, MetricsDump, MetricsRegistry, TraceTimings,
+};
 use inano_service::ShardId;
 use proptest::prelude::*;
 
@@ -152,6 +154,47 @@ prop_compose! {
 }
 
 prop_compose! {
+    fn arb_event_kind()(code in 1u8..=9) -> EventKind {
+        EventKind::from_code(code).expect("codes 1..=9 are all defined")
+    }
+}
+
+prop_compose! {
+    // Strictly increasing seqs, as the journal guarantees and the
+    // decoder restores (it re-sorts by seq), so round-trip equality
+    // is fair.
+    fn arb_events_page()(
+        start in 0u64..1_000_000,
+        lost in any::<u64>(),
+        raw in proptest::collection::vec(
+            (
+                1u64..50,
+                any::<u32>(),
+                arb_event_kind(),
+                proptest::collection::vec(32u8..127, 0..40),
+            ),
+            0..10,
+        ),
+    ) -> EventsPage {
+        let mut seq = start;
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(gap, t_ms, kind, detail)| {
+                seq += gap;
+                Event {
+                    seq,
+                    t_ms: t_ms as u64,
+                    kind,
+                    detail: String::from_utf8(detail).expect("printable ASCII"),
+                }
+            })
+            .collect();
+        let next_seq = events.last().map(|e| e.seq + 1).unwrap_or(start);
+        EventsPage { events, lost, next_seq }
+    }
+}
+
+prop_compose! {
     fn arb_result()(
         is_ok in any::<bool>(),
         path in arb_path(),
@@ -165,7 +208,7 @@ prop_compose! {
 // exercised (the stand-in proptest has no `prop_oneof!`).
 prop_compose! {
     fn arb_frame()(
-        variant in 0usize..23,
+        variant in 0usize..25,
         shard in any::<u16>(),
         pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
         results in proptest::collection::vec(arb_result(), 0..20),
@@ -184,6 +227,7 @@ prop_compose! {
         fault in arb_fault(),
         dump in arb_dump(),
         timings in arb_timings(),
+        page in arb_events_page(),
     ) -> Frame {
         match variant {
             0 => Frame::Ping,
@@ -211,7 +255,9 @@ prop_compose! {
             19 => Frame::Error { fault },
             20 => Frame::Metrics,
             21 => Frame::MetricsReply { dump },
-            _ => Frame::TraceReply { timings },
+            22 => Frame::TraceReply { timings },
+            23 => Frame::Events { since_seq: epoch },
+            _ => Frame::EventsReply { page },
         }
     }
 }

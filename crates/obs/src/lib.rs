@@ -7,21 +7,25 @@
 //! histograms merge exactly, like `ServiceStats::aggregate`), the
 //! request-scoped [`TraceCtx`] that times a request through the
 //! decode → queue → engine → encode stages, the drainable [`SlowLog`]
-//! of the worst-latency requests, and a [`textserve`] module that
-//! renders a dump as Prometheus-style text exposition over a trivial
-//! HTTP/1.0 responder.
+//! of the worst-latency requests, the typed, monotonically sequenced
+//! [`EventJournal`] (the causal timeline behind the counters: swaps,
+//! resyncs, overload episodes, connection churn), and a [`textserve`]
+//! module that renders a dump as Prometheus-style text exposition over
+//! a trivial HTTP/1.0 responder.
 //!
 //! The crate is deliberately dependency-free (std only): it sits below
 //! `inano-service`, `inano-net` and `inano-swarm` in the workspace, so
 //! anything it pulled in would be paid by every layer above it.
 
 mod hist;
+mod journal;
 mod registry;
 mod slowlog;
 pub mod textserve;
 mod trace;
 
 pub use hist::{quantile_from_counts, LatencyHistogram, BUCKETS};
+pub use journal::{now_ms, Event, EventJournal, EventKind, EventsPage};
 pub use registry::{Counter, Gauge, MetricValue, MetricsDump, MetricsRegistry};
 pub use slowlog::{SlowEntry, SlowLog};
 pub use trace::{TraceCtx, TraceTimings};

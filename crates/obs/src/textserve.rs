@@ -2,11 +2,12 @@
 //! trivial HTTP/1.0 responder `inano-serve --metrics-text` mounts it
 //! on.
 //!
-//! The responder is deliberately not a web server: it reads and
-//! discards one request head, writes one `200 OK` with the rendered
-//! registry, and closes — exactly the subset `curl` and a Prometheus
-//! scraper need, with zero dependencies and no connection reuse to get
-//! wrong.
+//! The responder is deliberately not a web server: it parses only the
+//! request path, answers each request with a `200 OK` (or a `404` for
+//! a path the router declines), and keeps reading — a poller may hold
+//! one connection open and issue sequential requests without racing a
+//! reconnect, which is exactly the subset `curl`, a Prometheus
+//! scraper, and a CI health loop need, with zero dependencies.
 
 use crate::registry::{MetricValue, MetricsDump};
 use std::io::{self, BufRead, BufReader, Write};
@@ -73,12 +74,15 @@ pub struct MetricsTextServer {
 }
 
 impl MetricsTextServer {
-    /// Bind `addr` and serve `body()` to every HTTP request, each
-    /// rendered fresh at request time.
-    pub fn bind<A, F>(addr: A, body: F) -> io::Result<MetricsTextServer>
+    /// Bind `addr` and route every HTTP request through `route`: given
+    /// the request path (`"/metrics"`, `"/healthz"`, ...) it returns
+    /// the body to serve, rendered fresh at request time, or `None`
+    /// for a `404`. A connection is answered for as many sequential
+    /// requests as the peer sends before hanging up.
+    pub fn bind<A, F>(addr: A, route: F) -> io::Result<MetricsTextServer>
     where
         A: ToSocketAddrs,
-        F: Fn() -> String + Send + Sync + 'static,
+        F: Fn(&str) -> Option<String> + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -91,10 +95,10 @@ impl MetricsTextServer {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            // One request, one response, close. Errors
-                            // (a scraper hanging up early) only cost
-                            // that one connection.
-                            let _ = answer(stream, &body);
+                            // Serve the connection until the peer
+                            // closes. Errors (a scraper hanging up
+                            // mid-request) only cost that connection.
+                            let _ = answer(stream, &route);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(25));
@@ -116,31 +120,50 @@ impl MetricsTextServer {
     }
 }
 
-fn answer(stream: std::net::TcpStream, body: &dyn Fn() -> String) -> io::Result<()> {
+/// Serve one connection: read a request head, answer it, repeat until
+/// EOF. HTTP/1.0 pollers that close after one response cost nothing
+/// extra; pollers that keep the socket open get sequential answers
+/// without a reconnect race.
+fn answer(stream: std::net::TcpStream, route: &dyn Fn(&str) -> Option<String>) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(stream);
-    // Read up to the blank line ending the request head; the request
-    // line and headers are irrelevant — every path gets the metrics.
-    let mut line = String::new();
-    while reader.read_line(&mut line)? > 0 {
-        if line == "\r\n" || line == "\n" || line.trim().is_empty() {
-            break;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    loop {
+        // Request line: `GET /path HTTP/1.0`. EOF here is the normal
+        // end of the connection.
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line)? == 0 {
+            return Ok(());
         }
-        line.clear();
+        let path = request_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or("/")
+            .to_string();
+        // Drain the rest of the head up to the blank line.
+        let mut line = String::new();
+        while reader.read_line(&mut line)? > 0 {
+            if line == "\r\n" || line == "\n" || line.trim().is_empty() {
+                break;
+            }
+            line.clear();
+        }
+        let (status, text) = match route(&path) {
+            Some(body) => ("200 OK", body),
+            None => ("404 Not Found", format!("no such path: {path}\n")),
+        };
+        stream.write_all(
+            format!(
+                "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+                text.len()
+            )
+            .as_bytes(),
+        )?;
+        stream.write_all(text.as_bytes())?;
+        stream.flush()?;
     }
-    let text = body();
-    let mut stream = reader.into_inner();
-    stream.write_all(
-        format!(
-            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
-            text.len()
-        )
-        .as_bytes(),
-    )?;
-    stream.write_all(text.as_bytes())?;
-    stream.flush()
 }
 
 impl Drop for MetricsTextServer {
@@ -184,14 +207,24 @@ mod tests {
         assert!(text.contains("shard0_latency_us_count 3\n"));
     }
 
+    fn bind_counter_server() -> (Arc<MetricsRegistry>, MetricsTextServer) {
+        let reg = Arc::new(MetricsRegistry::new());
+        let body_reg = Arc::clone(&reg);
+        let srv = MetricsTextServer::bind("127.0.0.1:0", move |path| match path {
+            "/healthz" => Some("ok 3 42\n".into()),
+            _ if path.starts_with("/metrics") || path == "/" => {
+                Some(render_prometheus(&body_reg.dump()))
+            }
+            _ => None,
+        })
+        .expect("bind metrics text");
+        (reg, srv)
+    }
+
     #[test]
     fn http_responder_serves_a_fresh_dump_per_request() {
-        let reg = Arc::new(MetricsRegistry::new());
+        let (reg, srv) = bind_counter_server();
         let c = reg.counter("srv.accepted");
-        let body_reg = Arc::clone(&reg);
-        let srv =
-            MetricsTextServer::bind("127.0.0.1:0", move || render_prometheus(&body_reg.dump()))
-                .expect("bind metrics text");
 
         let fetch = |addr: SocketAddr| {
             let mut s = TcpStream::connect(addr).expect("connect");
@@ -209,5 +242,71 @@ mod tests {
         c.add(4);
         let second = fetch(srv.local_addr());
         assert!(second.contains("srv_accepted 5\n"), "{second}");
+    }
+
+    /// Read exactly one HTTP response (status + headers +
+    /// Content-Length body) off an open connection.
+    fn read_response(reader: &mut BufReader<TcpStream>) -> String {
+        let mut head = String::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("head line") > 0);
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("content-length");
+            }
+            head.push_str(&line);
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        format!("{head}\n{}", String::from_utf8_lossy(&body))
+    }
+
+    #[test]
+    fn one_connection_answers_sequential_requests_and_healthz() {
+        let (reg, srv) = bind_counter_server();
+        let c = reg.counter("srv.accepted");
+        let s = TcpStream::connect(srv.local_addr()).expect("connect");
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut s = s;
+
+        c.inc();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("req 1");
+        let first = read_response(&mut reader);
+        assert!(first.contains("srv_accepted 1\n"), "{first}");
+
+        // Same connection, second request: fresh render, no reconnect.
+        c.add(9);
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("req 2");
+        let second = read_response(&mut reader);
+        assert!(second.contains("srv_accepted 10\n"), "{second}");
+
+        // And a third, on a different path.
+        s.write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+            .expect("req 3");
+        let third = read_response(&mut reader);
+        assert!(third.starts_with("HTTP/1.0 200 OK\r\n"), "{third}");
+        assert!(third.ends_with("ok 3 42\n"), "{third}");
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404_and_the_connection_survives() {
+        let (_reg, srv) = bind_counter_server();
+        let s = TcpStream::connect(srv.local_addr()).expect("connect");
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut s = s;
+        s.write_all(b"GET /nope HTTP/1.0\r\n\r\n").expect("req");
+        let resp = read_response(&mut reader);
+        assert!(resp.starts_with("HTTP/1.0 404 Not Found\r\n"), "{resp}");
+        // The 404 didn't kill the connection.
+        s.write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+            .expect("req 2");
+        let ok = read_response(&mut reader);
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
     }
 }

@@ -34,6 +34,7 @@ use inano_core::{
     PredictedPath, PredictorConfig,
 };
 use inano_model::{Ipv4, ModelError};
+use inano_obs::{EventJournal, EventKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
@@ -210,6 +211,12 @@ pub struct QueryEngine {
     /// How this engine follows its upstream (all zero on an origin);
     /// see [`MirrorStats`].
     mirror: MirrorMetrics,
+    /// Where swap/delta/resync events land once a serving layer
+    /// attaches its journal ([`QueryEngine::set_journal`]); the label
+    /// (usually `shardN`) prefixes every detail so one journal can
+    /// carry many engines. `None` (an embedded engine) costs one
+    /// uncontended lock per swap — nothing on the query path.
+    journal: Mutex<Option<(Arc<EventJournal>, String)>>,
 }
 
 impl QueryEngine {
@@ -268,6 +275,25 @@ impl QueryEngine {
             export: Mutex::new(None),
             delta_log: Mutex::new(VecDeque::new()),
             mirror: MirrorMetrics::default(),
+            journal: Mutex::new(None),
+        }
+    }
+
+    /// Attach an event journal: from now on every generation swap,
+    /// delta application, full resync and recovered race is emitted
+    /// with `label` leading the detail. The serving layer calls this
+    /// at bind time; attaching again (a registry fronted by a second
+    /// server) just redirects future events.
+    pub fn set_journal(&self, journal: Arc<EventJournal>, label: impl Into<String>) {
+        *self.journal.lock() = Some((journal, label.into()));
+    }
+
+    /// Emit `kind` onto the attached journal, if any. The detail
+    /// closure only runs when a journal is attached.
+    fn emit(&self, kind: EventKind, detail: impl FnOnce() -> String) {
+        let guard = self.journal.lock();
+        if let Some((journal, label)) = guard.as_ref() {
+            journal.emit(kind, format!("{label} {}", detail()));
         }
     }
 
@@ -377,8 +403,15 @@ impl QueryEngine {
             predictor,
         });
         let day = next.day();
+        let epoch = next.epoch;
         *self.current.write() = next;
         self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::GenerationSwap, || {
+            format!("epoch={epoch} day={day}")
+        });
+        self.emit(EventKind::DeltaApplied, || {
+            format!("from={} to={}", delta.from_day, delta.to_day)
+        });
         // Retain the applied delta for downstream mirrors: the bytes a
         // peer fetching `delta(from_day)` from this engine receives are
         // exactly the bytes this engine applied.
@@ -453,6 +486,7 @@ impl QueryEngine {
                 self.mirror
                     .races_recovered
                     .fetch_add(races as u64, Ordering::Relaxed);
+                self.emit(EventKind::RaceRecovered, || format!("races={races}"));
             }
             let Some((_, bytes)) = fetched else { break };
             let delta = AtlasDelta::decode(&bytes)?;
@@ -524,9 +558,14 @@ impl QueryEngine {
             predictor,
         });
         let day = next.day();
+        let epoch = next.epoch;
         *self.current.write() = next;
         self.metrics.swaps.fetch_add(1, Ordering::Relaxed);
         self.mirror.full_resyncs.fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::GenerationSwap, || {
+            format!("epoch={epoch} day={day}")
+        });
+        self.emit(EventKind::FullResync, || format!("day={day}"));
         // A full swap puts us at the new generation's day; any lag the
         // broken delta chain accumulated is paid off.
         self.mirror.lag_days.store(0, Ordering::Relaxed);
