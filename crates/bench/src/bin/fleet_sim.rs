@@ -31,9 +31,16 @@
 //! split — failures inside an injected fault window are expected,
 //! failures outside must be zero.
 //!
+//! `--idle-peers N` parks `N` extra connections across the fleet that
+//! never send a byte — the §5 reality that most of a mirror's peers
+//! are idle most of the time — so every fault above is injected and
+//! recovered *through* a crowd of registrations, not on a quiet
+//! server.
+//!
 //! Usage: `fleet_sim [--mirrors N] [--depth D] [--clients C]
 //!         [--ring N] [--refresh-ms MS] [--scrape-ms MS]
-//!         [--faults kill-restart,chain-break,hostile] [--seed S]`
+//!         [--faults kill-restart,chain-break,hostile] [--seed S]
+//!         [--idle-peers N]`
 
 use inano_atlas::{Atlas, AtlasDelta, LinkAnnotation, Plane};
 use inano_core::{AtlasReader, AtlasSource};
@@ -90,9 +97,11 @@ fn sim_service_config() -> ServiceConfig {
 
 /// Low in-flight cap so the hostile pipeliner reliably trips the
 /// overload path; normal workers are synchronous (one in flight).
-fn sim_server_config() -> ServerConfig {
+/// `idle_headroom` widens the admission gate for the `--idle-peers`
+/// crowd parked on this node.
+fn sim_server_config(idle_headroom: usize) -> ServerConfig {
     ServerConfig {
-        max_conns: 512,
+        max_conns: 512 + idle_headroom,
         max_inflight: 32,
         ..ServerConfig::default()
     }
@@ -336,6 +345,7 @@ fn main() {
     let scrape_ms: u64 = arg("--scrape-ms", 200);
     let diurnal_ms: u64 = arg("--diurnal-ms", 1000);
     let seed: u64 = arg("--seed", 42);
+    let idle_peers: usize = arg("--idle-peers", 0);
     let faults_arg: String = arg("--faults", "kill-restart,chain-break,hostile".to_string());
     let faults: Vec<String> = faults_arg
         .split(',')
@@ -350,6 +360,18 @@ fn main() {
     }
     assert!(mirrors >= 1, "--mirrors must be at least 1");
     assert!(depth >= 1, "--depth must be at least 1");
+
+    // Idle peers are spread round-robin over the fleet; both socket
+    // ends live in this one process, so budget descriptors for both.
+    let idle_per_node = idle_peers.div_ceil(mirrors + 1);
+    if idle_peers > 0 {
+        let need = (2 * idle_peers + 2 * clients + 1024) as u64;
+        let have = inano_net::raise_nofile_limit(need);
+        assert!(
+            have >= need,
+            "--idle-peers {idle_peers} needs {need} file descriptors, limit is {have}"
+        );
+    }
 
     // ---- build the fleet: origin first, then mirrors in index order
     // (every parent has a lower index, so each hop can bootstrap over
@@ -369,7 +391,7 @@ fn main() {
     let origin = NetServer::bind_single(
         "127.0.0.1:0",
         Arc::clone(&origin_engine),
-        sim_server_config(),
+        sim_server_config(idle_per_node),
     )
     .expect("bind origin");
     addrs.push(Mutex::new(origin.local_addr().to_string()));
@@ -386,9 +408,12 @@ fn main() {
             QueryEngine::bootstrap(&mut source, sim_service_config())
                 .unwrap_or_else(|e| panic!("m{m}: bootstrap from {parent_addr}: {e}")),
         );
-        let server =
-            NetServer::bind_single("127.0.0.1:0", Arc::clone(&engine), sim_server_config())
-                .unwrap_or_else(|e| panic!("m{m}: bind: {e}"));
+        let server = NetServer::bind_single(
+            "127.0.0.1:0",
+            Arc::clone(&engine),
+            sim_server_config(idle_per_node),
+        )
+        .unwrap_or_else(|e| panic!("m{m}: bind: {e}"));
         eprintln!(
             "m{m}: mirroring node {} ({parent_addr}) at {}",
             labels[parent],
@@ -451,6 +476,31 @@ fn main() {
         );
     }
 
+    // Park the idle-peer crowd: round-robin over the fleet, never a
+    // byte sent. Held to the end of the run, so every fault below is
+    // injected through these registrations. (Peers parked on the
+    // kill-restart victim die with it and stay dead — real idle peers
+    // would only notice at their next request.)
+    let mut idle_crowd: Vec<std::net::TcpStream> = Vec::with_capacity(idle_peers);
+    for i in 0..idle_peers {
+        let node = i % shared.addrs.len();
+        // Pacing: stay under each server's listen backlog.
+        if i > 0 && i % 256 == 0 {
+            thread::sleep(Duration::from_millis(5));
+        }
+        match std::net::TcpStream::connect(shared.addr(node)) {
+            Ok(s) => idle_crowd.push(s),
+            Err(e) => panic!("idle peer {i} refused by {}: {e}", shared.labels[node]),
+        }
+    }
+    if idle_peers > 0 {
+        eprintln!(
+            "idle peers: {} parked across {} nodes",
+            idle_crowd.len(),
+            shared.addrs.len()
+        );
+    }
+
     // Warm up: let every worker connect and the fleet serve steadily.
     thread::sleep(Duration::from_millis(400));
 
@@ -478,7 +528,7 @@ fn main() {
                 let server = NetServer::bind_single(
                     "127.0.0.1:0",
                     Arc::clone(&engines[victim]),
-                    sim_server_config(),
+                    sim_server_config(idle_per_node),
                 )
                 .expect("rebind the killed mirror");
                 *shared.addrs[victim].lock().expect("addr table") = server.local_addr().to_string();
@@ -540,7 +590,7 @@ fn main() {
                     .collect();
                 let mut pipeliner =
                     NetClient::connect(shared.addr(0)).expect("hostile pipeliner connects");
-                let depth = sim_server_config().max_inflight * 8;
+                let depth = sim_server_config(0).max_inflight * 8;
                 let mut submitted = 0usize;
                 for _ in 0..depth {
                     if pipeliner.submit_batch(&flood).is_err() {
@@ -585,6 +635,7 @@ fn main() {
     scrape_stop.store(true, Ordering::SeqCst);
     let _ = scraper.join();
     let duration_ms = started.elapsed().as_millis() as u64;
+    drop(idle_crowd);
     for s in servers.iter().flatten() {
         s.shutdown();
     }
@@ -613,7 +664,8 @@ fn main() {
     // The contract line: exactly one JSON record on stdout.
     println!(
         "{{\"bench\":\"fleet_sim\",\"ring\":{ring},\"mirrors\":{mirrors},\"depth\":{depth},\
-         \"clients\":{clients},\"duration_ms\":{duration_ms},\"origin_day\":{origin_day},\
+         \"clients\":{clients},\"idle_peers\":{idle_peers},\
+         \"duration_ms\":{duration_ms},\"origin_day\":{origin_day},\
          \"queries\":{},\"failed_queries\":{},\"failed_in_fault_windows\":{},\
          \"events\":{},\"conn_events\":{conn_events},\"events_lost\":{},\
          \"faults\":[{}],\"timeline\":[{}]}}",

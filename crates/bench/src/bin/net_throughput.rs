@@ -2,7 +2,7 @@
 //! to end — real TCP sockets, pipelined `QueryBatch` frames — and
 //! report the numbers as a single BENCH JSON line.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **in-process** (default): builds a scenario atlas, starts a
 //!   `NetServer` over `--shards N` independent shards (all serving the
@@ -18,6 +18,20 @@
 //!   routable pairs, and `--shards` how many ring shards to spread the
 //!   clients over (each shard's epoch is probed before the run). No
 //!   swap is asserted (the loadgen does not own the remote engines).
+//! * **`--connections N`** (conn soak): the event-loop scaling probe.
+//!   Starts an in-process ring-world server sized for `N` peers,
+//!   opens and *holds* `N` idle connections, then runs the pipelined
+//!   active load through the crowd — measuring what tens of thousands
+//!   of registered-but-quiet peers cost the connections that are
+//!   actually talking. Reports one `"bench":"conn_soak"` JSON record
+//!   (connections held, active-load qps/percentiles, zero-error
+//!   assertion, the server's accept-retry counter) instead of the
+//!   `net_throughput` record. The server ends all live in this one
+//!   process (the loop under test); the idle *client* ends live in
+//!   spawned `--hold` holder subprocesses, each under its own
+//!   `RLIMIT_NOFILE` — so the server process's descriptor cap, not
+//!   the loadgen's, is what bounds a run. Raises its own soft limit
+//!   toward the hard cap as needed.
 //!
 //! Latency percentiles are client-observed *request* (batch)
 //! round-trip times; `batch` and `depth` in the JSON record say how
@@ -25,7 +39,8 @@
 //!
 //! Usage: `net_throughput [--queries N] [--clients C] [--batch B]
 //!         [--depth D] [--workers W] [--shards S]
-//!         [--scale test|experiment] [--connect ADDR] [--ring N]`
+//!         [--scale test|experiment] [--connect ADDR] [--ring N]
+//!         [--connections N]`
 
 use inano_atlas::AtlasDelta;
 use inano_bench::{Scenario, ScenarioConfig};
@@ -33,9 +48,11 @@ use inano_core::{PathPredictor, PredictorConfig};
 use inano_model::rng::rng_for;
 use inano_model::Ipv4;
 use inano_net::cli::arg;
-use inano_net::demo::ring_ip;
-use inano_net::{Frame, NetClient, NetServer, ServerConfig};
-use inano_service::{RegistryConfig, ServiceConfig, ShardId, ShardRegistry, ShardSpec};
+use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config};
+use inano_net::{raise_nofile_limit, Frame, NetClient, NetServer, ServerConfig};
+use inano_service::{
+    QueryEngine, RegistryConfig, ServiceConfig, ShardId, ShardRegistry, ShardSpec,
+};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -185,6 +202,264 @@ fn drive(
     tally
 }
 
+/// How many idle connections one holder subprocess carries. Sized
+/// well under typical `RLIMIT_NOFILE` hard caps so the holders are
+/// never the binding constraint — the server process is.
+const HOLDER_CONNS: usize = 9_000;
+
+/// How many connects may be in flight (granted to holders but not yet
+/// accepted) at once. Kept under the server's widened listen backlog
+/// so the crowd never overflows it into SYN-retransmit stalls.
+const CONNECT_WINDOW: usize = 2_048;
+
+/// The hidden `--hold N --connect ADDR` mode `run_conn_soak` spawns:
+/// open idle connections against `addr` as credit lines arrive on
+/// stdin (each line is a count to add), report `held N retries R` on
+/// stdout once the total is reached, then hold every socket open
+/// until stdin closes. A subprocess exists purely for its own
+/// `RLIMIT_NOFILE`: the per-process descriptor cap binds each side of
+/// a socket separately, so moving the client ends out of the server's
+/// process roughly doubles the connections one soak can hold.
+fn run_idle_holder(n_conns: usize, addr: std::net::SocketAddr) -> ! {
+    let need = (n_conns + 64) as u64;
+    let have = raise_nofile_limit(need);
+    assert!(have >= need, "holder needs {need} fds, limit is {have}");
+    let mut idles: Vec<std::net::TcpStream> = Vec::with_capacity(n_conns);
+    let mut retries = 0u64;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    while idles.len() < n_conns {
+        line.clear();
+        let got = stdin.read_line(&mut line).expect("read credit line");
+        assert!(got > 0, "soak parent hung up mid-open");
+        let credit: usize = line.trim().parse().expect("credit line is a count");
+        for _ in 0..credit.min(n_conns - idles.len()) {
+            loop {
+                match std::net::TcpStream::connect(addr) {
+                    Ok(s) => {
+                        idles.push(s);
+                        break;
+                    }
+                    Err(e) => {
+                        retries += 1;
+                        assert!(retries <= 10_000, "connection storm not absorbed: {e}");
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                }
+            }
+        }
+    }
+    println!("held {} retries {retries}", idles.len());
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush");
+    // Hold the crowd until the parent closes our stdin.
+    line.clear();
+    let _ = stdin.read_line(&mut line);
+    std::process::exit(0);
+}
+
+/// The `--connections N` soak: hold `n_conns` idle connections on an
+/// in-process ring-world server, run the active load through the
+/// crowd, and report the cost of the quiet majority as one
+/// `"bench":"conn_soak"` JSON record. The idle client ends live in
+/// `--hold` subprocesses (see [`run_idle_holder`]); the server ends
+/// all live here, which is what makes the event loop the thing being
+/// measured. Exits the process when done.
+fn run_conn_soak(
+    n_conns: usize,
+    n_queries: usize,
+    clients: usize,
+    batch: usize,
+    depth: usize,
+    ring: u32,
+) -> ! {
+    // This process holds the server side of every idle connection,
+    // both sides of the loadgen connections, and the holder pipes.
+    let holders = n_conns.div_ceil(HOLDER_CONNS);
+    let need = (n_conns + 2 * clients + 4 * holders + 256) as u64;
+    let have = raise_nofile_limit(need);
+    assert!(
+        have >= need,
+        "need {need} file descriptors for {n_conns} held connections but \
+         RLIMIT_NOFILE stops at {have}; lower --connections or raise the hard limit"
+    );
+
+    let engine = Arc::new(QueryEngine::new(
+        Arc::new(ring_atlas(ring, 0)),
+        ServiceConfig {
+            predictor: ring_predictor_config(),
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = NetServer::bind_single(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            max_conns: n_conns + clients + 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    eprintln!("conn soak: server on {addr}, raising to {n_conns} idle connections");
+
+    // Spawn the holders and feed them connect credits, pacing against
+    // the server's registration count: outrunning the loop would just
+    // overflow the listen backlog and turn into SYN-retransmit stalls.
+    let t_open = Instant::now();
+    let exe = std::env::current_exe().expect("own path");
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(holders);
+    let mut quota: Vec<usize> = Vec::with_capacity(holders);
+    for h in 0..holders {
+        let share = (n_conns / holders) + usize::from(h < n_conns % holders);
+        let child = std::process::Command::new(&exe)
+            .arg("--hold")
+            .arg(share.to_string())
+            .arg("--connect")
+            .arg(addr.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn idle holder");
+        children.push(child);
+        quota.push(share);
+    }
+    let mut granted: Vec<usize> = vec![0; holders];
+    let mut next = 0usize;
+    let open_deadline = Instant::now() + std::time::Duration::from_secs(600);
+    while granted.iter().sum::<usize>() < n_conns {
+        assert!(
+            Instant::now() < open_deadline,
+            "holders stalled: {} of {n_conns} registered",
+            server.counters().active
+        );
+        let outstanding = granted.iter().sum::<usize>() - server.counters().active;
+        if outstanding >= CONNECT_WINDOW {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            continue;
+        }
+        // Round-robin a credit to the next holder with quota left.
+        if granted[next] < quota[next] {
+            let grant = 512.min(quota[next] - granted[next]);
+            use std::io::Write as _;
+            writeln!(
+                children[next].stdin.as_mut().expect("holder stdin"),
+                "{grant}"
+            )
+            .expect("grant credit");
+            granted[next] += grant;
+        }
+        next = (next + 1) % holders;
+    }
+    // Every held socket must be *registered*, not just accepted.
+    while server.counters().active < n_conns {
+        assert!(
+            Instant::now() < open_deadline,
+            "registrations stalled at {} of {n_conns}",
+            server.counters().active
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // Each holder confirms its full crowd and reports its retry count.
+    let mut connect_retries = 0u64;
+    for child in &mut children {
+        use std::io::BufRead as _;
+        let mut line = String::new();
+        std::io::BufReader::new(child.stdout.as_mut().expect("holder stdout"))
+            .read_line(&mut line)
+            .expect("holder report");
+        let words: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(words.first(), Some(&"held"), "holder said {line:?}");
+        connect_retries += words[3].parse::<u64>().expect("retry count");
+    }
+    let open_secs = t_open.elapsed().as_secs_f64();
+    eprintln!(
+        "conn soak: {n_conns} idle connections registered in {open_secs:.1}s \
+         across {holders} holder processes ({connect_retries} connect retries); \
+         running active load"
+    );
+
+    // The active load: the same pipelined driver the throughput bench
+    // uses, through the same event loop now carrying the crowd.
+    let pairs = ring_pairs(ring, n_queries);
+    let shares: Vec<Vec<(Ipv4, Ipv4)>> = (0..clients)
+        .map(|c| pairs.iter().skip(c).step_by(clients).copied().collect())
+        .collect();
+    let issued_total = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                let issued_total = Arc::clone(&issued_total);
+                scope.spawn(move || {
+                    drive(addr, ShardId::DEFAULT, share, batch, depth, &issued_total)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let served: u64 = tallies.iter().map(|t| t.served).sum();
+    let faults: u64 = tallies.iter().map(|t| t.faults).sum();
+    let rejected: u64 = tallies.iter().map(|t| t.rejected).sum();
+    let mut request_us: Vec<u64> = tallies.iter().flat_map(|t| t.request_us.clone()).collect();
+    request_us.sort_unstable();
+    let qps = (served + faults) as f64 / elapsed;
+    let p50 = quantile(&request_us, 0.50);
+    let p99 = quantile(&request_us, 0.99);
+
+    let counters = server.counters();
+    assert_eq!(faults, 0, "no query may fail through the idle crowd");
+    assert_eq!(
+        counters.rejected, 0,
+        "a correctly sized soak server refuses no one"
+    );
+    assert!(
+        counters.active >= n_conns,
+        "idle connections must survive the active load: {} of {} left",
+        counters.active,
+        n_conns
+    );
+    let accept_retries = match server
+        .metrics()
+        .dump()
+        .entries
+        .into_iter()
+        .find(|(n, _)| n == "srv.accept_retries")
+    {
+        Some((_, inano_obs::MetricValue::Counter(v))) => v,
+        other => panic!("srv.accept_retries missing from dump: {other:?}"),
+    };
+
+    eprintln!(
+        "conn soak: {n_conns} idle + {clients} active connections, served {served} \
+         queries in {elapsed:.2}s: {qps:.0} qps, request p50 {p50}us / p99 {p99}us \
+         ({rejected} rejected, {accept_retries} accept retries)",
+    );
+
+    // Hang up on the holders (closing stdin releases each crowd),
+    // then stop the server.
+    for mut child in children {
+        drop(child.stdin.take());
+        let _ = child.wait();
+    }
+    server.shutdown();
+    server.registry().shutdown();
+
+    // The contract line: exactly one JSON record on stdout.
+    println!(
+        "{{\"bench\":\"conn_soak\",\"connections\":{n_conns},\"qps\":{qps:.1},\
+         \"p50_us\":{p50},\"p99_us\":{p99},\"queries\":{},\"errors\":{faults},\
+         \"clients\":{clients},\"batch\":{batch},\"depth\":{depth},\
+         \"open_secs\":{open_secs:.1},\"connect_retries\":{connect_retries},\
+         \"accept_retries\":{accept_retries},\"rejected\":{rejected}}}",
+        served + faults,
+    );
+    std::process::exit(0);
+}
+
 fn quantile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -203,11 +478,21 @@ fn main() {
     let scale: String = arg("--scale", "test".to_string());
     let connect: String = arg("--connect", String::new());
     let ring: u32 = arg("--ring", 64);
+    let connections: usize = arg("--connections", 0);
     assert!(clients >= 1 && batch >= 1 && depth >= 1);
     assert!(
         (1..=u16::MAX as usize).contains(&shards),
         "--shards must be 1..=65535"
     );
+    let hold: usize = arg("--hold", 0);
+    if hold > 0 {
+        let addr = connect.parse().expect("--hold needs --connect ip:port");
+        run_idle_holder(hold, addr);
+    }
+    if connections > 0 {
+        assert!(connect.is_empty(), "--connections is an in-process mode");
+        run_conn_soak(connections, n_queries, clients, batch, depth, ring);
+    }
 
     // An owned server (in-process mode) plus the delta to land on it
     // mid-run; --connect mode drives a remote instead.

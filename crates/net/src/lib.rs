@@ -18,8 +18,11 @@
 //!   causal timeline, and typed error frames carrying
 //!   [`inano_model::ErrorCode`]s), with receiver-side [`Limits`] on
 //!   frame and batch size — v3/v4 clients interoperate unchanged;
-//! * [`server`] — a threaded TCP server ([`NetServer`], shipped as the
-//!   `inano-serve` binary) hosting a whole
+//! * [`server`] — an event-driven TCP server ([`NetServer`], shipped
+//!   as the `inano-serve` binary): one epoll readiness loop carrying
+//!   every connection (tens of thousands of mostly-idle peers fit in
+//!   one process) over a worker pool answering requests, hosting a
+//!   whole
 //!   [`inano_service::ShardRegistry`] of independent atlas shards
 //!   behind one listener, with per-connection request pipelining
 //!   bounded by an in-flight cap, a server-wide request-memory budget
@@ -52,7 +55,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{MirrorSource, NetClient, NetError};
-pub use server::{NetServer, ServerConfig, ServerCounters};
+pub use server::{raise_nofile_limit, NetServer, ServerConfig, ServerCounters};
 pub use wire::{
     chunk_size_for, Frame, Limits, WireFault, WirePath, WireResolution, WireShardInfo, WireStats,
     TRACE_FLAG,

@@ -1,18 +1,31 @@
-//! The threaded TCP server: accept loop + a reader/responder thread
-//! pair per connection, all requests routed through a shared
-//! [`ShardRegistry`] to the shard each frame names.
+//! The event-driven TCP server: one epoll-based readiness loop owning
+//! every connection, a small worker pool answering decoded requests,
+//! all requests routed through a shared [`ShardRegistry`] to the shard
+//! each frame names.
 //!
 //! ## Concurrency model
 //!
-//! `std::net` blocking I/O throughout — per connection, one *reader*
-//! thread decodes frames and one *responder* thread answers them, with
-//! a bounded in-flight queue between the two (the *query* parallelism
-//! lives in each shard engine's worker pool, not here). Responder
-//! threads call [`QueryEngine::query_batch`] on the frame's shard
-//! directly, so remote batches share that shard's result cache, worker
-//! pool and hot-swap semantics with embedded callers: a mid-load
-//! `apply_delta` on one shard never stalls remote queries and never
-//! touches any other shard's epoch or cache.
+//! Nonblocking I/O throughout, driven by a oneshot [`polling::Poller`]
+//! (the vendored epoll stand-in). A single loop thread accepts
+//! connections and owns every connection's state: an incremental
+//! [`FrameAssembler`] carrying partial frames across readiness events,
+//! a pending-work queue, and a write queue of encoded replies drained
+//! as the socket accepts them. Completed requests are handed to a
+//! fixed worker pool — one in-service request per connection at a
+//! time, so replies stay in request order — and each worker's encoded
+//! reply comes back to the loop through a completion list plus
+//! [`Poller::notify`]. The *query* parallelism still lives in each
+//! shard engine's worker pool: workers call
+//! [`QueryEngine::query_batch`] on the frame's shard directly, so
+//! remote batches share that shard's result cache, worker pool and
+//! hot-swap semantics with embedded callers, and a mid-load
+//! `apply_delta` on one shard never stalls remote queries on another.
+//!
+//! Two threads per connection was the old model; it capped the server
+//! near the thread limit and cost ~16KiB of stack per idle peer. The
+//! event loop holds an idle connection for the price of its assembler
+//! (a few hundred bytes), so tens of thousands of mostly-idle peers —
+//! the fleet dissemination fan-out — fit in one process.
 //!
 //! ## Admission and limits
 //!
@@ -20,12 +33,13 @@
 //!   gate answers excess connects with a typed `Overloaded` error
 //!   frame and closes, so clients fail fast instead of queueing.
 //! * At most [`ServerConfig::max_inflight`] decoded requests queued
-//!   per connection. A pipeliner that outruns the responder gets a
+//!   per connection. A pipeliner that outruns the workers gets a
 //!   typed `Overloaded` error *per excess request* — replies still in
 //!   request order, the connection still serving — instead of the
-//!   server buffering an unbounded backlog. Memory per connection is
-//!   thereby bounded by `max_inflight × max_frame_bytes` plus one
-//!   frame in the reader.
+//!   server buffering an unbounded backlog. Once a connection's
+//!   pending queue is full the loop additionally stops *reading* it
+//!   (its read interest is dropped until the queue drains), so a
+//!   flood is absorbed by TCP backpressure, not by server memory.
 //! * On top of the per-connection cap, one *server-wide* request-memory
 //!   budget ([`ServerConfig::max_request_bytes`]) shared by every
 //!   connection: each queued request reserves its estimated heap cost
@@ -34,6 +48,10 @@
 //!   A request that would breach the budget is answered with the same
 //!   typed `Overloaded` error, in order, on a connection that keeps
 //!   serving.
+//! * A slow-consuming client cannot balloon the write queue either:
+//!   once a connection's queued reply bytes pass [`write_backlog_cap`]
+//!   (derived from the frame limit), the loop stops dispatching its
+//!   requests to workers until the client drains what it already owes.
 //! * Frames are bounded by [`Limits`]: an oversized declared payload
 //!   or broken framing is answered once and the connection closed
 //!   (the stream can no longer be trusted); a parse failure inside a
@@ -44,7 +62,9 @@
 //! ## Observability
 //!
 //! Every server carries an [`inano_obs::MetricsRegistry`]
-//! ([`NetServer::metrics`]): the raw `srv.*` listener counters and a
+//! ([`NetServer::metrics`]): the raw `srv.*` listener counters, the
+//! event-loop's own `srv.loop.*` series (poll wakeups, ready events
+//! per wake, registered descriptors, queued write-backlog bytes) and a
 //! per-shard collector over the registry (`shardN.*` engine, cache and
 //! mirror series, including the `shardN.latency_us` histogram) are
 //! folded into one dump answered over the wire (`Frame::Metrics`) and
@@ -52,7 +72,7 @@
 //! [`TRACE_FLAG`] bit set gets a `TraceReply` trailer after its
 //! (non-error) reply carrying the decode → queue → engine → encode
 //! breakdown, and every request is offered to a slow-query ring
-//! ([`NetServer::slow_log`]) keyed on its responder-side latency.
+//! ([`NetServer::slow_log`]) keyed on its worker-side latency.
 //! Alongside the counters runs the event journal
 //! ([`NetServer::journal`], paged by `Frame::Events`): connection
 //! accept/close, overload episode open/close (edge-triggered — a
@@ -63,31 +83,34 @@
 //!
 //! ## Shutdown
 //!
-//! [`NetServer::shutdown`] (also run on drop) stops the accept loop
-//! with a self-connect, force-closes the registered connection
-//! sockets so blocked reads return, and joins every thread. The
-//! registry is shared and is *not* shut down — that's its owner's
-//! call.
+//! [`NetServer::shutdown`] (also run on drop) sets the flag, wakes the
+//! loop through the poller's notify pipe and the workers through their
+//! queue condvar, and joins every thread; the loop sweeps its live
+//! connections closed on the way out. The registry is shared and is
+//! *not* shut down — that's its owner's call.
 
-use crate::wire::{chunk_size_for, read_frame_timed, write_frame, Frame, Limits, ReadError};
+use crate::wire::{chunk_size_for, write_frame, Assembled, Frame, FrameAssembler, Limits};
 use crate::wire::{WireFault, WirePath, WireResolution, WireShardInfo, WireStats, TRACE_FLAG};
 use inano_model::{ErrorCode, ModelError};
-use inano_obs::{EventJournal, EventKind, MetricValue, MetricsRegistry, SlowLog, TraceCtx};
+use inano_obs::{
+    EventJournal, EventKind, LatencyHistogram, MetricValue, MetricsRegistry, SlowLog, TraceCtx,
+};
 use inano_service::{QueryEngine, ShardRegistry};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use polling::{Event, Events, Poller};
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Entries the slow-query ring retains (oldest overwritten first).
 const SLOW_LOG_CAPACITY: usize = 128;
 
-/// Default responder-side latency past which a request is logged as
+/// Default worker-side latency past which a request is logged as
 /// slow; retune live via [`NetServer::slow_log`].
 const SLOW_LOG_THRESHOLD_US: u64 = 10_000;
 
@@ -95,6 +118,22 @@ const SLOW_LOG_THRESHOLD_US: u64 = 10_000;
 /// between scrapes; a lapped scraper sees a `lost` count, never a gap
 /// it can't detect.
 const EVENT_JOURNAL_CAPACITY: usize = 1024;
+
+/// The poller key carrying the listener; connection keys are slab
+/// slots counting up from 0 and can never reach it (`usize::MAX`
+/// itself is the poller's own notify pipe).
+const LISTENER_KEY: usize = usize::MAX - 1;
+
+/// Bytes the loop reads per `read()` call into its reusable scratch
+/// buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Most `read()` rounds one readiness event is allowed before the
+/// loop moves to the next connection. Leftover socket data re-fires
+/// on re-arm (the registration is level-triggered under the oneshot),
+/// so this caps per-event latency without losing data — fairness
+/// against a firehose peer.
+const READ_ROUNDS_PER_EVENT: usize = 4;
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -124,6 +163,17 @@ impl Default for ServerConfig {
     }
 }
 
+/// Queued reply bytes per connection past which the loop stops
+/// dispatching that connection's requests to workers: a slow consumer
+/// pays for its own backlog in stalled service, not server memory.
+/// Derived from the frame limit (two max-size frames, at least 1MiB)
+/// rather than configured, so the config surface stays put.
+fn write_backlog_cap(cfg: &ServerConfig) -> usize {
+    (cfg.limits.max_frame_bytes as usize)
+        .saturating_mul(2)
+        .max(1 << 20)
+}
+
 /// Counters for observability and tests.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServerCounters {
@@ -141,6 +191,70 @@ pub struct ServerCounters {
     pub overloaded: u64,
 }
 
+/// One unit of connection work handed from the loop to a worker.
+struct Job {
+    /// Slab slot of the owning connection.
+    key: usize,
+    /// The connection's generation when dispatched; a completion whose
+    /// generation no longer matches the slot's occupant is dropped
+    /// (the connection died and the slot may have been reused).
+    gen: u64,
+    work: Work,
+}
+
+/// A worker's finished answer travelling back to the loop.
+struct Completion {
+    key: usize,
+    gen: u64,
+    /// The encoded reply frame (plus trace trailer when owed).
+    bytes: Vec<u8>,
+    /// True after a fatal framing fault: write what's queued, then
+    /// close.
+    close: bool,
+}
+
+/// The loop→worker dispatch queue. `std::sync` (not `parking_lot`)
+/// because the workers need a condvar to park on.
+struct Dispatch {
+    queue: StdMutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl Dispatch {
+    fn new() -> Dispatch {
+        Dispatch {
+            queue: StdMutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.queue.lock().expect("dispatch lock").push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Block for the next job; `None` once shutdown is flagged. The
+    /// flag is checked under the queue lock, so a `wake_all` can never
+    /// slip between the check and the park.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
+        let mut q = self.queue.lock().expect("dispatch lock");
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            q = self.cv.wait(q).expect("dispatch lock");
+        }
+    }
+
+    fn wake_all(&self) {
+        let _guard = self.queue.lock().expect("dispatch lock");
+        self.cv.notify_all();
+    }
+}
+
 struct Shared {
     registry: Arc<ShardRegistry>,
     obs: Arc<MetricsRegistry>,
@@ -156,8 +270,11 @@ struct Shared {
     shutdown: AtomicBool,
     active: AtomicUsize,
     /// Estimated bytes of queued-but-unanswered requests, across every
-    /// connection (see [`ServerConfig::max_request_bytes`]).
-    request_bytes: AtomicUsize,
+    /// connection (see [`ServerConfig::max_request_bytes`]). `Arc`ed
+    /// because each queued request's [`Claim`] owns a handle: claims
+    /// ride inside `Work` to the workers and release wherever they
+    /// drop.
+    request_bytes: Arc<AtomicUsize>,
     /// High-water mark of `request_bytes` over the server's lifetime
     /// (the `srv.request_bytes_peak` gauge).
     request_bytes_peak: AtomicUsize,
@@ -165,10 +282,26 @@ struct Shared {
     rejected: AtomicU64,
     faults: AtomicU64,
     overloaded: AtomicU64,
-    /// Clones of live connection sockets, so shutdown can unblock
-    /// their reader threads.
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Failed `accept()` calls (fd exhaustion, say) — each engages the
+    /// accept backoff rather than hot-spinning the loop.
+    accept_retries: AtomicU64,
+    /// Times the event loop returned from `poller.wait`.
+    loop_wakeups: AtomicU64,
+    /// Descriptors currently registered with the poller (connections,
+    /// the listener, the notify pipe).
+    loop_fds: AtomicUsize,
+    /// Encoded reply bytes queued server-wide, not yet accepted by
+    /// client sockets.
+    write_backlog: AtomicU64,
+    /// Ready events delivered per `poller.wait` return, log₂-bucketed
+    /// (attached to the registry as `srv.loop.ready_events`).
+    ready_events: Arc<LatencyHistogram>,
+    /// The epoll instance; workers touch it only through `notify`.
+    poller: Poller,
+    dispatch: Dispatch,
+    /// Finished answers awaiting the loop; pushed by workers, drained
+    /// after each `notify`-triggered wakeup.
+    completions: StdMutex<Vec<Completion>>,
 }
 
 impl Shared {
@@ -192,7 +325,7 @@ impl Shared {
 pub struct NetServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Mutex<Option<thread::JoinHandle<()>>>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl NetServer {
@@ -204,6 +337,8 @@ impl NetServer {
         cfg: ServerConfig,
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        widen_accept_backlog(&listener);
         let addr = listener.local_addr()?;
         let obs = Arc::new(MetricsRegistry::new());
         let journal = Arc::new(EventJournal::new(EVENT_JOURNAL_CAPACITY));
@@ -212,6 +347,13 @@ impl NetServer {
         for (id, engine) in registry.iter() {
             engine.set_journal(Arc::clone(&journal), format!("shard{}", id.raw()));
         }
+        let ready_events = Arc::new(LatencyHistogram::default());
+        obs.attach_histogram("srv.loop.ready_events", Arc::clone(&ready_events));
+        let poller = Poller::new()?;
+        // Safety (here and for every connection add): the loop keeps
+        // each registered source alive until it deletes it, and the
+        // poller outlives them all inside `Shared`.
+        unsafe { poller.add(&listener, Event::readable(LISTENER_KEY))? };
         let shared = Arc::new(Shared {
             registry,
             obs,
@@ -221,28 +363,51 @@ impl NetServer {
             cfg,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            request_bytes: AtomicUsize::new(0),
+            request_bytes: Arc::new(AtomicUsize::new(0)),
             request_bytes_peak: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             faults: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
-            streams: Mutex::new(HashMap::new()),
-            handlers: Mutex::new(Vec::new()),
+            accept_retries: AtomicU64::new(0),
+            loop_wakeups: AtomicU64::new(0),
+            // The listener and the poller's notify pipe.
+            loop_fds: AtomicUsize::new(2),
+            write_backlog: AtomicU64::new(0),
+            ready_events,
+            poller,
+            dispatch: Dispatch::new(),
+            completions: StdMutex::new(Vec::new()),
         });
         attach_server_collector(&shared);
         attach_shard_collector(&shared.obs, &shared.registry);
-        let accept = {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(4);
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
             let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("inano-net-accept".into())
-                .spawn(move || accept_loop(listener, shared))
-                .expect("spawn accept thread")
-        };
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("inano-net-respond-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn responder"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("inano-net-loop".into())
+                    .spawn(move || EventLoop::new(listener, shared).run())
+                    .expect("spawn event loop"),
+            );
+        }
         Ok(NetServer {
             shared,
             addr,
-            accept: Mutex::new(Some(accept)),
+            threads: Mutex::new(threads),
         })
     }
 
@@ -277,7 +442,7 @@ impl NetServer {
         &self.shared.obs
     }
 
-    /// The slow-query ring: every request's responder-side latency is
+    /// The slow-query ring: every request's worker-side latency is
     /// offered to it; entries over the threshold are retained top-K
     /// and drained by operators.
     pub fn slow_log(&self) -> &Arc<SlowLog> {
@@ -307,16 +472,13 @@ impl NetServer {
     /// Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop; it checks the flag before serving.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.lock().take() {
-            let _ = h.join();
-        }
-        for (_, s) in self.shared.streams.lock().drain() {
-            let _ = s.shutdown(Shutdown::Both);
-        }
-        let handlers: Vec<_> = self.shared.handlers.lock().drain(..).collect();
-        for h in handlers {
+        // Wake the loop out of `poller.wait` and the workers off the
+        // dispatch condvar; both check the flag before doing anything
+        // else.
+        let _ = self.shared.poller.notify();
+        self.shared.dispatch.wake_all();
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in threads {
             let _ = h.join();
         }
     }
@@ -325,6 +487,66 @@ impl NetServer {
 impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Re-issue `listen(2)` with a wide backlog. The standard library
+/// listens with a backlog of 128, which a connection storm (thousands
+/// of peers reconnecting after a restart) overflows in milliseconds —
+/// overflow means dropped SYNs and whole seconds of client-side
+/// retransmit stalls. Linux lets a second `listen` on a live socket
+/// update the backlog in place (still capped by
+/// `net.core.somaxconn`). Best-effort: a failure leaves the standard
+/// backlog, which every test worked under for years.
+fn widen_accept_backlog(listener: &TcpListener) {
+    extern "C" {
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+    unsafe {
+        let _ = listen(listener.as_raw_fd(), 4096);
+    }
+}
+
+/// Raise this process's open-file soft limit (`RLIMIT_NOFILE`) toward
+/// `target`, returning the soft limit actually in force afterwards.
+/// Raising past the hard cap needs privilege; without it this settles
+/// for the hard cap. Benchmarks holding tens of thousands of sockets
+/// call this; the server itself never does.
+pub fn raise_nofile_limit(target: u64) -> u64 {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    unsafe {
+        let mut have = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut have) != 0 {
+            return 0;
+        }
+        if have.cur >= target {
+            return have.cur;
+        }
+        let want = RLimit {
+            cur: target,
+            max: have.max.max(target),
+        };
+        if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+            return want.cur;
+        }
+        // Unprivileged: the hard cap is the best we can get.
+        let capped = RLimit {
+            cur: have.max,
+            max: have.max,
+        };
+        if have.cur < have.max && setrlimit(RLIMIT_NOFILE, &capped) == 0 {
+            return have.max;
+        }
+        have.cur
     }
 }
 
@@ -341,8 +563,18 @@ fn attach_server_collector(shared: &Arc<Shared>) {
         out.push(("srv.rejected".into(), counter(&s.rejected)));
         out.push(("srv.faults".into(), counter(&s.faults)));
         out.push(("srv.overloaded".into(), counter(&s.overloaded)));
+        out.push(("srv.accept_retries".into(), counter(&s.accept_retries)));
+        out.push(("srv.loop.wakeups".into(), counter(&s.loop_wakeups)));
         let gauge = |v: usize| MetricValue::Gauge(v as u64);
         out.push(("srv.active".into(), gauge(s.active.load(Ordering::Relaxed))));
+        out.push((
+            "srv.loop.fds".into(),
+            gauge(s.loop_fds.load(Ordering::Relaxed)),
+        ));
+        out.push((
+            "srv.loop.write_backlog_bytes".into(),
+            MetricValue::Gauge(s.write_backlog.load(Ordering::Relaxed)),
+        ));
         out.push((
             "srv.request_bytes".into(),
             gauge(s.request_bytes.load(Ordering::Relaxed)),
@@ -425,84 +657,6 @@ fn attach_shard_collector(obs: &MetricsRegistry, registry: &Arc<ShardRegistry>) 
     });
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut next_id = 0u64;
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent accept failures (fd exhaustion, say) must
-                // not busy-spin a core; back off and say why.
-                eprintln!("inano-net: accept failed, retrying: {e}");
-                thread::sleep(std::time::Duration::from_millis(50));
-                continue;
-            }
-        };
-        // Reap finished handler threads so a long-lived server with
-        // connection churn doesn't accumulate JoinHandles forever.
-        shared.handlers.lock().retain(|h| !h.is_finished());
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // Answer a genuine late client rather than hanging it; the
-            // shutdown self-connect just gets dropped.
-            let _ = refuse(stream, ErrorCode::ShuttingDown, "server is shutting down");
-            return;
-        }
-        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
-            shared.faults.fetch_add(1, Ordering::Relaxed);
-            shared.note_shed("connection limit reached");
-            let _ = refuse(
-                stream,
-                ErrorCode::Overloaded,
-                format!("connection limit {} reached", shared.cfg.max_conns),
-            );
-            continue;
-        }
-        // A connection we cannot register is one shutdown cannot
-        // unblock later (its handler would block in read forever and
-        // hang the join); refuse it rather than serve it.
-        let clone = match stream.try_clone() {
-            Ok(clone) => clone,
-            Err(_) => {
-                shared.rejected.fetch_add(1, Ordering::Relaxed);
-                shared.faults.fetch_add(1, Ordering::Relaxed);
-                let _ = refuse(
-                    stream,
-                    ErrorCode::Overloaded,
-                    "cannot register connection (out of descriptors?)",
-                );
-                continue;
-            }
-        };
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        shared.accepted.fetch_add(1, Ordering::Relaxed);
-        let conn_id = next_id;
-        next_id += 1;
-        shared
-            .journal
-            .emit(EventKind::ConnAccepted, format!("conn={conn_id}"));
-        shared.streams.lock().insert(conn_id, clone);
-        let worker = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name(format!("inano-net-conn-{conn_id}"))
-                .spawn(move || {
-                    let _ = serve_connection(stream, &shared);
-                    shared.streams.lock().remove(&conn_id);
-                    shared.active.fetch_sub(1, Ordering::SeqCst);
-                    shared
-                        .journal
-                        .emit(EventKind::ConnClosed, format!("conn={conn_id}"));
-                })
-                .expect("spawn connection handler")
-        };
-        shared.handlers.lock().push(worker);
-    }
-}
-
 /// Send a single error frame on a connection we won't serve, then close.
 fn refuse(stream: TcpStream, code: ErrorCode, message: impl Into<String>) -> io::Result<()> {
     let mut w = BufWriter::new(&stream);
@@ -519,35 +673,42 @@ fn refuse(stream: TcpStream, code: ErrorCode, message: impl Into<String>) -> io:
 
 /// A reservation against the server-wide request-memory pool, released
 /// on drop — whichever path the queued request leaves by (answered,
-/// queue torn down on disconnect, ...), the bytes come back.
-struct Claim<'a> {
+/// queue torn down on disconnect, ...), the bytes come back. Owns its
+/// pool handle so it can travel with the request to a worker thread.
+struct Claim {
     bytes: usize,
-    pool: &'a AtomicUsize,
+    pool: Arc<AtomicUsize>,
 }
 
-impl Drop for Claim<'_> {
+impl Drop for Claim {
     fn drop(&mut self) {
         self.pool.fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
 /// Reserve `bytes` against the shared pool, or `None` on breach.
-fn try_claim(pool: &AtomicUsize, budget: usize, bytes: usize) -> Option<Claim<'_>> {
+fn try_claim(pool: &Arc<AtomicUsize>, budget: usize, bytes: usize) -> Option<Claim> {
     if budget == usize::MAX {
-        return Some(Claim { bytes: 0, pool });
+        return Some(Claim {
+            bytes: 0,
+            pool: Arc::clone(pool),
+        });
     }
     let prev = pool.fetch_add(bytes, Ordering::Relaxed);
     if prev.saturating_add(bytes) > budget {
         pool.fetch_sub(bytes, Ordering::Relaxed);
         return None;
     }
-    Some(Claim { bytes, pool })
+    Some(Claim {
+        bytes,
+        pool: Arc::clone(pool),
+    })
 }
 
 /// Estimated heap cost of holding one decoded request in the in-flight
 /// queue. Every variable-size variant must be charged — the decoder
-/// accepts reply-typed frames as inbound too (they queue until the
-/// responder answers `UnexpectedFrame`), so a hostile client shipping
+/// accepts reply-typed frames as inbound too (they queue until a
+/// worker answers `UnexpectedFrame`), so a hostile client shipping
 /// megabyte `ChunkReply`/`PathBatch` frames has to pay the budget for
 /// them like any legitimate batch.
 fn frame_cost(frame: &Frame) -> usize {
@@ -587,16 +748,16 @@ fn frame_cost(frame: &Frame) -> usize {
     }
 }
 
-/// One unit handed from a connection's reader to its responder. The
-/// responder answers strictly in queue order, which is read order — so
+/// One unit queued on a connection awaiting its turn with a worker.
+/// Workers answer strictly in queue order, which is read order — so
 /// replies (rejections included) keep the pipelining contract.
-enum Work<'a> {
+enum Work {
     /// A decoded request to serve, holding its memory-budget claim
-    /// until the reply is written.
+    /// until answered.
     Request {
         request_id: u64,
         frame: Frame,
-        claim: Claim<'a>,
+        claim: Claim,
         /// Live when the request id carried [`TRACE_FLAG`]: the stage
         /// clock that becomes the `TraceReply` trailer.
         trace: Option<TraceCtx>,
@@ -611,201 +772,669 @@ enum Work<'a> {
     /// The payload was framed soundly but does not parse.
     Fault { request_id: u64, fault: WireFault },
     /// The stream desynchronised: answer once (id 0) and close. Always
-    /// the reader's last word.
+    /// the assembler's last word.
     Fatal { fault: WireFault },
 }
 
-/// Serve one connection until EOF, a fatal framing error, or shutdown:
-/// this thread reads and decodes frames, a paired responder thread
-/// answers them through the bounded in-flight queue.
-fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let responder_stream = stream.try_clone()?;
-    let (tx, rx) = sync_channel::<Work>(shared.cfg.max_inflight.max(1));
-    // The read loop owns `tx` and drops it when it returns (EOF, fatal
-    // sent, io error, or responder gone), which lets the responder
-    // drain the queue and exit; the scope then joins it.
-    thread::scope(|scope| {
-        scope.spawn(move || respond_loop(responder_stream, rx, shared));
-        read_loop(&mut reader, tx, shared)
-    })
+/// Exponential backoff for failed `accept()` calls: while engaged the
+/// listener stays disarmed and the loop's `wait` gets a deadline, so
+/// persistent failure (fd exhaustion, say) costs one retry per delay
+/// instead of a spinning core. Any successful accept resets it.
+struct AcceptBackoff {
+    delay: Duration,
+    until: Option<Instant>,
 }
 
-/// The reader half: decode frames, queue work, convert overflow (the
-/// per-connection cap or the server-wide byte budget) into typed
-/// rejections.
-fn read_loop<'a>(
-    reader: &mut impl io::Read,
-    tx: SyncSender<Work<'a>>,
-    shared: &'a Shared,
-) -> io::Result<()> {
-    loop {
-        match read_frame_timed(reader, &shared.cfg.limits) {
-            Ok(Some((request_id, frame, decode_us))) => {
-                // The trace clock starts the moment decode ends, so
-                // queue time (however long the responder backlog) is
-                // charged to the queue stage, not to decode.
-                let trace = (request_id & TRACE_FLAG != 0).then(|| TraceCtx::begin(decode_us));
-                let Some(claim) = try_claim(
-                    &shared.request_bytes,
-                    shared.cfg.max_request_bytes,
-                    frame_cost(&frame),
-                ) else {
-                    // The decoded frame is dropped right here — the
-                    // whole point of the budget — and only its id
-                    // travels on for the in-order rejection.
-                    drop(frame);
-                    if tx
-                        .send(Work::Reject {
-                            request_id,
-                            reason: "server-wide request-memory budget reached",
-                        })
-                        .is_err()
-                    {
-                        return Ok(()); // responder gone
-                    }
-                    continue;
-                };
-                shared.request_bytes_peak.fetch_max(
-                    shared.request_bytes.load(Ordering::Relaxed),
-                    Ordering::Relaxed,
-                );
-                match tx.try_send(Work::Request {
-                    request_id,
-                    frame,
-                    claim,
-                    trace,
-                }) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(work)) => {
-                        // The cap is hit: refuse *this* request with a
-                        // typed error instead of queueing it. The send
-                        // blocks until the responder frees a slot, so
-                        // even a rejected backlog is bounded. Dropping
-                        // `work` releases its budget claim.
-                        drop(work);
-                        if tx
-                            .send(Work::Reject {
-                                request_id,
-                                reason: "per-connection in-flight request limit reached",
-                            })
-                            .is_err()
-                        {
-                            return Ok(()); // responder gone
-                        }
-                    }
-                    Err(TrySendError::Disconnected(_)) => return Ok(()),
-                }
+impl AcceptBackoff {
+    const START: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(2);
+
+    fn new() -> AcceptBackoff {
+        AcceptBackoff {
+            delay: AcceptBackoff::START,
+            until: None,
+        }
+    }
+
+    /// Start (or extend) a backoff window from `now`, doubling the
+    /// next window up to the cap.
+    fn engage(&mut self, now: Instant) {
+        self.until = Some(now + self.delay);
+        self.delay = (self.delay * 2).min(AcceptBackoff::CAP);
+    }
+
+    fn reset(&mut self) {
+        self.delay = AcceptBackoff::START;
+        self.until = None;
+    }
+
+    /// The poll timeout an engaged backoff imposes (`None` = no
+    /// backoff, block freely).
+    fn timeout(&self, now: Instant) -> Option<Duration> {
+        self.until.map(|u| u.saturating_duration_since(now))
+    }
+
+    /// True once the window has elapsed (clearing it): time to re-arm
+    /// the listener.
+    fn expired(&mut self, now: Instant) -> bool {
+        match self.until {
+            Some(u) if now >= u => {
+                self.until = None;
+                true
             }
-            Ok(None) => return Ok(()),
-            Err(ReadError::Io(e)) => return Err(e),
-            Err(ReadError::Fatal(fault)) => {
-                let _ = tx.send(Work::Fatal { fault });
-                return Ok(());
-            }
-            Err(ReadError::Frame { request_id, fault }) => {
-                if tx.send(Work::Fault { request_id, fault }).is_err() {
-                    return Ok(());
-                }
-            }
+            _ => false,
         }
     }
 }
 
-/// The responder half: pop work in order, write replies (and, for
-/// traced requests answered without error, the `TraceReply` trailer).
-/// On a write failure it closes the socket so the blocked reader
-/// returns too.
-fn respond_loop(stream: TcpStream, rx: Receiver<Work<'_>>, shared: &Shared) {
-    let mut writer = BufWriter::new(&stream);
-    for work in rx {
-        // `overloaded` and `faults` are disjoint categories: a
-        // rejection is healthy throttling, not a protocol or engine
-        // fault, and must not make a throttled server look broken.
-        let mut count_fault = true;
-        // The request's budget claim lives until after its reply is
-        // written (that is when the request's memory is truly gone).
-        let mut _claim = None;
-        let mut trace = None;
-        // Responder-side latency (engine + encode, not queue) feeds the
-        // slow-query ring; `(frame type, batch size)` is kept out-of
-        // -band so the description closure outlives the frame.
-        let started = Instant::now();
-        let mut slow_key: Option<(u8, usize)> = None;
-        let (request_id, reply, close) = match work {
-            Work::Request {
-                request_id,
-                frame,
-                claim,
-                trace: t,
-            } => {
-                trace = t;
-                if let Some(t) = trace.as_mut() {
-                    t.dequeued();
-                }
-                let reply = respond(
-                    shared.registry.as_ref(),
-                    shared.obs.as_ref(),
-                    shared.journal.as_ref(),
-                    &frame,
-                    &shared.cfg.limits,
-                );
-                if let Some(t) = trace.as_mut() {
-                    t.served();
-                }
-                // A request the server had room to serve closes any
-                // open overload episode.
-                shared.note_served();
-                let batch = match &frame {
-                    Frame::QueryBatch { pairs, .. } => pairs.len(),
-                    _ => 0,
-                };
-                slow_key = Some((frame.frame_type(), batch));
-                drop(frame);
-                _claim = Some(claim);
-                (request_id, reply, false)
-            }
-            Work::Reject { request_id, reason } => {
-                shared.overloaded.fetch_add(1, Ordering::Relaxed);
-                shared.note_shed(reason);
-                count_fault = false;
-                let fault = WireFault::new(ErrorCode::Overloaded, reason);
-                (request_id, Frame::Error { fault }, false)
-            }
-            Work::Fault { request_id, fault } => (request_id, Frame::Error { fault }, false),
-            Work::Fatal { fault } => (0, Frame::Error { fault }, true),
-        };
-        let is_error = matches!(reply, Frame::Error { .. });
-        if count_fault && is_error {
-            shared.faults.fetch_add(1, Ordering::Relaxed);
+/// Encoded replies a connection's socket hasn't accepted yet, drained
+/// front-first as writability allows.
+#[derive(Default)]
+struct WriteQueue {
+    bufs: VecDeque<Vec<u8>>,
+    /// Bytes of `bufs.front()` already written.
+    off: usize,
+    /// Total unwritten bytes across `bufs`.
+    bytes: usize,
+}
+
+/// Everything the loop knows about one live connection.
+struct Conn {
+    stream: TcpStream,
+    /// Monotonic across all connections ever; guards completions
+    /// against slot reuse.
+    gen: u64,
+    /// Journal identity (`conn={id}` in accept/close events).
+    id: u64,
+    asm: FrameAssembler,
+    /// Decoded work awaiting its turn with a worker, in read order.
+    pending: VecDeque<Work>,
+    /// `Work::Request`s in `pending` plus the in-service one — the
+    /// population the `max_inflight` cap bounds.
+    queued_requests: usize,
+    /// A job for this connection is at a worker (or queued for one);
+    /// at most one at a time keeps replies in request order.
+    in_service: bool,
+    /// That job is a `Work::Request` (so its completion decrements
+    /// `queued_requests`).
+    in_service_request: bool,
+    wq: WriteQueue,
+    /// No more bytes will be read: EOF, read error, or a fatal
+    /// framing fault. The connection lives on until its queues drain.
+    read_closed: bool,
+}
+
+/// The readiness loop: owns the listener, the connection slab, and
+/// all socket I/O. Runs on one thread until shutdown.
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    /// Connection slab; the vector index is the poller key.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    next_conn_id: u64,
+    backoff: AcceptBackoff,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, shared: Arc<Shared>) -> EventLoop {
+        EventLoop {
+            shared,
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            next_conn_id: 0,
+            backoff: AcceptBackoff::new(),
+            scratch: vec![0; READ_CHUNK],
         }
-        let wrote = write_frame(&mut writer, request_id, &reply)
-            .and_then(|()| writer.flush())
-            .and_then(|()| match trace.take() {
-                // The trailer follows every *non-error* traced reply —
-                // the same rule the client applies, so a pipelined
-                // stream never misparses an error as a trailer.
-                Some(t) if !is_error => {
-                    let timings = t.finish();
-                    write_frame(&mut writer, request_id, &Frame::TraceReply { timings })
-                        .and_then(|()| writer.flush())
+    }
+
+    fn run(mut self) {
+        let mut events = Events::new();
+        loop {
+            let timeout = self.backoff.timeout(Instant::now());
+            events.clear();
+            if let Err(e) = self.shared.poller.wait(&mut events, timeout) {
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    break;
                 }
-                _ => Ok(()),
-            });
-        if let Some((frame_type, batch)) = slow_key {
-            let us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
-            shared.slow.record_with(us, || {
-                format!("frame {frame_type:#04x} id={request_id} pairs={batch}")
-            });
+                eprintln!("inano-net: poll failed, retrying: {e}");
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            self.shared.loop_wakeups.fetch_add(1, Ordering::Relaxed);
+            self.shared.ready_events.record_us(events.len() as u64);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.backoff.expired(Instant::now()) {
+                // The backoff window is over; give accepting another go.
+                if let Err(e) = self
+                    .shared
+                    .poller
+                    .modify(&self.listener, Event::readable(LISTENER_KEY))
+                {
+                    eprintln!("inano-net: listener re-arm failed, retrying: {e}");
+                    self.shared.accept_retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff.engage(Instant::now());
+                }
+            }
+            self.drain_completions();
+            for ev in events.iter() {
+                if ev.key == LISTENER_KEY {
+                    self.on_listener();
+                } else {
+                    self.on_conn(ev);
+                }
+            }
         }
-        if wrote.is_err() || close {
-            // Unblock the reader (it may be mid-read or mid-send);
-            // its next operation fails and the connection winds down.
-            let _ = stream.shutdown(Shutdown::Both);
+        // Shutdown sweep: close every live connection on the way out.
+        for slot in 0..self.conns.len() {
+            if self.conns[slot].is_some() {
+                self.teardown(slot);
+            }
+        }
+    }
+
+    /// The listener fired: accept until it would block. Oneshot
+    /// registration means it stays disarmed unless re-armed here (or
+    /// by backoff expiry).
+    fn on_listener(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.backoff.reset();
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Err(e) = self
+                        .shared
+                        .poller
+                        .modify(&self.listener, Event::readable(LISTENER_KEY))
+                    {
+                        eprintln!("inano-net: listener re-arm failed, retrying: {e}");
+                        self.shared.accept_retries.fetch_add(1, Ordering::Relaxed);
+                        self.backoff.engage(Instant::now());
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Persistent accept failures (fd exhaustion, say)
+                    // must not busy-spin a core: count it, say why,
+                    // and leave the listener disarmed until the
+                    // backoff window ends.
+                    self.shared.accept_retries.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("inano-net: accept failed, retrying: {e}");
+                    self.backoff.engage(Instant::now());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Admission-check one accepted stream and register it, or refuse
+    /// it with a typed error.
+    fn admit(&mut self, stream: TcpStream) {
+        let shared = Arc::clone(&self.shared);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = refuse(stream, ErrorCode::ShuttingDown, "server is shutting down");
             return;
         }
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.faults.fetch_add(1, Ordering::Relaxed);
+            shared.note_shed("connection limit reached");
+            let _ = refuse(
+                stream,
+                ErrorCode::Overloaded,
+                format!("connection limit {} reached", shared.cfg.max_conns),
+            );
+            return;
+        }
+        // The refusals above ride on the still-blocking stream; from
+        // here the socket joins the nonblocking loop.
+        if stream
+            .set_nodelay(true)
+            .and_then(|()| stream.set_nonblocking(true))
+            .is_err()
+        {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.faults.fetch_add(1, Ordering::Relaxed);
+            let _ = refuse(
+                stream,
+                ErrorCode::Overloaded,
+                "cannot register connection (out of descriptors?)",
+            );
+            return;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        if unsafe { shared.poller.add(&stream, Event::readable(slot)) }.is_err() {
+            self.free.push(slot);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.faults.fetch_add(1, Ordering::Relaxed);
+            let _ = refuse(
+                stream,
+                ErrorCode::Overloaded,
+                "cannot register connection (out of descriptors?)",
+            );
+            return;
+        }
+        self.next_gen += 1;
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
+        self.conns[slot] = Some(Conn {
+            stream,
+            gen: self.next_gen,
+            id,
+            asm: FrameAssembler::new(),
+            pending: VecDeque::new(),
+            queued_requests: 0,
+            in_service: false,
+            in_service_request: false,
+            wq: WriteQueue::default(),
+            read_closed: false,
+        });
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.loop_fds.fetch_add(1, Ordering::Relaxed);
+        shared
+            .journal
+            .emit(EventKind::ConnAccepted, format!("conn={id}"));
     }
+
+    /// Readiness on one connection's socket.
+    fn on_conn(&mut self, ev: Event) {
+        let slot = ev.key;
+        // A completion processed earlier this wake may have torn the
+        // connection down; its already-harvested event is stale.
+        if self.conns.get(slot).is_none_or(|c| c.is_none()) {
+            return;
+        }
+        if ev.readable {
+            self.read_ready(slot);
+        }
+        // Writability needs no flag check: `service` always tries to
+        // flush whatever is queued.
+        self.service(slot);
+    }
+
+    /// Pull bytes while the socket has them, the round cap allows,
+    /// and backpressure permits. Leftover data re-fires on re-arm.
+    fn read_ready(&mut self, slot: usize) {
+        let cap = self.shared.cfg.max_inflight.max(1);
+        for _ in 0..READ_ROUNDS_PER_EVENT {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            // Backpressure: a full pending queue stops the reads (and
+            // `sync_interest` will drop read interest); TCP pushes
+            // back on the client until a worker drains us.
+            if conn.read_closed || conn.pending.len() >= cap {
+                return;
+            }
+            let n = match (&conn.stream).read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return;
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.read_closed = true;
+                    return;
+                }
+            };
+            self.ingest(slot, n);
+        }
+    }
+
+    /// Run `scratch[..n]` through the connection's assembler, queueing
+    /// one `Work` item per completed event and converting overflow
+    /// (the in-flight cap, the byte budget) into typed rejections.
+    fn ingest(&mut self, slot: usize, n: usize) {
+        let shared = Arc::clone(&self.shared);
+        let cap = shared.cfg.max_inflight.max(1);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let mut off = 0;
+        while off < n {
+            let (used, event) = conn.asm.feed(&self.scratch[off..n], &shared.cfg.limits);
+            off += used;
+            let Some(event) = event else {
+                if used == 0 {
+                    // Poisoned assembler: the rest of the input is
+                    // past the fatal fault and must not be parsed.
+                    return;
+                }
+                continue;
+            };
+            match event {
+                Assembled::Frame {
+                    request_id,
+                    frame,
+                    decode_us,
+                } => {
+                    // The trace clock starts the moment decode ends,
+                    // so queue time (however long the worker backlog)
+                    // is charged to the queue stage, not to decode.
+                    let trace = (request_id & TRACE_FLAG != 0).then(|| TraceCtx::begin(decode_us));
+                    let Some(claim) = try_claim(
+                        &shared.request_bytes,
+                        shared.cfg.max_request_bytes,
+                        frame_cost(&frame),
+                    ) else {
+                        // The decoded frame is dropped right here —
+                        // the whole point of the budget — and only its
+                        // id travels on for the in-order rejection.
+                        drop(frame);
+                        conn.pending.push_back(Work::Reject {
+                            request_id,
+                            reason: "server-wide request-memory budget reached",
+                        });
+                        continue;
+                    };
+                    shared.request_bytes_peak.fetch_max(
+                        shared.request_bytes.load(Ordering::Relaxed),
+                        Ordering::Relaxed,
+                    );
+                    if conn.queued_requests >= cap {
+                        // The cap is hit: refuse *this* request with a
+                        // typed error instead of queueing it. Dropping
+                        // the frame and claim frees its memory now.
+                        drop(claim);
+                        drop(frame);
+                        conn.pending.push_back(Work::Reject {
+                            request_id,
+                            reason: "per-connection in-flight request limit reached",
+                        });
+                    } else {
+                        conn.queued_requests += 1;
+                        conn.pending.push_back(Work::Request {
+                            request_id,
+                            frame,
+                            claim,
+                            trace,
+                        });
+                    }
+                }
+                Assembled::Fault { request_id, fault } => {
+                    conn.pending.push_back(Work::Fault { request_id, fault });
+                }
+                Assembled::Fatal { fault } => {
+                    conn.pending.push_back(Work::Fatal { fault });
+                    conn.read_closed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Apply every completion the workers have queued since the last
+    /// wake.
+    fn drain_completions(&mut self) {
+        let done: Vec<Completion> =
+            std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
+        for c in done {
+            self.apply_completion(c);
+        }
+    }
+
+    fn apply_completion(&mut self, c: Completion) {
+        let Some(conn) = self.conns.get_mut(c.key).and_then(|s| s.as_mut()) else {
+            return;
+        };
+        if conn.gen != c.gen {
+            return; // the slot was reused; this answer's conn is gone
+        }
+        conn.in_service = false;
+        if conn.in_service_request {
+            conn.queued_requests -= 1;
+            conn.in_service_request = false;
+        }
+        if !c.bytes.is_empty() {
+            conn.wq.bytes += c.bytes.len();
+            self.shared
+                .write_backlog
+                .fetch_add(c.bytes.len() as u64, Ordering::Relaxed);
+            conn.wq.bufs.push_back(c.bytes);
+        }
+        if c.close {
+            // Fatal framing fault: this reply is the stream's last
+            // word. Anything decoded after it is void.
+            conn.read_closed = true;
+            conn.pending.clear();
+            conn.queued_requests = 0;
+        }
+        self.service(c.key);
+    }
+
+    /// Advance one connection: flush writes, dispatch its next work
+    /// item if allowed, tear down if finished, and re-arm interest.
+    fn service(&mut self, slot: usize) {
+        let shared = Arc::clone(&self.shared);
+        let backlog_cap = write_backlog_cap(&shared.cfg);
+        let flush_failed = {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            flush_writes(conn, &shared).is_err()
+        };
+        if flush_failed {
+            self.teardown(slot);
+            return;
+        }
+        let done = {
+            let conn = self.conns[slot].as_mut().expect("conn just flushed");
+            // Dispatch gate: while this connection owes the client
+            // more reply bytes than the backlog cap, its work waits —
+            // generating yet more output for a non-reading peer helps
+            // no one.
+            if !conn.in_service && conn.wq.bytes < backlog_cap {
+                if let Some(work) = conn.pending.pop_front() {
+                    conn.in_service = true;
+                    conn.in_service_request = matches!(work, Work::Request { .. });
+                    shared.dispatch.push(Job {
+                        key: slot,
+                        gen: conn.gen,
+                        work,
+                    });
+                }
+            }
+            conn.read_closed
+                && conn.pending.is_empty()
+                && !conn.in_service
+                && conn.wq.bufs.is_empty()
+        };
+        if done {
+            self.teardown(slot);
+            return;
+        }
+        self.sync_interest(slot);
+    }
+
+    /// Re-arm the oneshot registration to match what the connection
+    /// can currently make progress on.
+    fn sync_interest(&mut self, slot: usize) {
+        let cap = self.shared.cfg.max_inflight.max(1);
+        let Some(conn) = self.conns[slot].as_ref() else {
+            return;
+        };
+        let ev = Event {
+            key: slot,
+            readable: !conn.read_closed && conn.pending.len() < cap,
+            writable: !conn.wq.bufs.is_empty(),
+        };
+        if self.shared.poller.modify(&conn.stream, ev).is_err() {
+            self.teardown(slot);
+        }
+    }
+
+    /// Remove one connection: deregister, release accounting, emit
+    /// the close event, free the slot. Dropping the `Conn` closes the
+    /// socket and releases any budget claims still queued.
+    fn teardown(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        let _ = self.shared.poller.delete(&conn.stream);
+        self.shared
+            .write_backlog
+            .fetch_sub(conn.wq.bytes as u64, Ordering::Relaxed);
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        self.shared.loop_fds.fetch_sub(1, Ordering::Relaxed);
+        self.shared
+            .journal
+            .emit(EventKind::ConnClosed, format!("conn={}", conn.id));
+        self.free.push(slot);
+    }
+}
+
+/// Write queued reply bytes until the socket would block or the queue
+/// empties. An error (including a zero-byte write) means the
+/// connection is dead.
+fn flush_writes(conn: &mut Conn, shared: &Shared) -> io::Result<()> {
+    while !conn.wq.bufs.is_empty() {
+        let res = {
+            let front = conn.wq.bufs.front().expect("non-empty write queue");
+            (&conn.stream).write(&front[conn.wq.off..])
+        };
+        match res {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ))
+            }
+            Ok(n) => {
+                conn.wq.off += n;
+                conn.wq.bytes -= n;
+                shared.write_backlog.fetch_sub(n as u64, Ordering::Relaxed);
+                if conn.wq.off == conn.wq.bufs.front().map_or(0, Vec::len) {
+                    conn.wq.bufs.pop_front();
+                    conn.wq.off = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One worker: pop jobs, answer them, queue the encoded completion,
+/// kick the loop. Exits when shutdown is flagged.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.dispatch.pop(&shared.shutdown) {
+        let (bytes, close) = answer(shared, job.work);
+        shared
+            .completions
+            .lock()
+            .expect("completions lock")
+            .push(Completion {
+                key: job.key,
+                gen: job.gen,
+                bytes,
+                close,
+            });
+        let _ = shared.poller.notify();
+    }
+}
+
+/// Answer one work item: run the request (or materialise the typed
+/// error), keep the counters and the slow log, and encode the reply —
+/// plus the `TraceReply` trailer when one is owed — into the byte
+/// buffer the loop will queue on the connection.
+fn answer(shared: &Shared, work: Work) -> (Vec<u8>, bool) {
+    // `overloaded` and `faults` are disjoint categories: a rejection
+    // is healthy throttling, not a protocol or engine fault, and must
+    // not make a throttled server look broken.
+    let mut count_fault = true;
+    // The request's budget claim lives until its reply is encoded
+    // (that is when the request's memory is truly gone).
+    let mut _claim = None;
+    let mut trace = None;
+    // Worker-side latency (engine + encode, not queue) feeds the
+    // slow-query ring; `(frame type, batch size)` is kept out-of-band
+    // so the description closure outlives the frame.
+    let started = Instant::now();
+    let mut slow_key: Option<(u8, usize)> = None;
+    let (request_id, reply, close) = match work {
+        Work::Request {
+            request_id,
+            frame,
+            claim,
+            trace: t,
+        } => {
+            trace = t;
+            if let Some(t) = trace.as_mut() {
+                t.dequeued();
+            }
+            let reply = respond(
+                shared.registry.as_ref(),
+                shared.obs.as_ref(),
+                shared.journal.as_ref(),
+                &frame,
+                &shared.cfg.limits,
+            );
+            if let Some(t) = trace.as_mut() {
+                t.served();
+            }
+            // A request the server had room to serve closes any open
+            // overload episode.
+            shared.note_served();
+            let batch = match &frame {
+                Frame::QueryBatch { pairs, .. } => pairs.len(),
+                _ => 0,
+            };
+            slow_key = Some((frame.frame_type(), batch));
+            drop(frame);
+            _claim = Some(claim);
+            (request_id, reply, false)
+        }
+        Work::Reject { request_id, reason } => {
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            shared.note_shed(reason);
+            count_fault = false;
+            let fault = WireFault::new(ErrorCode::Overloaded, reason);
+            (request_id, Frame::Error { fault }, false)
+        }
+        Work::Fault { request_id, fault } => (request_id, Frame::Error { fault }, false),
+        Work::Fatal { fault } => (0, Frame::Error { fault }, true),
+    };
+    let is_error = matches!(reply, Frame::Error { .. });
+    if count_fault && is_error {
+        shared.faults.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, request_id, &reply).expect("encoding into a Vec cannot fail");
+    if let Some(t) = trace.take() {
+        // The trailer follows every *non-error* traced reply — the
+        // same rule the client applies, so a pipelined stream never
+        // misparses an error as a trailer. Encoding both into one
+        // buffer keeps reply and trailer adjacent on the wire.
+        if !is_error {
+            let timings = t.finish();
+            write_frame(&mut bytes, request_id, &Frame::TraceReply { timings })
+                .expect("encoding into a Vec cannot fail");
+        }
+    }
+    if let Some((frame_type, batch)) = slow_key {
+        let us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        shared.slow.record_with(us, || {
+            format!("frame {frame_type:#04x} id={request_id} pairs={batch}")
+        });
+    }
+    (bytes, close)
 }
 
 /// Map one decoded request to its reply frame, routing shard-addressed
@@ -959,5 +1588,72 @@ fn respond(
 fn fault_reply(e: &ModelError) -> Frame {
     Frame::Error {
         fault: WireFault::from(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_doubles_to_the_cap_and_resets() {
+        let mut b = AcceptBackoff::new();
+        let t0 = Instant::now();
+        assert!(b.timeout(t0).is_none(), "fresh backoff imposes no timeout");
+        b.engage(t0);
+        assert_eq!(b.timeout(t0), Some(AcceptBackoff::START));
+        // Each engagement doubles the *next* window, saturating at
+        // the cap.
+        let mut expect = AcceptBackoff::START * 2;
+        for _ in 0..12 {
+            b.engage(t0);
+            assert_eq!(b.timeout(t0), Some(expect.min(AcceptBackoff::CAP)));
+            expect = (expect * 2).min(AcceptBackoff::CAP);
+        }
+        assert_eq!(b.timeout(t0), Some(AcceptBackoff::CAP));
+        b.reset();
+        assert!(b.timeout(t0).is_none());
+        b.engage(t0);
+        assert_eq!(b.timeout(t0), Some(AcceptBackoff::START));
+    }
+
+    #[test]
+    fn accept_backoff_expiry_clears_the_window_once() {
+        let mut b = AcceptBackoff::new();
+        let t0 = Instant::now();
+        assert!(!b.expired(t0), "no window, nothing to expire");
+        b.engage(t0);
+        assert!(!b.expired(t0), "window still open at its start");
+        let later = t0 + AcceptBackoff::START;
+        assert!(b.expired(later), "window elapsed");
+        assert!(!b.expired(later), "expiry is edge-triggered");
+        // A timeout queried mid-window shrinks as time passes.
+        b.engage(t0);
+        let full = b.timeout(t0).expect("window open");
+        let left = b.timeout(t0 + full / 2).expect("window still open");
+        assert!(left < full);
+    }
+
+    #[test]
+    fn write_backlog_cap_tracks_the_frame_limit_with_a_floor() {
+        let mut cfg = ServerConfig::default();
+        // Default 1MiB frames → 2MiB cap.
+        assert_eq!(write_backlog_cap(&cfg), 2 << 20);
+        // Tiny frame limits still get the 1MiB floor.
+        cfg.limits.max_frame_bytes = 1024;
+        assert_eq!(write_backlog_cap(&cfg), 1 << 20);
+        // Big frame limits scale the cap up.
+        cfg.limits.max_frame_bytes = 64 << 20;
+        assert_eq!(write_backlog_cap(&cfg), 128 << 20);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        // Asking for 1 never lowers the limit; the returned value is
+        // whatever is in force, which must cover at least stdio.
+        let now = raise_nofile_limit(1);
+        assert!(now >= 3);
+        // Asking again for the same value is idempotent.
+        assert_eq!(raise_nofile_limit(1), now);
     }
 }

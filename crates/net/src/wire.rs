@@ -1205,32 +1205,8 @@ pub fn read_frame_timed(
     }
     let started = Instant::now();
     r.read_exact(&mut header[1..])?;
-    let magic = u32::from_be_bytes(header[0..4].try_into().unwrap());
-    if magic != MAGIC {
-        return Err(ReadError::Fatal(WireFault::new(
-            ErrorCode::BadMagic,
-            format!("got {magic:#010x}, want {MAGIC:#010x}"),
-        )));
-    }
-    let version = header[4];
-    if !(MIN_VERSION..=VERSION).contains(&version) {
-        return Err(ReadError::Fatal(WireFault::new(
-            ErrorCode::BadVersion,
-            format!("got version {version}, want {MIN_VERSION}..={VERSION}"),
-        )));
-    }
-    let frame_type = header[5];
-    let request_id = u64::from_be_bytes(header[6..14].try_into().unwrap());
-    let payload_len = u32::from_be_bytes(header[14..18].try_into().unwrap());
-    if payload_len > limits.max_frame_bytes {
-        return Err(ReadError::Fatal(WireFault::new(
-            ErrorCode::FrameTooLarge,
-            format!(
-                "declared payload of {payload_len} bytes exceeds limit {}",
-                limits.max_frame_bytes
-            ),
-        )));
-    }
+    let (frame_type, request_id, payload_len) =
+        validate_header(&header, limits).map_err(ReadError::Fatal)?;
     let mut payload = vec![0u8; payload_len as usize];
     r.read_exact(&mut payload)?;
     match Frame::decode_payload(frame_type, &payload, limits) {
@@ -1239,6 +1215,212 @@ pub fn read_frame_timed(
             Ok(Some((request_id, frame, decode_us)))
         }
         Err(fault) => Err(ReadError::Frame { request_id, fault }),
+    }
+}
+
+/// Validate a complete header against `limits`, yielding
+/// `(frame_type, request_id, payload_len)` or the *fatal* fault that
+/// desynchronises the stream. Shared by the blocking reader above and
+/// the incremental [`FrameAssembler`], so both severities stay
+/// byte-for-byte identical whichever reader a peer lands on.
+fn validate_header(
+    header: &[u8; HEADER_BYTES],
+    limits: &Limits,
+) -> Result<(u8, u64, u32), WireFault> {
+    let magic = u32::from_be_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireFault::new(
+            ErrorCode::BadMagic,
+            format!("got {magic:#010x}, want {MAGIC:#010x}"),
+        ));
+    }
+    let version = header[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(WireFault::new(
+            ErrorCode::BadVersion,
+            format!("got version {version}, want {MIN_VERSION}..={VERSION}"),
+        ));
+    }
+    let frame_type = header[5];
+    let request_id = u64::from_be_bytes(header[6..14].try_into().unwrap());
+    let payload_len = u32::from_be_bytes(header[14..18].try_into().unwrap());
+    if payload_len > limits.max_frame_bytes {
+        return Err(WireFault::new(
+            ErrorCode::FrameTooLarge,
+            format!(
+                "declared payload of {payload_len} bytes exceeds limit {}",
+                limits.max_frame_bytes
+            ),
+        ));
+    }
+    Ok((frame_type, request_id, payload_len))
+}
+
+// ---- incremental (readiness-driven) frame assembly ------------------
+
+/// One completed step of incremental decoding — what a blocking reader
+/// would have returned, minus the I/O.
+#[derive(Debug)]
+pub enum Assembled {
+    /// A complete frame decoded. `decode_us` spans the first byte of
+    /// this frame reaching the assembler to decode completing — the
+    /// trace `decode` stage, fragmentation stalls included, matching
+    /// what [`read_frame_timed`] charges a blocking reader.
+    Frame {
+        request_id: u64,
+        frame: Frame,
+        decode_us: u32,
+    },
+    /// The payload was framed soundly but does not parse. The stream
+    /// is still aligned; feeding may continue.
+    Fault { request_id: u64, fault: WireFault },
+    /// The stream desynchronised (bad magic or version, oversized
+    /// declared payload). Answer once and close: the assembler is
+    /// poisoned and consumes nothing further.
+    Fatal { fault: WireFault },
+}
+
+enum AsmState {
+    /// Accumulating the fixed 18-byte header; `started` is stamped
+    /// when the frame's first byte arrives.
+    Header {
+        buf: [u8; HEADER_BYTES],
+        have: usize,
+        started: Option<Instant>,
+    },
+    /// Header validated; accumulating `need` payload bytes.
+    Payload {
+        request_id: u64,
+        frame_type: u8,
+        need: usize,
+        buf: Vec<u8>,
+        started: Instant,
+    },
+    /// A fatal fault was reported; no further input is accepted.
+    Poisoned,
+}
+
+/// The per-connection reader state machine for a nonblocking socket:
+/// feed it whatever bytes each readiness event yields — in any
+/// fragmentation, down to one byte at a time — and it emits exactly
+/// the `(request_id, Frame, decode_us)` sequence the blocking
+/// [`read_frame_timed`] loop would have produced, with the same
+/// fatal-versus-per-frame severity split.
+pub struct FrameAssembler {
+    state: AsmState,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> FrameAssembler {
+        FrameAssembler::new()
+    }
+}
+
+impl FrameAssembler {
+    pub fn new() -> FrameAssembler {
+        FrameAssembler {
+            state: AsmState::Header {
+                buf: [0; HEADER_BYTES],
+                have: 0,
+                started: None,
+            },
+        }
+    }
+
+    /// True when a frame is partially assembled — an EOF here is a
+    /// truncated frame, not a clean close at a boundary.
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            AsmState::Header { have, .. } => *have > 0,
+            AsmState::Payload { .. } => true,
+            AsmState::Poisoned => false,
+        }
+    }
+
+    /// Consume a prefix of `input`, returning how many bytes were taken
+    /// and at most one assembled event. Callers loop — re-feeding the
+    /// unconsumed remainder — until a call consumes nothing and yields
+    /// nothing; a poisoned assembler does exactly that forever.
+    pub fn feed(&mut self, input: &[u8], limits: &Limits) -> (usize, Option<Assembled>) {
+        match &mut self.state {
+            AsmState::Poisoned => (0, None),
+            AsmState::Header { buf, have, started } => {
+                if input.is_empty() {
+                    return (0, None);
+                }
+                if started.is_none() {
+                    *started = Some(Instant::now());
+                }
+                let take = input.len().min(HEADER_BYTES - *have);
+                buf[*have..*have + take].copy_from_slice(&input[..take]);
+                *have += take;
+                if *have < HEADER_BYTES {
+                    return (take, None);
+                }
+                let started = started.expect("stamped on first byte");
+                match validate_header(buf, limits) {
+                    Err(fault) => {
+                        self.state = AsmState::Poisoned;
+                        (take, Some(Assembled::Fatal { fault }))
+                    }
+                    Ok((frame_type, request_id, 0)) => {
+                        let event = self.complete(request_id, frame_type, &[], started, limits);
+                        (take, Some(event))
+                    }
+                    Ok((frame_type, request_id, payload_len)) => {
+                        self.state = AsmState::Payload {
+                            request_id,
+                            frame_type,
+                            need: payload_len as usize,
+                            buf: Vec::with_capacity(payload_len as usize),
+                            started,
+                        };
+                        (take, None)
+                    }
+                }
+            }
+            AsmState::Payload {
+                request_id,
+                frame_type,
+                need,
+                buf,
+                started,
+            } => {
+                let take = input.len().min(*need - buf.len());
+                buf.extend_from_slice(&input[..take]);
+                if buf.len() < *need {
+                    return (take, None);
+                }
+                let (request_id, frame_type, started) = (*request_id, *frame_type, *started);
+                let payload = std::mem::take(buf);
+                let event = self.complete(request_id, frame_type, &payload, started, limits);
+                (take, Some(event))
+            }
+        }
+    }
+
+    /// Decode a fully-buffered payload and reset for the next frame.
+    fn complete(
+        &mut self,
+        request_id: u64,
+        frame_type: u8,
+        payload: &[u8],
+        started: Instant,
+        limits: &Limits,
+    ) -> Assembled {
+        self.state = AsmState::Header {
+            buf: [0; HEADER_BYTES],
+            have: 0,
+            started: None,
+        };
+        match Frame::decode_payload(frame_type, payload, limits) {
+            Ok(frame) => Assembled::Frame {
+                request_id,
+                frame,
+                decode_us: started.elapsed().as_micros().min(u32::MAX as u128) as u32,
+            },
+            Err(fault) => Assembled::Fault { request_id, fault },
+        }
     }
 }
 
@@ -1744,5 +1926,229 @@ mod tests {
             }
             other => panic!("want error frame, got {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod assembler_tests {
+    use super::*;
+
+    /// Feed `bytes` through a fresh assembler in `chunk`-sized pieces,
+    /// collecting every event.
+    fn feed_chunked(bytes: &[u8], chunk: usize, limits: &Limits) -> Vec<Assembled> {
+        let mut asm = FrameAssembler::new();
+        let mut events = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            let mut rest = piece;
+            while !rest.is_empty() {
+                let (taken, event) = asm.feed(rest, limits);
+                events.extend(event);
+                if taken == 0 {
+                    // Poisoned: the remainder must never be consumed.
+                    assert!(matches!(events.last(), Some(Assembled::Fatal { .. })));
+                    return events;
+                }
+                rest = &rest[taken..];
+            }
+        }
+        events
+    }
+
+    fn sample_stream() -> (Vec<Frame>, Vec<u64>, Vec<u8>) {
+        let frames = vec![
+            Frame::QueryBatch {
+                shard: ShardId(1),
+                pairs: vec![(Ipv4(10), Ipv4(20)), (Ipv4(30), Ipv4(40))],
+            },
+            Frame::Ping,
+            Frame::Error {
+                fault: WireFault::new(ErrorCode::NoPath, "no path"),
+            },
+        ];
+        let ids = vec![1, TRACE_FLAG | 2, 3];
+        let mut bytes = Vec::new();
+        for (frame, id) in frames.iter().zip(&ids) {
+            bytes.extend_from_slice(&frame.encode(*id));
+        }
+        (frames, ids, bytes)
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembles_a_pipelined_stream() {
+        let (frames, ids, bytes) = sample_stream();
+        let events = feed_chunked(&bytes, 1, &Limits::default());
+        assert_eq!(events.len(), frames.len());
+        for ((event, want), want_id) in events.iter().zip(&frames).zip(&ids) {
+            match event {
+                Assembled::Frame {
+                    request_id, frame, ..
+                } => {
+                    assert_eq!(request_id, want_id);
+                    assert_eq!(frame, want);
+                }
+                other => panic!("want frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_fragmentation_yields_the_same_frames() {
+        // Pathological chop sizes, none aligned with the 18-byte
+        // header: every boundary lands mid-header or mid-payload
+        // somewhere in the stream.
+        let (frames, _, bytes) = sample_stream();
+        for chunk in [2, 3, 5, 7, 11, 13, 17, 19, 23] {
+            let events = feed_chunked(&bytes, chunk, &Limits::default());
+            let got: Vec<&Frame> = events
+                .iter()
+                .map(|e| match e {
+                    Assembled::Frame { frame, .. } => frame,
+                    other => panic!("chunk {chunk}: want frame, got {other:?}"),
+                })
+                .collect();
+            assert_eq!(got.len(), frames.len(), "chunk size {chunk}");
+            for (got, want) in got.iter().zip(&frames) {
+                assert_eq!(*got, want, "chunk size {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_inside_the_length_header_carries_across_events() {
+        let frame = Frame::QueryBatch {
+            shard: ShardId(0),
+            pairs: vec![(Ipv4(1), Ipv4(2))],
+        };
+        let bytes = frame.encode(9);
+        let limits = Limits::default();
+        let mut asm = FrameAssembler::new();
+        // 16 bytes ends two bytes *inside* the 4-byte length field.
+        let (taken, event) = asm.feed(&bytes[..16], &limits);
+        assert_eq!(taken, 16);
+        assert!(event.is_none());
+        assert!(asm.mid_frame());
+        // One more length byte; still no complete header.
+        let (taken, event) = asm.feed(&bytes[16..17], &limits);
+        assert_eq!(taken, 1);
+        assert!(event.is_none());
+        // The rest: header completes, payload accumulates, frame pops.
+        let mut rest = &bytes[17..];
+        let mut got = None;
+        while !rest.is_empty() {
+            let (taken, event) = asm.feed(rest, &limits);
+            assert!(taken > 0);
+            rest = &rest[taken..];
+            if let Some(e) = event {
+                got = Some(e);
+            }
+        }
+        match got.expect("frame assembled") {
+            Assembled::Frame {
+                request_id,
+                frame: got,
+                ..
+            } => {
+                assert_eq!(request_id, 9);
+                assert_eq!(got, frame);
+            }
+            other => panic!("want frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_frame_fault_keeps_the_stream_aligned() {
+        // A batch over `max_batch` is framed soundly but must not
+        // parse; the next frame on the stream still decodes.
+        let big = Frame::QueryBatch {
+            shard: ShardId(0),
+            pairs: (0..5).map(|i| (Ipv4(i), Ipv4(i))).collect(),
+        };
+        let mut bytes = big.encode(4);
+        bytes.extend_from_slice(&Frame::Ping.encode(5));
+        let limits = Limits {
+            max_batch: 2,
+            ..Limits::default()
+        };
+        let events = feed_chunked(&bytes, 3, &limits);
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Assembled::Fault { request_id, fault } => {
+                assert_eq!(*request_id, 4);
+                assert_eq!(fault.code, ErrorCode::BatchTooLarge);
+            }
+            other => panic!("want fault, got {other:?}"),
+        }
+        match &events[1] {
+            Assembled::Frame {
+                request_id,
+                frame: Frame::Ping,
+                ..
+            } => assert_eq!(*request_id, 5),
+            other => panic!("want ping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fatal_poisons_the_assembler() {
+        let mut bytes = Frame::Ping.encode(1);
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]); // bad magic
+        bytes.extend_from_slice(&Frame::Ping.encode(2).as_slice()[4..]);
+        bytes.extend_from_slice(&Frame::Ping.encode(3)); // never reached
+        let limits = Limits::default();
+        let events = feed_chunked(&bytes, 1, &limits);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Assembled::Frame { request_id: 1, .. }));
+        match &events[1] {
+            Assembled::Fatal { fault } => assert_eq!(fault.code, ErrorCode::BadMagic),
+            other => panic!("want fatal, got {other:?}"),
+        }
+        // Poisoned: nothing further is consumed, ever.
+        let mut asm = FrameAssembler::new();
+        let (_, event) = asm.feed(&[0u8; HEADER_BYTES], &limits);
+        assert!(matches!(event, Some(Assembled::Fatal { .. })));
+        let (taken, event) = asm.feed(b"more", &limits);
+        assert_eq!(taken, 0);
+        assert!(event.is_none());
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn oversized_declared_payload_is_fatal_before_any_payload_arrives() {
+        let limits = Limits {
+            max_frame_bytes: 64,
+            ..Limits::default()
+        };
+        let big = Frame::QueryBatch {
+            shard: ShardId(0),
+            pairs: (0..100).map(|i| (Ipv4(i), Ipv4(i))).collect(),
+        };
+        let bytes = big.encode(7);
+        let mut asm = FrameAssembler::new();
+        // Feed exactly the header: the fatal must fire on validation,
+        // without waiting for (or allocating) the declared payload.
+        let (taken, event) = asm.feed(&bytes[..HEADER_BYTES], &limits);
+        assert_eq!(taken, HEADER_BYTES);
+        match event {
+            Some(Assembled::Fatal { fault }) => assert_eq!(fault.code, ErrorCode::FrameTooLarge),
+            other => panic!("want fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_payload_frames_complete_at_the_header_boundary() {
+        let bytes = Frame::Ping.encode(42);
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        let mut asm = FrameAssembler::new();
+        let (taken, event) = asm.feed(&bytes, &Limits::default());
+        assert_eq!(taken, HEADER_BYTES);
+        assert!(matches!(
+            event,
+            Some(Assembled::Frame {
+                request_id: 42,
+                frame: Frame::Ping,
+                ..
+            })
+        ));
+        assert!(!asm.mid_frame());
     }
 }
