@@ -37,17 +37,22 @@
 //! recovered *through* a crowd of registrations, not on a quiet
 //! server.
 //!
+//! `--udp-clients N` opens every node's datagram plane and adds `N`
+//! [`UdpQuerier`] workers with the same query mix — so faults are
+//! also recovered *through* the retry-and-rebind path of clients
+//! that hold no connection at all.
+//!
 //! Usage: `fleet_sim [--mirrors N] [--depth D] [--clients C]
 //!         [--ring N] [--refresh-ms MS] [--scrape-ms MS]
 //!         [--faults kill-restart,chain-break,hostile] [--seed S]
-//!         [--idle-peers N]`
+//!         [--idle-peers N] [--udp-clients N]`
 
 use inano_atlas::{Atlas, AtlasDelta, LinkAnnotation, Plane};
 use inano_core::{AtlasReader, AtlasSource};
 use inano_model::{ClusterId, Ipv4, LatencyMs};
 use inano_net::cli::arg;
 use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config};
-use inano_net::{MirrorSource, NetClient, NetServer, ServerConfig};
+use inano_net::{MirrorSource, NetClient, NetServer, ServerConfig, UdpQuerier, UdpRetry};
 use inano_obs::{now_ms, Event, EventKind};
 use inano_service::{QueryEngine, ServiceConfig, ShardId, DELTA_LOG_CAP};
 use rand::rngs::SmallRng;
@@ -98,11 +103,16 @@ fn sim_service_config() -> ServiceConfig {
 /// Low in-flight cap so the hostile pipeliner reliably trips the
 /// overload path; normal workers are synchronous (one in flight).
 /// `idle_headroom` widens the admission gate for the `--idle-peers`
-/// crowd parked on this node.
-fn sim_server_config(idle_headroom: usize) -> ServerConfig {
+/// crowd parked on this node. With `udp` the node also opens an
+/// ephemeral datagram socket (rate limit off: every datagram client
+/// in this harness shares 127.0.0.1, so the per-source bucket would
+/// see one giant "source").
+fn sim_server_config(idle_headroom: usize, udp: bool) -> ServerConfig {
     ServerConfig {
         max_conns: 512 + idle_headroom,
         max_inflight: 32,
+        udp: udp.then(|| "127.0.0.1:0".parse().expect("literal addr")),
+        udp_rate: 0,
         ..ServerConfig::default()
     }
 }
@@ -113,6 +123,9 @@ fn sim_server_config(idle_headroom: usize) -> ServerConfig {
 struct Shared {
     /// `addrs[0]` is the origin, `addrs[1 + m]` is mirror `m`.
     addrs: Vec<Mutex<String>>,
+    /// Datagram-plane addresses, same indexing; empty strings when
+    /// the run has no `--udp-clients`.
+    udp_addrs: Vec<Mutex<String>>,
     labels: Vec<String>,
     stop: AtomicBool,
     /// > 0 while an injected fault window is open.
@@ -133,8 +146,24 @@ impl Shared {
         }
     }
 
+    /// A datagram call spans its whole retry budget, so a failure is
+    /// attributed to a fault window open at *either* end of the call
+    /// — a kill mid-retry is still the fault's doing even if the
+    /// window closed before the last attempt gave up.
+    fn note_failure_spanning(&self, open_at_start: bool) {
+        if open_at_start || self.fault_open.load(Ordering::Relaxed) > 0 {
+            self.failed_inside.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed_outside.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn addr(&self, node: usize) -> String {
         self.addrs[node].lock().expect("addr table").clone()
+    }
+
+    fn udp_addr(&self, node: usize) -> String {
+        self.udp_addrs[node].lock().expect("udp addr table").clone()
     }
 }
 
@@ -208,6 +237,74 @@ fn worker_loop(i: usize, ring: u32, seed: u64, diurnal_ms: u64, shared: Arc<Shar
             }
             // Diurnal pacing: the inter-batch gap swings over a short
             // "day", so load peaks and troughs like §5's client mix.
+            let phase =
+                (started.elapsed().as_millis() as u64 % diurnal_ms) as f64 / diurnal_ms as f64;
+            let us = 300.0 * (1.0 + 0.9 * (std::f64::consts::TAU * phase).sin());
+            thread::sleep(Duration::from_micros(us.max(1.0) as u64));
+        }
+    }
+}
+
+/// Retry policy of the fleet's datagram workers — tight, so a killed
+/// node surfaces as a failed call in well under a second instead of
+/// the stock multi-second budget blurring failures past the fault
+/// window.
+const UDP_WORKER_RETRY: UdpRetry = UdpRetry {
+    timeout: Duration::from_millis(100),
+    max_timeout: Duration::from_millis(400),
+    attempts: 3,
+};
+
+/// Worst case for one failed datagram call under [`UDP_WORKER_RETRY`]
+/// (the summed reply windows: 100 + 200 + 400 ms). A call issued just
+/// *before* an injection can take this long to give up, so fault
+/// windows must stay open this much longer before failures are
+/// classified as unexpected.
+const UDP_WORKER_FAIL_MS: u64 = 100 + 200 + 400;
+
+/// One datagram client worker: the same zipf mix and diurnal pacing
+/// as [`worker_loop`], carried one `QueryBatch` per datagram by a
+/// [`UdpQuerier`] pinned to a node's `--udp` socket. A failed call
+/// (retry budget exhausted — the node is dark or rebound elsewhere)
+/// re-resolves the node's current datagram address, which is how a
+/// restarted server's fresh ephemeral port is picked up.
+fn udp_worker_loop(i: usize, ring: u32, seed: u64, diurnal_ms: u64, shared: Arc<Shared>) {
+    let node = i % shared.addrs.len();
+    let mut rng = SmallRng::seed_from_u64(
+        seed ^ 0xD474_6172 ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let started = Instant::now();
+    'outer: while !shared.stop.load(Ordering::Relaxed) {
+        let mut querier = match UdpQuerier::connect(shared.udp_addr(node)) {
+            Ok(q) => q,
+            Err(_) => {
+                thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+        };
+        querier.set_retry(UDP_WORKER_RETRY);
+        loop {
+            if shared.stop.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            let open_at_start = shared.fault_open.load(Ordering::Relaxed) > 0;
+            let pairs = batch(&mut rng, ring, &shared.zipf_cum);
+            match querier.query_batch(&pairs) {
+                Ok(results) => {
+                    for r in results {
+                        match r {
+                            Ok(_) => {
+                                shared.served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => shared.note_failure(),
+                        }
+                    }
+                }
+                Err(_) => {
+                    shared.note_failure_spanning(open_at_start);
+                    break; // re-resolve the node's datagram address
+                }
+            }
             let phase =
                 (started.elapsed().as_millis() as u64 % diurnal_ms) as f64 / diurnal_ms as f64;
             let us = 300.0 * (1.0 + 0.9 * (std::f64::consts::TAU * phase).sin());
@@ -346,6 +443,7 @@ fn main() {
     let diurnal_ms: u64 = arg("--diurnal-ms", 1000);
     let seed: u64 = arg("--seed", 42);
     let idle_peers: usize = arg("--idle-peers", 0);
+    let udp_clients: usize = arg("--udp-clients", 0);
     let faults_arg: String = arg("--faults", "kill-restart,chain-break,hostile".to_string());
     let faults: Vec<String> = faults_arg
         .split(',')
@@ -379,10 +477,14 @@ fn main() {
     let breadth = mirrors.div_ceil(depth);
     let parent_of = |m: usize| if m < breadth { 0 } else { m - breadth + 1 };
 
+    let udp = udp_clients > 0;
     let mut engines: Vec<Arc<QueryEngine>> = Vec::with_capacity(mirrors + 1);
     let mut servers: Vec<Option<NetServer>> = Vec::with_capacity(mirrors + 1);
     let mut addrs: Vec<Mutex<String>> = Vec::with_capacity(mirrors + 1);
+    let mut udp_addrs: Vec<Mutex<String>> = Vec::with_capacity(mirrors + 1);
     let mut labels: Vec<String> = Vec::with_capacity(mirrors + 1);
+    let udp_addr_of =
+        |s: &NetServer| Mutex::new(s.udp_addr().map(|a| a.to_string()).unwrap_or_default());
 
     let origin_engine = Arc::new(QueryEngine::new(
         Arc::new(sim_atlas(ring, 0)),
@@ -391,10 +493,11 @@ fn main() {
     let origin = NetServer::bind_single(
         "127.0.0.1:0",
         Arc::clone(&origin_engine),
-        sim_server_config(idle_per_node),
+        sim_server_config(idle_per_node, udp),
     )
     .expect("bind origin");
     addrs.push(Mutex::new(origin.local_addr().to_string()));
+    udp_addrs.push(udp_addr_of(&origin));
     labels.push("origin".to_string());
     engines.push(origin_engine);
     servers.push(Some(origin));
@@ -411,7 +514,7 @@ fn main() {
         let server = NetServer::bind_single(
             "127.0.0.1:0",
             Arc::clone(&engine),
-            sim_server_config(idle_per_node),
+            sim_server_config(idle_per_node, udp),
         )
         .unwrap_or_else(|e| panic!("m{m}: bind: {e}"));
         eprintln!(
@@ -420,6 +523,7 @@ fn main() {
             server.local_addr()
         );
         addrs.push(Mutex::new(server.local_addr().to_string()));
+        udp_addrs.push(udp_addr_of(&server));
         labels.push(format!("m{m}"));
         engines.push(engine);
         servers.push(Some(server));
@@ -427,6 +531,7 @@ fn main() {
 
     let shared = Arc::new(Shared {
         addrs,
+        udp_addrs,
         labels,
         stop: AtomicBool::new(false),
         fault_open: AtomicU64::new(0),
@@ -473,6 +578,15 @@ fn main() {
                 .name(format!("worker-{i}"))
                 .spawn(move || worker_loop(i, ring, seed, diurnal_ms, shared))
                 .expect("spawn worker"),
+        );
+    }
+    for i in 0..udp_clients {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("udp-worker-{i}"))
+                .spawn(move || udp_worker_loop(i, ring, seed, diurnal_ms, shared))
+                .expect("spawn udp worker"),
         );
     }
 
@@ -528,10 +642,12 @@ fn main() {
                 let server = NetServer::bind_single(
                     "127.0.0.1:0",
                     Arc::clone(&engines[victim]),
-                    sim_server_config(idle_per_node),
+                    sim_server_config(idle_per_node, udp),
                 )
                 .expect("rebind the killed mirror");
                 *shared.addrs[victim].lock().expect("addr table") = server.local_addr().to_string();
+                *shared.udp_addrs[victim].lock().expect("udp addr table") =
+                    server.udp_addr().map(|a| a.to_string()).unwrap_or_default();
                 eprintln!(
                     "fault kill-restart: {label} back at {}",
                     server.local_addr()
@@ -546,8 +662,11 @@ fn main() {
                     recovery_timeout,
                 );
                 // Let stragglers on the old socket surface inside the
-                // window before it closes.
-                thread::sleep(Duration::from_millis(200));
+                // window before it closes — datagram callers may
+                // still be burning their retry budget.
+                thread::sleep(Duration::from_millis(
+                    200 + if udp { UDP_WORKER_FAIL_MS } else { 0 },
+                ));
                 shared.fault_open.fetch_sub(1, Ordering::SeqCst);
                 record_fault(&mut fault_records, "kill-restart", &label, fault_t, ev);
             }
@@ -590,7 +709,7 @@ fn main() {
                     .collect();
                 let mut pipeliner =
                     NetClient::connect(shared.addr(0)).expect("hostile pipeliner connects");
-                let depth = sim_server_config(0).max_inflight * 8;
+                let depth = sim_server_config(0, false).max_inflight * 8;
                 let mut submitted = 0usize;
                 for _ in 0..depth {
                     if pipeliner.submit_batch(&flood).is_err() {
@@ -614,7 +733,9 @@ fn main() {
                 let ev = start.as_ref().and_then(|s| {
                     await_event(&shared, 0, EventKind::OverloadEnd, s.t_ms, recovery_timeout)
                 });
-                thread::sleep(Duration::from_millis(200));
+                thread::sleep(Duration::from_millis(
+                    200 + if udp { UDP_WORKER_FAIL_MS } else { 0 },
+                ));
                 shared.fault_open.fetch_sub(1, Ordering::SeqCst);
                 let episode_start = start.map(|s| s.t_ms).unwrap_or(fault_t);
                 record_fault(&mut fault_records, "hostile", &label, episode_start, ev);
@@ -664,7 +785,7 @@ fn main() {
     // The contract line: exactly one JSON record on stdout.
     println!(
         "{{\"bench\":\"fleet_sim\",\"ring\":{ring},\"mirrors\":{mirrors},\"depth\":{depth},\
-         \"clients\":{clients},\"idle_peers\":{idle_peers},\
+         \"clients\":{clients},\"idle_peers\":{idle_peers},\"udp_clients\":{udp_clients},\
          \"duration_ms\":{duration_ms},\"origin_day\":{origin_day},\
          \"queries\":{},\"failed_queries\":{},\"failed_in_fault_windows\":{},\
          \"events\":{},\"conn_events\":{conn_events},\"events_lost\":{},\

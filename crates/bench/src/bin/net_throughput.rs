@@ -37,19 +37,29 @@
 //! round-trip times; `batch` and `depth` in the JSON record say how
 //! much work one request carries and how many were kept in flight.
 //!
+//! * **`--udp`**: the datagram-plane counterpart. Starts an
+//!   in-process ring-world server with the UDP plane enabled (or
+//!   drives an external one's datagram address via `--connect`) and
+//!   issues synchronous one-datagram-per-request `QueryBatch` calls
+//!   from `--clients` [`UdpQuerier`]s. Batches default smaller (64
+//!   pairs) because the *reply* must fit one datagram. Reports a
+//!   `"transport":"udp"` `net_throughput` record with retry counters
+//!   (`resends`, `stale_replies`), so TCP-vs-datagram cost per query
+//!   is tracked side by side in `BENCH_net_throughput.json`.
+//!
 //! Usage: `net_throughput [--queries N] [--clients C] [--batch B]
 //!         [--depth D] [--workers W] [--shards S]
 //!         [--scale test|experiment] [--connect ADDR] [--ring N]
-//!         [--connections N]`
+//!         [--connections N] [--udp]`
 
 use inano_atlas::AtlasDelta;
 use inano_bench::{Scenario, ScenarioConfig};
 use inano_core::{PathPredictor, PredictorConfig};
 use inano_model::rng::rng_for;
 use inano_model::Ipv4;
-use inano_net::cli::arg;
+use inano_net::cli::{arg, flag};
 use inano_net::demo::{ring_atlas, ring_ip, ring_predictor_config};
-use inano_net::{raise_nofile_limit, Frame, NetClient, NetServer, ServerConfig};
+use inano_net::{raise_nofile_limit, Frame, NetClient, NetServer, ServerConfig, UdpQuerier};
 use inano_service::{
     QueryEngine, RegistryConfig, ServiceConfig, ShardId, ShardRegistry, ShardSpec,
 };
@@ -460,6 +470,150 @@ fn run_conn_soak(
     std::process::exit(0);
 }
 
+/// The `--udp` mode: the same ring-world query load, carried one
+/// datagram per request by [`UdpQuerier`]s instead of pipelined TCP.
+/// No `--depth` — the datagram client is strictly
+/// request-reply — so the comparison against the TCP record is
+/// per-query *cost*, not peak pipelined throughput. Exits when done.
+fn run_udp(n_queries: usize, clients: usize, batch: usize, ring: u32, connect: String) -> ! {
+    let mut server: Option<NetServer> = None;
+    let addr = if connect.is_empty() {
+        let engine = Arc::new(QueryEngine::new(
+            Arc::new(ring_atlas(ring, 0)),
+            ServiceConfig {
+                predictor: ring_predictor_config(),
+                ..ServiceConfig::default()
+            },
+        ));
+        let srv = NetServer::bind_single(
+            "127.0.0.1:0",
+            engine,
+            ServerConfig {
+                udp: Some("127.0.0.1:0".parse().unwrap()),
+                // The loadgen is one source flooding on purpose; the
+                // per-source shed would only measure itself.
+                udp_rate: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback server");
+        let addr = srv.udp_addr().expect("udp plane enabled");
+        eprintln!("in-process server, datagram plane on {addr}");
+        server = Some(srv);
+        addr
+    } else {
+        let addr = connect.parse().expect("--connect ADDR must be ip:port");
+        eprintln!("driving external datagram plane {addr} (ring {ring})");
+        addr
+    };
+
+    let pairs = ring_pairs(ring, n_queries);
+    let shares: Vec<Vec<(Ipv4, Ipv4)>> = (0..clients)
+        .map(|c| pairs.iter().skip(c).step_by(clients).copied().collect())
+        .collect();
+
+    struct UdpTally {
+        served: u64,
+        errors: u64,
+        resends: u64,
+        stale_replies: u64,
+        request_us: Vec<u64>,
+    }
+    let t0 = Instant::now();
+    let tallies: Vec<UdpTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                scope.spawn(move || {
+                    let mut q = UdpQuerier::connect(addr).expect("bind udp querier");
+                    let mut tally = UdpTally {
+                        served: 0,
+                        errors: 0,
+                        resends: 0,
+                        stale_replies: 0,
+                        request_us: Vec::with_capacity(share.len() / batch + 1),
+                    };
+                    for chunk in share.chunks(batch) {
+                        let t = Instant::now();
+                        match q.query_batch(chunk) {
+                            Ok(results) => {
+                                tally.request_us.push(t.elapsed().as_micros() as u64);
+                                for r in results {
+                                    match r {
+                                        Ok(_) => tally.served += 1,
+                                        Err(fault) => {
+                                            if tally.errors < 3 {
+                                                eprintln!("per-pair fault: {fault}");
+                                            }
+                                            tally.errors += 1;
+                                        }
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                if tally.errors < 3 {
+                                    eprintln!("datagram request failed: {e}");
+                                }
+                                tally.errors += chunk.len() as u64;
+                            }
+                        }
+                    }
+                    tally.resends = q.resends();
+                    tally.stale_replies = q.stale_replies();
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let served: u64 = tallies.iter().map(|t| t.served).sum();
+    let errors: u64 = tallies.iter().map(|t| t.errors).sum();
+    let resends: u64 = tallies.iter().map(|t| t.resends).sum();
+    let stale: u64 = tallies.iter().map(|t| t.stale_replies).sum();
+    let mut request_us: Vec<u64> = tallies.iter().flat_map(|t| t.request_us.clone()).collect();
+    request_us.sort_unstable();
+    let qps = (served + errors) as f64 / elapsed;
+    let p50 = quantile(&request_us, 0.50);
+    let p99 = quantile(&request_us, 0.99);
+
+    if let Some(srv) = &server {
+        // The plane's own accounting must have seen the load.
+        let datagrams_in = match srv
+            .metrics()
+            .dump()
+            .entries
+            .into_iter()
+            .find(|(n, _)| n == "srv.udp.datagrams_in")
+        {
+            Some((_, inano_obs::MetricValue::Counter(v))) => v,
+            other => panic!("srv.udp.datagrams_in missing from dump: {other:?}"),
+        };
+        assert!(
+            datagrams_in >= request_us.len() as u64,
+            "server counted {datagrams_in} datagrams for {} answered requests",
+            request_us.len()
+        );
+        srv.shutdown();
+        srv.registry().shutdown();
+    }
+
+    eprintln!(
+        "served {served} queries ({errors} errors) in {elapsed:.2}s over {clients} \
+         datagram clients: {qps:.0} qps, request p50 {p50}us / p99 {p99}us \
+         (batch {batch}, {resends} resends, {stale} stale replies discarded)",
+    );
+    println!(
+        "{{\"bench\":\"net_throughput\",\"transport\":\"udp\",\"qps\":{qps:.1},\
+         \"p50_us\":{p50},\"p99_us\":{p99},\"queries\":{},\"errors\":{errors},\
+         \"clients\":{clients},\"batch\":{batch},\"ring\":{ring},\
+         \"resends\":{resends},\"stale_replies\":{stale}}}",
+        served + errors,
+    );
+    std::process::exit(0);
+}
+
 fn quantile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -469,9 +623,12 @@ fn quantile(sorted_us: &[u64], q: f64) -> u64 {
 }
 
 fn main() {
+    let udp: bool = flag("--udp");
     let n_queries: usize = arg("--queries", 200_000);
     let clients: usize = arg("--clients", 4);
-    let batch: usize = arg("--batch", 512);
+    // Datagram replies must fit one datagram, so UDP batches default
+    // far smaller than the pipelined TCP sweet spot.
+    let batch: usize = arg("--batch", if udp { 64 } else { 512 });
     let depth: usize = arg("--depth", 4);
     let workers: usize = arg("--workers", 0); // 0 = ServiceConfig default
     let shards: usize = arg("--shards", 1);
@@ -492,6 +649,9 @@ fn main() {
     if connections > 0 {
         assert!(connect.is_empty(), "--connections is an in-process mode");
         run_conn_soak(connections, n_queries, clients, batch, depth, ring);
+    }
+    if udp {
+        run_udp(n_queries, clients, batch, ring, connect);
     }
 
     // An owned server (in-process mode) plus the delta to land on it
@@ -698,7 +858,8 @@ fn main() {
 
     // The contract line: exactly one JSON record on stdout.
     println!(
-        "{{\"bench\":\"net_throughput\",\"qps\":{qps:.1},\"p50_us\":{p50},\"p99_us\":{p99},\
+        "{{\"bench\":\"net_throughput\",\"transport\":\"tcp\",\"qps\":{qps:.1},\
+         \"p50_us\":{p50},\"p99_us\":{p99},\
          \"queries\":{},\"errors\":{faults},\"clients\":{clients},\"batch\":{batch},\
          \"depth\":{depth},\"shards\":{shards},\"rejected\":{rejected},\
          \"swaps\":{swaps},\"epoch\":{epoch}}}",

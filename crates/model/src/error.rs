@@ -95,11 +95,14 @@ pub enum ErrorCode {
     /// A syntactically valid frame that makes no sense in this
     /// direction (e.g. a client sending a reply type).
     UnexpectedFrame = 24,
+    /// A stream-only frame (chunk fetches and other multi-frame
+    /// exchanges) arrived on the single-shot datagram transport.
+    NotOnDatagram = 25,
 }
 
 impl ErrorCode {
     /// Every defined code, for exhaustive round-trip tests.
-    pub const ALL: [ErrorCode; 18] = [
+    pub const ALL: [ErrorCode; 19] = [
         ErrorCode::UnknownEntity,
         ErrorCode::UnroutableAddress,
         ErrorCode::Decode,
@@ -118,6 +121,7 @@ impl ErrorCode {
         ErrorCode::Overloaded,
         ErrorCode::ShuttingDown,
         ErrorCode::UnexpectedFrame,
+        ErrorCode::NotOnDatagram,
     ];
 
     pub const fn as_u16(self) -> u16 {
@@ -172,6 +176,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::UnexpectedFrame => "unexpected-frame",
+            ErrorCode::NotOnDatagram => "not-on-datagram",
         };
         write!(f, "{name}({})", self.as_u16())
     }
@@ -214,6 +219,8 @@ mod tests {
         assert_eq!(ErrorCode::ChunkOutOfRange.as_u16(), 9);
         assert_eq!(ErrorCode::BadMagic.as_u16(), 16);
         assert_eq!(ErrorCode::UnexpectedFrame.as_u16(), 24);
+        assert_eq!(ErrorCode::NotOnDatagram.as_u16(), 25);
+        assert!(ErrorCode::NotOnDatagram.is_transport());
     }
 
     #[test]

@@ -29,11 +29,20 @@
 //! tests can watch a mid-run generation swap ripple through the
 //! `shard0.swaps` / mirror-lag series.
 //!
+//! `--udp ADDR` additionally binds the datagram query plane there
+//! (port 0 for ephemeral): single-shot requests one-frame-per-datagram
+//! on the same event loop, worker pool and shards, for sporadic peers
+//! that shouldn't pay for a connection. Prints a second
+//! `LISTENING-UDP <addr>` line once bound. `--udp-rate`/`--udp-burst`
+//! tune the per-source-address token bucket (datagrams per second and
+//! burst; rate 0 disables shedding).
+//!
 //! Usage:
 //!   inano-serve [--bind 127.0.0.1] [--port 4711]
 //!               [--atlas FILE | --ring N]...
 //!               [--mirror ADDR [--refresh-ms MS] [--predictor full|ring]]
 //!               [--metrics-text ADDR] [--demo-swap-ms MS]
+//!               [--udp ADDR [--udp-rate N] [--udp-burst N]]
 //!               [--workers W] [--max-conns C] [--max-inflight R]
 //!               [--max-request-bytes B] [--max-frame-bytes B] [--max-batch Q]
 //!
@@ -201,6 +210,16 @@ fn main() {
     let refresh_ms: u64 = arg("--refresh-ms", 1000);
     let metrics_text: String = arg("--metrics-text", String::new());
     let demo_swap_ms: u64 = arg("--demo-swap-ms", 0);
+    let udp: String = arg("--udp", String::new());
+    let udp_rate: u32 = arg("--udp-rate", ServerConfig::default().udp_rate);
+    let udp_burst: u32 = arg("--udp-burst", ServerConfig::default().udp_burst);
+    let udp = (!udp.is_empty()).then(|| {
+        use std::net::ToSocketAddrs;
+        udp.to_socket_addrs()
+            .unwrap_or_else(|e| panic!("--udp {udp:?}: {e}"))
+            .next()
+            .unwrap_or_else(|| panic!("--udp {udp:?} names no address"))
+    });
 
     let (specs, mirror_sources) = if mirror.is_empty() {
         (local_specs(), Vec::new())
@@ -236,6 +255,9 @@ fn main() {
                 max_frame_bytes,
                 max_batch,
             },
+            udp,
+            udp_rate,
+            udp_burst,
         },
     )
     .expect("bind server socket");
@@ -389,6 +411,10 @@ fn main() {
 
     // The contract line smoke tests wait for; flush so a pipe sees it.
     println!("LISTENING {}", server.local_addr());
+    if let Some(udp_addr) = server.udp_addr() {
+        // Scripts binding `--udp` to port 0 read the real port here.
+        println!("LISTENING-UDP {udp_addr}");
+    }
     std::io::stdout().flush().expect("flush stdout");
 
     loop {

@@ -13,6 +13,12 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Whether the bare flag `--name` is present at all — for mode
+/// switches that take no value (`net_throughput --udp`).
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// Every occurrence of any flag in `names`, as `(flag, value)` pairs
 /// in command-line order. This is how `inano-serve` turns repeated
 /// `--atlas FILE` / `--ring N` flags into shards: the k-th occurrence

@@ -133,6 +133,13 @@ impl NetClient {
         })
     }
 
+    /// Open a datagram-plane handle to a server's `--udp` socket: the
+    /// connectionless sibling of [`NetClient::connect`], for sporadic
+    /// single-shot queries. See [`UdpQuerier`].
+    pub fn udp(addr: impl ToSocketAddrs) -> io::Result<crate::udp::UdpQuerier> {
+        crate::udp::UdpQuerier::connect(addr)
+    }
+
     pub fn peer_addr(&self) -> SocketAddr {
         self.addr
     }
@@ -153,11 +160,24 @@ impl NetClient {
         Ok(())
     }
 
+    /// Allocate the next request id, keeping the reserved [`TRACE_FLAG`]
+    /// bit clear: a counter that grew into bit 63 would silently turn
+    /// every request into a traced one, and the surprise `TraceReply`
+    /// trailers would desync the pipeline. Wrapping back to 1 after
+    /// 2^63−1 requests is safe — nothing that old is still in flight.
+    fn alloc_id(&mut self) -> u64 {
+        if self.next_id & TRACE_FLAG != 0 {
+            self.next_id = 1;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
     /// Write one request and flush, without waiting for the reply.
     /// Returns the request id to match against [`NetClient::recv`].
     pub fn submit(&mut self, frame: &Frame) -> io::Result<u64> {
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = self.alloc_id();
         write_frame(&mut self.writer, id, frame)?;
         self.writer.flush()?;
         Ok(id)
@@ -204,11 +224,9 @@ impl NetClient {
     /// carries no trailer (the server's rule too) and surfaces as
     /// [`NetError::Remote`] exactly like [`NetClient::call`].
     pub fn call_traced(&mut self, frame: &Frame) -> Result<(Frame, TraceTimings), NetError> {
-        let id = self.next_id;
-        self.next_id += 1;
-        // Ids count from 1, so the flag bit can never collide with a
-        // real id this side of 2^63 requests.
-        let wire_id = id | TRACE_FLAG;
+        // `alloc_id` keeps bit 63 clear, so setting it here is the
+        // only way this connection ever requests a trace.
+        let wire_id = self.alloc_id() | TRACE_FLAG;
         write_frame(&mut self.writer, wire_id, frame)?;
         self.writer.flush()?;
         let (got_id, reply) = self.recv()?;
@@ -566,4 +584,44 @@ fn unexpected(want: &str, got: &Frame) -> NetError {
         "want {want}, got frame type {:#04x}",
         got.frame_type()
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{ring_atlas, ring_predictor_config};
+    use crate::server::{NetServer, ServerConfig};
+    use inano_service::{QueryEngine, ServiceConfig};
+    use std::sync::Arc;
+
+    fn ring_server() -> NetServer {
+        let engine = Arc::new(QueryEngine::new(
+            Arc::new(ring_atlas(8, 0)),
+            ServiceConfig {
+                workers: 2,
+                predictor: ring_predictor_config(),
+                ..ServiceConfig::default()
+            },
+        ));
+        NetServer::bind_single("127.0.0.1:0", engine, ServerConfig::default()).expect("bind")
+    }
+
+    /// Regression for the reserved trace bit: a client whose id
+    /// counter reaches 2^63 must wrap rather than silently request a
+    /// trace on every call and desync on the surprise trailers.
+    #[test]
+    fn id_generation_wraps_before_the_trace_bit() {
+        let server = ring_server();
+        let mut client = NetClient::connect(server.local_addr()).expect("connect");
+        // Fast-forward the counter to the 2^63rd request.
+        client.next_id = TRACE_FLAG;
+        client.ping().expect("wrapped id still answers cleanly");
+        assert_eq!(client.next_id, 2, "counter wrapped to 1 and advanced");
+        // The stream stayed in sync: an explicitly traced call right
+        // after still sees its reply + trailer pair.
+        let (reply, _timings) = client.call_traced(&Frame::Ping).expect("traced ping");
+        assert!(matches!(reply, Frame::Pong));
+        // And a plain call after that is still in sync too.
+        client.ping().expect("stream still aligned");
+    }
 }

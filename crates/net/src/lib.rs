@@ -42,6 +42,14 @@
 //!   `INanoClient::bootstrap`/`QueryEngine::bootstrap` like any local
 //!   source — the §5 dissemination loop, closed.
 //!
+//! [`udp`] is the datagram plane's client half: with
+//! `ServerConfig::udp` set (the `inano-serve --udp` flag) the same
+//! server answers single-shot requests one-frame-per-datagram on the
+//! same event loop and worker pool, with zero per-peer state;
+//! [`UdpQuerier`] drives it with id-matched replies, capped-backoff
+//! retries and late/duplicate-reply discard — the transport for the
+//! paper's millions of rarely-asking peers.
+//!
 //! [`demo`] carries the tiny ring world the `inano-serve --ring` mode,
 //! the integration tests and the loadgen's `--connect` mode share.
 //!
@@ -52,13 +60,15 @@ pub mod cli;
 pub mod client;
 pub mod demo;
 pub mod server;
+pub mod udp;
 pub mod wire;
 
 pub use client::{MirrorSource, NetClient, NetError};
 pub use server::{raise_nofile_limit, NetServer, ServerConfig, ServerCounters};
+pub use udp::{UdpQuerier, UdpRetry};
 pub use wire::{
-    chunk_size_for, Frame, Limits, WireFault, WirePath, WireResolution, WireShardInfo, WireStats,
-    TRACE_FLAG,
+    chunk_size_for, datagram_cap, Frame, Limits, WireFault, WirePath, WireResolution,
+    WireShardInfo, WireStats, MAX_UDP_PAYLOAD, TRACE_FLAG,
 };
 
 /// Re-exported so `inano-net` users can name shards without a direct

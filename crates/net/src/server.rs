@@ -81,6 +81,27 @@
 //! generation swaps, delta applications, full resyncs and recovered
 //! races, all on one monotonically sequenced timeline.
 //!
+//! ## The datagram plane
+//!
+//! With [`ServerConfig::udp`] set, the same loop also owns one UDP
+//! socket: one request frame per datagram, answered in one datagram,
+//! with **zero per-peer server state** — no assembler, no write queue,
+//! no slab slot. A datagram decodes (or faults) in the loop, rides the
+//! same dispatch queue to the same workers and the same
+//! [`respond`]/[`ShardRegistry`] path as a stream request, and the
+//! worker sends the reply straight back with `send_to` (UDP replies
+//! have no ordering contract, so no completion round-trip is needed).
+//! Only the single-shot request subset is servable — `Ping`,
+//! `QueryBatch`, `Resolve`, `Stats`, `Epoch`, `AtlasHead`; stream-only
+//! frames (chunk fetches, metrics/events pages) get a typed
+//! `NotOnDatagram` fault. A reply that would not fit one datagram
+//! ([`datagram_cap`]) is replaced by a typed `FrameTooLarge` fault.
+//! Admission is a per-source-address token bucket
+//! ([`ServerConfig::udp_rate`]): over-rate sources get typed
+//! `Overloaded` faults, and far-over-rate sources get silence — a
+//! typed reply to every spoofed datagram would make the socket a
+//! reflection amplifier. All of it is counted under `srv.udp.*`.
+//!
 //! ## Shutdown
 //!
 //! [`NetServer::shutdown`] (also run on drop) sets the flag, wakes the
@@ -89,8 +110,10 @@
 //! connections closed on the way out. The registry is shared and is
 //! *not* shut down — that's its owner's call.
 
-use crate::wire::{chunk_size_for, write_frame, Assembled, Frame, FrameAssembler, Limits};
-use crate::wire::{WireFault, WirePath, WireResolution, WireShardInfo, WireStats, TRACE_FLAG};
+use crate::wire::{chunk_size_for, datagram_cap, decode_datagram, DatagramError};
+use crate::wire::{write_frame, Assembled, Frame, FrameAssembler, Limits};
+use crate::wire::{WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
+use crate::wire::{HEADER_BYTES, MAGIC, MIN_VERSION, TRACE_FLAG, VERSION};
 use inano_model::{ErrorCode, ModelError};
 use inano_obs::{
     EventJournal, EventKind, LatencyHistogram, MetricValue, MetricsRegistry, SlowLog, TraceCtx,
@@ -98,9 +121,9 @@ use inano_obs::{
 use inano_service::{QueryEngine, ShardRegistry};
 use parking_lot::Mutex;
 use polling::{Event, Events, Poller};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
@@ -123,6 +146,19 @@ const EVENT_JOURNAL_CAPACITY: usize = 1024;
 /// slots counting up from 0 and can never reach it (`usize::MAX`
 /// itself is the poller's own notify pipe).
 const LISTENER_KEY: usize = usize::MAX - 1;
+
+/// The poller key carrying the UDP socket, when the datagram plane is
+/// enabled.
+const UDP_KEY: usize = usize::MAX - 2;
+
+/// Most datagrams one readiness event drains before the socket is
+/// re-armed — the datagram analogue of [`READ_ROUNDS_PER_EVENT`], so
+/// a datagram flood cannot starve the stream connections of the loop.
+const UDP_ROUNDS_PER_EVENT: usize = 64;
+
+/// Source-address entries the datagram token-bucket table holds
+/// before inactive sources are swept.
+const UDP_BUCKETS_CAP: usize = 8192;
 
 /// Bytes the loop reads per `read()` call into its reusable scratch
 /// buffer.
@@ -150,6 +186,15 @@ pub struct ServerConfig {
     pub max_request_bytes: usize,
     /// Per-frame protocol limits.
     pub limits: Limits,
+    /// Bind the datagram plane here too (port 0 for ephemeral); `None`
+    /// serves the stream transport only.
+    pub udp: Option<SocketAddr>,
+    /// Datagrams per second each source address may send before the
+    /// token bucket sheds it with typed `Overloaded` faults (and,
+    /// far past the rate, silence). `0` disables the bucket.
+    pub udp_rate: u32,
+    /// Burst allowance of the per-source bucket, datagrams.
+    pub udp_burst: u32,
 }
 
 impl Default for ServerConfig {
@@ -159,6 +204,9 @@ impl Default for ServerConfig {
             max_inflight: 128,
             max_request_bytes: 256 << 20,
             limits: Limits::default(),
+            udp: None,
+            udp_rate: 20_000,
+            udp_burst: 2_048,
         }
     }
 }
@@ -191,15 +239,29 @@ pub struct ServerCounters {
     pub overloaded: u64,
 }
 
-/// One unit of connection work handed from the loop to a worker.
+/// One unit of work handed from the loop to a worker.
 struct Job {
-    /// Slab slot of the owning connection.
-    key: usize,
-    /// The connection's generation when dispatched; a completion whose
-    /// generation no longer matches the slot's occupant is dropped
-    /// (the connection died and the slot may have been reused).
-    gen: u64,
+    target: JobTarget,
     work: Work,
+}
+
+/// Where a worker's answer goes.
+enum JobTarget {
+    /// A stream connection: the encoded reply travels back to the
+    /// loop as a [`Completion`] and joins the connection's write
+    /// queue, keeping replies in request order.
+    Conn {
+        /// Slab slot of the owning connection.
+        key: usize,
+        /// The connection's generation when dispatched; a completion
+        /// whose generation no longer matches the slot's occupant is
+        /// dropped (the connection died, the slot may be reused).
+        gen: u64,
+    },
+    /// A datagram request: the worker `send_to`s the reply itself —
+    /// one datagram, no ordering contract, no per-peer state to
+    /// return to.
+    Datagram { peer: SocketAddr },
 }
 
 /// A worker's finished answer travelling back to the loop.
@@ -298,6 +360,9 @@ struct Shared {
     ready_events: Arc<LatencyHistogram>,
     /// The epoll instance; workers touch it only through `notify`.
     poller: Poller,
+    /// The datagram plane, when enabled: the socket (workers reply on
+    /// it directly) and its counters.
+    udp: Option<UdpPlane>,
     dispatch: Dispatch,
     /// Finished answers awaiting the loop; pushed by workers, drained
     /// after each `notify`-triggered wakeup.
@@ -319,6 +384,25 @@ impl Shared {
             self.journal.emit(EventKind::OverloadEnd, "");
         }
     }
+}
+
+/// The datagram plane's socket and counters (the `srv.udp.*` family).
+struct UdpPlane {
+    socket: UdpSocket,
+    addr: SocketAddr,
+    /// Datagrams received, decodable or not.
+    datagrams_in: AtomicU64,
+    /// Reply datagrams actually handed to the kernel.
+    datagrams_out: AtomicU64,
+    /// Datagrams dropped without a reply: unattributable garbage
+    /// (short/bad header) or kernel-truncated frames.
+    truncated: AtomicU64,
+    /// Datagrams refused by the per-source token bucket (typed
+    /// `Overloaded` reply or, deep in a flood, silence).
+    shed: AtomicU64,
+    /// Replies that exceeded [`datagram_cap`] and were replaced by a
+    /// typed `FrameTooLarge` fault.
+    oversize_reply: AtomicU64,
 }
 
 /// A running server; dropping it shuts it down.
@@ -354,6 +438,27 @@ impl NetServer {
         // each registered source alive until it deletes it, and the
         // poller outlives them all inside `Shared`.
         unsafe { poller.add(&listener, Event::readable(LISTENER_KEY))? };
+        let udp = match cfg.udp {
+            Some(udp_addr) => {
+                let socket = UdpSocket::bind(udp_addr)?;
+                socket.set_nonblocking(true)?;
+                let addr = socket.local_addr()?;
+                // Safety: the socket lives in `Shared` alongside the
+                // poller, which outlives it.
+                unsafe { poller.add(&socket, Event::readable(UDP_KEY))? };
+                Some(UdpPlane {
+                    socket,
+                    addr,
+                    datagrams_in: AtomicU64::new(0),
+                    datagrams_out: AtomicU64::new(0),
+                    truncated: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                    oversize_reply: AtomicU64::new(0),
+                })
+            }
+            None => None,
+        };
+        let udp_fds = usize::from(udp.is_some());
         let shared = Arc::new(Shared {
             registry,
             obs,
@@ -371,11 +476,13 @@ impl NetServer {
             overloaded: AtomicU64::new(0),
             accept_retries: AtomicU64::new(0),
             loop_wakeups: AtomicU64::new(0),
-            // The listener and the poller's notify pipe.
-            loop_fds: AtomicUsize::new(2),
+            // The listener, the poller's notify pipe, and the UDP
+            // socket when bound.
+            loop_fds: AtomicUsize::new(2 + udp_fds),
             write_backlog: AtomicU64::new(0),
             ready_events,
             poller,
+            udp,
             dispatch: Dispatch::new(),
             completions: StdMutex::new(Vec::new()),
         });
@@ -424,6 +531,13 @@ impl NetServer {
     /// The bound address (the real port when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The datagram plane's bound address (the real port when
+    /// [`ServerConfig::udp`] named port 0); `None` when the plane is
+    /// disabled.
+    pub fn udp_addr(&self) -> Option<SocketAddr> {
+        self.shared.udp.as_ref().map(|u| u.addr)
     }
 
     /// The shard registry this server fronts (shared; `apply_delta`
@@ -590,6 +704,16 @@ fn attach_server_collector(shared: &Arc<Shared>) {
             "srv.events_head".into(),
             MetricValue::Gauge(s.journal.head_seq()),
         ));
+        if let Some(udp) = s.udp.as_ref() {
+            out.push(("srv.udp.datagrams_in".into(), counter(&udp.datagrams_in)));
+            out.push(("srv.udp.datagrams_out".into(), counter(&udp.datagrams_out)));
+            out.push(("srv.udp.truncated".into(), counter(&udp.truncated)));
+            out.push(("srv.udp.shed".into(), counter(&udp.shed)));
+            out.push((
+                "srv.udp.oversize_reply".into(),
+                counter(&udp.oversize_reply),
+            ));
+        }
     });
 }
 
@@ -876,10 +1000,14 @@ struct EventLoop {
     next_conn_id: u64,
     backoff: AcceptBackoff,
     scratch: Vec<u8>,
+    /// Per-source admission state for the datagram plane. Lives on
+    /// the loop (its only toucher), not in `Shared`.
+    udp_buckets: UdpBuckets,
 }
 
 impl EventLoop {
     fn new(listener: TcpListener, shared: Arc<Shared>) -> EventLoop {
+        let udp_buckets = UdpBuckets::new(shared.cfg.udp_rate, shared.cfg.udp_burst);
         EventLoop {
             shared,
             listener,
@@ -888,7 +1016,10 @@ impl EventLoop {
             next_gen: 0,
             next_conn_id: 0,
             backoff: AcceptBackoff::new(),
-            scratch: vec![0; READ_CHUNK],
+            // Scratch doubles as the datagram receive buffer, so it
+            // must hold the largest possible UDP payload.
+            scratch: vec![0; READ_CHUNK.max(crate::wire::MAX_UDP_PAYLOAD)],
+            udp_buckets,
         }
     }
 
@@ -926,6 +1057,8 @@ impl EventLoop {
             for ev in events.iter() {
                 if ev.key == LISTENER_KEY {
                     self.on_listener();
+                } else if ev.key == UDP_KEY {
+                    self.on_udp();
                 } else {
                     self.on_conn(ev);
                 }
@@ -974,6 +1107,128 @@ impl EventLoop {
                 }
             }
         }
+    }
+
+    /// The UDP socket fired: drain up to [`UDP_ROUNDS_PER_EVENT`]
+    /// datagrams, then re-arm the oneshot registration (leftovers
+    /// re-fire immediately — fairness against a datagram firehose).
+    fn on_udp(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let Some(udp) = shared.udp.as_ref() else {
+            return;
+        };
+        for _ in 0..UDP_ROUNDS_PER_EVENT {
+            let (n, peer) = match udp.socket.recv_from(&mut self.scratch) {
+                Ok(got) => got,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient kernel-reported errors (ICMP unreachable
+                // from an earlier send, say) are not ours to fix.
+                Err(_) => continue,
+            };
+            udp.datagrams_in.fetch_add(1, Ordering::Relaxed);
+            self.ingest_datagram(udp, n, peer);
+        }
+        if shared
+            .poller
+            .modify(&udp.socket, Event::readable(UDP_KEY))
+            .is_err()
+        {
+            eprintln!("inano-net: udp re-arm failed; datagram plane is dead");
+        }
+    }
+
+    /// Admit, decode and dispatch one received datagram.
+    fn ingest_datagram(&mut self, udp: &UdpPlane, n: usize, peer: SocketAddr) {
+        let gate = self.udp_buckets.check(peer.ip(), Instant::now());
+        let shared = Arc::clone(&self.shared);
+        let buf = &self.scratch[..n];
+        match gate {
+            UdpGate::Admit => {}
+            UdpGate::Shed => {
+                udp.shed.fetch_add(1, Ordering::Relaxed);
+                // A typed `Overloaded` answer — but only to a sender
+                // whose header proves it speaks the protocol.
+                if let Some(request_id) = datagram_id(buf) {
+                    shared.dispatch.push(Job {
+                        target: JobTarget::Datagram { peer },
+                        work: Work::Reject {
+                            request_id,
+                            reason: "per-source datagram rate limit reached",
+                        },
+                    });
+                }
+                return;
+            }
+            UdpGate::Drop => {
+                // Deep in a flood: answering every datagram would turn
+                // the socket into a reflection amplifier. Silence.
+                udp.shed.fetch_add(1, Ordering::Relaxed);
+                shared.note_shed("per-source datagram rate limit (dropping)");
+                return;
+            }
+        }
+        let (request_id, frame) = match decode_datagram(buf, &shared.cfg.limits) {
+            Ok(decoded) => decoded,
+            Err(DatagramError::Drop(_)) => {
+                udp.truncated.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(DatagramError::Fault { request_id, fault }) => {
+                shared.dispatch.push(Job {
+                    target: JobTarget::Datagram { peer },
+                    work: Work::Fault { request_id, fault },
+                });
+                return;
+            }
+        };
+        if !servable_on_datagram(&frame) {
+            shared.dispatch.push(Job {
+                target: JobTarget::Datagram { peer },
+                work: Work::Fault {
+                    request_id,
+                    fault: WireFault::new(
+                        ErrorCode::NotOnDatagram,
+                        format!(
+                            "frame type {:#04x} needs the stream transport",
+                            frame.frame_type()
+                        ),
+                    ),
+                },
+            });
+            return;
+        }
+        let Some(claim) = try_claim(
+            &shared.request_bytes,
+            shared.cfg.max_request_bytes,
+            frame_cost(&frame),
+        ) else {
+            drop(frame);
+            shared.dispatch.push(Job {
+                target: JobTarget::Datagram { peer },
+                work: Work::Reject {
+                    request_id,
+                    reason: "server-wide request-memory budget reached",
+                },
+            });
+            return;
+        };
+        shared.request_bytes_peak.fetch_max(
+            shared.request_bytes.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        shared.dispatch.push(Job {
+            target: JobTarget::Datagram { peer },
+            work: Work::Request {
+                request_id,
+                frame,
+                claim,
+                // No `TraceReply` trailers on the datagram plane: a
+                // reply is one frame in one datagram, so the id's
+                // trace bit is echoed but not honoured.
+                trace: None,
+            },
+        });
     }
 
     /// Admission-check one accepted stream and register it, or refuse
@@ -1243,8 +1498,10 @@ impl EventLoop {
                     conn.in_service = true;
                     conn.in_service_request = matches!(work, Work::Request { .. });
                     shared.dispatch.push(Job {
-                        key: slot,
-                        gen: conn.gen,
+                        target: JobTarget::Conn {
+                            key: slot,
+                            gen: conn.gen,
+                        },
                         work,
                     });
                 }
@@ -1331,22 +1588,160 @@ fn flush_writes(conn: &mut Conn, shared: &Shared) -> io::Result<()> {
     Ok(())
 }
 
-/// One worker: pop jobs, answer them, queue the encoded completion,
-/// kick the loop. Exits when shutdown is flagged.
+/// One worker: pop jobs, answer them, and route each answer home — a
+/// completion + loop kick for stream connections, a direct `send_to`
+/// for datagrams. Exits when shutdown is flagged.
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.dispatch.pop(&shared.shutdown) {
         let (bytes, close) = answer(shared, job.work);
-        shared
-            .completions
-            .lock()
-            .expect("completions lock")
-            .push(Completion {
-                key: job.key,
-                gen: job.gen,
-                bytes,
-                close,
-            });
-        let _ = shared.poller.notify();
+        match job.target {
+            JobTarget::Conn { key, gen } => {
+                shared
+                    .completions
+                    .lock()
+                    .expect("completions lock")
+                    .push(Completion {
+                        key,
+                        gen,
+                        bytes,
+                        close,
+                    });
+                let _ = shared.poller.notify();
+            }
+            JobTarget::Datagram { peer } => udp_reply(shared, peer, bytes),
+        }
+    }
+}
+
+/// Send one encoded reply datagram, downgrading a reply that cannot
+/// fit a datagram to a typed `FrameTooLarge` fault. Best-effort by
+/// design: a send the kernel refuses (full buffer, unreachable peer)
+/// is dropped and the client's retry covers it — that is the datagram
+/// contract.
+fn udp_reply(shared: &Shared, peer: SocketAddr, mut bytes: Vec<u8>) {
+    let Some(udp) = shared.udp.as_ref() else {
+        return;
+    };
+    let cap = datagram_cap(&shared.cfg.limits);
+    if bytes.len() > cap {
+        udp.oversize_reply.fetch_add(1, Ordering::Relaxed);
+        shared.faults.fetch_add(1, Ordering::Relaxed);
+        // The encoded reply's header still carries the request id.
+        let request_id = u64::from_be_bytes(bytes[6..14].try_into().expect("encoded header"));
+        bytes = Frame::Error {
+            fault: WireFault::new(
+                ErrorCode::FrameTooLarge,
+                format!(
+                    "reply of {} bytes exceeds the {cap}-byte datagram cap; \
+                     use the stream transport or a smaller batch",
+                    bytes.len()
+                ),
+            ),
+        }
+        .encode(request_id);
+    }
+    if udp.socket.send_to(&bytes, peer).is_ok() {
+        udp.datagrams_out.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The request subset a single datagram exchange can carry: one small
+/// self-contained question, one reply that plausibly fits a datagram.
+/// Chunked fetches and the unbounded-page introspection frames need
+/// the stream.
+fn servable_on_datagram(frame: &Frame) -> bool {
+    matches!(
+        frame,
+        Frame::Ping
+            | Frame::QueryBatch { .. }
+            | Frame::Resolve { .. }
+            | Frame::Stats { .. }
+            | Frame::Epoch { .. }
+            | Frame::AtlasHead { .. }
+    )
+}
+
+/// The request id of a datagram whose header passes the magic and
+/// version checks — the minimum bar for answering a sender at all —
+/// without decoding the payload. Used on the shed path, where doing
+/// less work than a real request is the whole point.
+fn datagram_id(buf: &[u8]) -> Option<u64> {
+    if buf.len() < HEADER_BYTES {
+        return None;
+    }
+    let magic = u32::from_be_bytes(buf[0..4].try_into().expect("sized slice"));
+    if magic != MAGIC || !(MIN_VERSION..=VERSION).contains(&buf[4]) {
+        return None;
+    }
+    Some(u64::from_be_bytes(
+        buf[6..14].try_into().expect("sized slice"),
+    ))
+}
+
+/// What the per-source token bucket says about one arriving datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum UdpGate {
+    /// Within rate: serve it.
+    Admit,
+    /// Over rate: answer a typed `Overloaded` fault.
+    Shed,
+    /// Far over rate (a burst past any polite backoff): drop in
+    /// silence, because typed answers at flood rate are amplification.
+    Drop,
+}
+
+/// Per-source-address token buckets for the datagram plane. Classic
+/// leaky refill: `rate` tokens/second up to `burst`; each datagram
+/// costs one. The balance may run down to `-burst` — that negative
+/// band is where typed `Overloaded` sheds live — and anything below
+/// it is dropped unanswered. The table is bounded: past
+/// [`UDP_BUCKETS_CAP`] sources, entries idle for over a second are
+/// swept (an idle second refills ≥ any sane rate's burst, so sweeping
+/// them loses nothing).
+struct UdpBuckets {
+    map: HashMap<IpAddr, UdpBucket>,
+    rate: f64,
+    burst: f64,
+}
+
+struct UdpBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl UdpBuckets {
+    fn new(rate: u32, burst: u32) -> UdpBuckets {
+        UdpBuckets {
+            map: HashMap::new(),
+            rate: f64::from(rate),
+            burst: f64::from(burst.max(1)),
+        }
+    }
+
+    fn check(&mut self, ip: IpAddr, now: Instant) -> UdpGate {
+        if self.rate <= 0.0 {
+            return UdpGate::Admit;
+        }
+        if self.map.len() >= UDP_BUCKETS_CAP && !self.map.contains_key(&ip) {
+            self.map
+                .retain(|_, b| now.duration_since(b.last) < Duration::from_secs(1));
+        }
+        let bucket = self.map.entry(ip).or_insert(UdpBucket {
+            tokens: self.burst,
+            last: now,
+        });
+        let dt = now.duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * self.rate).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            UdpGate::Admit
+        } else if bucket.tokens > -self.burst {
+            bucket.tokens -= 1.0;
+            UdpGate::Shed
+        } else {
+            UdpGate::Drop
+        }
     }
 }
 
@@ -1645,6 +2040,46 @@ mod tests {
         // Big frame limits scale the cap up.
         cfg.limits.max_frame_bytes = 64 << 20;
         assert_eq!(write_backlog_cap(&cfg), 128 << 20);
+    }
+
+    #[test]
+    fn udp_buckets_admit_then_shed_then_drop_then_refill() {
+        let mut b = UdpBuckets::new(10, 4);
+        let ip: IpAddr = "10.0.0.1".parse().unwrap();
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            assert_eq!(b.check(ip, t0), UdpGate::Admit);
+        }
+        // The burst is spent: a band of typed sheds, one burst deep...
+        for _ in 0..4 {
+            assert_eq!(b.check(ip, t0), UdpGate::Shed);
+        }
+        // ...and below it, silence.
+        assert_eq!(b.check(ip, t0), UdpGate::Drop);
+        // Buckets are per source: another address is untouched.
+        let other: IpAddr = "10.0.0.2".parse().unwrap();
+        assert_eq!(b.check(other, t0), UdpGate::Admit);
+        // Refill brings the flooded source back.
+        let t1 = t0 + Duration::from_secs(1);
+        assert_eq!(b.check(ip, t1), UdpGate::Admit);
+        // Rate 0 disables the bucket entirely.
+        let mut open = UdpBuckets::new(0, 1);
+        for _ in 0..100 {
+            assert_eq!(open.check(ip, t0), UdpGate::Admit);
+        }
+    }
+
+    #[test]
+    fn datagram_id_requires_magic_and_version() {
+        let bytes = Frame::Ping.encode(42);
+        assert_eq!(datagram_id(&bytes), Some(42));
+        assert_eq!(datagram_id(&bytes[..HEADER_BYTES - 1]), None);
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(datagram_id(&bad), None);
+        let mut old = bytes;
+        old[4] = MIN_VERSION - 1;
+        assert_eq!(datagram_id(&old), None);
     }
 
     #[test]

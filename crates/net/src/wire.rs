@@ -148,10 +148,17 @@ pub const MAX_METRICS_ENTRIES: usize = 16_384;
 pub const MAX_EVENTS_ENTRIES: usize = 4096;
 
 /// Bit 63 of the request id: the client asks for a [`Frame::TraceReply`]
-/// trailer after the reply. Ids are client-chosen (ours count up from
-/// 1), so the flag can never collide with a sequential id, and servers
-/// echo the id verbatim — flag included — which keeps pipelined
-/// id-matching working for tracing and non-tracing requests alike.
+/// trailer after the reply. Servers echo the id verbatim — flag
+/// included — which keeps pipelined id-matching working for tracing
+/// and non-tracing requests alike.
+///
+/// **Wire contract: bit 63 is reserved.** It is a transport signal,
+/// not id space — a client that lets its id counter grow into bit 63
+/// would silently start requesting traces and desynchronise its own
+/// pipeline on the surprise `TraceReply` trailers. Id generators must
+/// mask the bit out (ours wrap back to 1; see
+/// `NetClient`/`UdpQuerier`), and only the tracing entry points may
+/// set it deliberately.
 pub const TRACE_FLAG: u64 = 1 << 63;
 
 pub const FT_PING: u8 = 0x01;
@@ -1254,6 +1261,86 @@ fn validate_header(
         ));
     }
     Ok((frame_type, request_id, payload_len))
+}
+
+// ---- datagram transport --------------------------------------------
+
+/// Largest UDP payload a single IPv4 datagram can carry
+/// (65535 − 20 IP − 8 UDP). The datagram plane never sends more.
+pub const MAX_UDP_PAYLOAD: usize = 65_507;
+
+/// The reply-size budget of the datagram transport under `limits`:
+/// one whole encoded frame (header included) must fit both the
+/// receiver's frame limit and a single UDP datagram. The datagram
+/// analogue of [`chunk_size_for`] — a reply that would exceed this is
+/// answered with a typed `FrameTooLarge` fault instead, telling the
+/// client to re-ask on the stream transport (or with a smaller batch).
+pub fn datagram_cap(limits: &Limits) -> usize {
+    (limits.max_frame_bytes as usize + HEADER_BYTES).min(MAX_UDP_PAYLOAD)
+}
+
+/// Why a datagram produced no [`Frame`]. Unlike the stream reader
+/// there is no severity ladder — datagrams are self-delimiting, so
+/// nothing can desynchronise — only the question of whether the
+/// sender can be answered at all.
+#[derive(Debug)]
+pub enum DatagramError {
+    /// The bytes cannot be attributed to a request (short header, bad
+    /// magic, unsupported version): drop silently. Answering unver-
+    /// ified garbage would make the socket a reflection amplifier.
+    Drop(&'static str),
+    /// The header is sound — the request id is trustworthy — but the
+    /// frame is not servable: answer one typed fault datagram.
+    Fault { request_id: u64, fault: WireFault },
+}
+
+/// Decode exactly one frame from one datagram. The frame must span
+/// the whole buffer: a declared payload length that disagrees with
+/// the datagram length (kernel truncation, corruption, trailing
+/// bytes) is a typed `Malformed` fault.
+pub fn decode_datagram(buf: &[u8], limits: &Limits) -> Result<(u64, Frame), DatagramError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(DatagramError::Drop("short header"));
+    }
+    let header: &[u8; HEADER_BYTES] = buf[..HEADER_BYTES].try_into().unwrap();
+    let (frame_type, request_id, payload_len) = match validate_header(header, limits) {
+        Ok(parts) => parts,
+        Err(fault) => match fault.code {
+            // Unverified sender: no magic/version handshake passed.
+            ErrorCode::BadMagic | ErrorCode::BadVersion => {
+                return Err(DatagramError::Drop("bad magic or version"));
+            }
+            _ => {
+                return Err(DatagramError::Fault {
+                    request_id: header_request_id(header),
+                    fault,
+                })
+            }
+        },
+    };
+    let payload = &buf[HEADER_BYTES..];
+    if payload.len() != payload_len as usize {
+        return Err(DatagramError::Fault {
+            request_id,
+            fault: WireFault::new(
+                ErrorCode::Malformed,
+                format!(
+                    "datagram carries {} payload bytes, header declares {payload_len}",
+                    payload.len()
+                ),
+            ),
+        });
+    }
+    match Frame::decode_payload(frame_type, payload, limits) {
+        Ok(frame) => Ok((request_id, frame)),
+        Err(fault) => Err(DatagramError::Fault { request_id, fault }),
+    }
+}
+
+/// The request id field of a validated-length header, for faulting
+/// back to a sender whose header failed a post-magic check.
+fn header_request_id(header: &[u8; HEADER_BYTES]) -> u64 {
+    u64::from_be_bytes(header[6..14].try_into().unwrap())
 }
 
 // ---- incremental (readiness-driven) frame assembly ------------------

@@ -680,7 +680,7 @@ fn shared_request_budget_rejects_typed_across_many_connections() {
         max_inflight: 64,
         // ~1.5 large batches' worth of pair bytes.
         max_request_bytes: batch_pairs * 8 * 3 / 2,
-        limits: Limits::default(),
+        ..ServerConfig::default()
     });
 
     const CONNS: usize = 4;
@@ -783,6 +783,65 @@ fn call_surfaces_connection_level_faults_as_typed_remote_errors() {
         other => panic!("want typed remote fault, got {other:?}"),
     }
     fake.join().unwrap();
+}
+
+#[test]
+fn io_timeout_bounds_both_read_and_write_against_a_wedged_upstream() {
+    use std::net::TcpListener;
+    use std::time::Instant;
+    // A wedged upstream: accepts and then neither reads nor writes —
+    // the half-dead peer the `--mirror` refresh loop must never block
+    // on forever. `set_io_timeout` has to bound *both* directions: a
+    // one-sided timeout would still hang on whichever syscall it
+    // missed.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let wedged = thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        // Hold the socket open, dead silent, until the test is done.
+        thread::sleep(Duration::from_secs(30));
+        drop(stream);
+    });
+
+    let mut client = NetClient::connect(addr).expect("connect");
+    client
+        .set_io_timeout(Some(Duration::from_millis(200)))
+        .expect("set timeout");
+
+    // Read path: a ping's write fits the socket buffer, so the stall
+    // is in awaiting the reply.
+    let t0 = Instant::now();
+    assert!(client.ping().is_err(), "no reply can come");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "read timed out in bounded time, not {:?}",
+        t0.elapsed()
+    );
+
+    // Write path: the peer never drains, so large submits eventually
+    // fill both kernel buffers and block in write(2) — the write
+    // timeout must surface that as an error, promptly.
+    let mut client = NetClient::connect(addr).expect("reconnect");
+    client
+        .set_io_timeout(Some(Duration::from_millis(200)))
+        .expect("set timeout");
+    let big: Vec<(Ipv4, Ipv4)> = vec![(ring_ip(0), ring_ip(1)); 16_384];
+    let t0 = Instant::now();
+    let mut wedged_write = false;
+    for _ in 0..256 {
+        if client.submit_batch(&big).is_err() {
+            wedged_write = true;
+            break;
+        }
+    }
+    assert!(wedged_write, "kernel buffers are finite; write must fail");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "write timed out in bounded time, not {:?}",
+        t0.elapsed()
+    );
+    drop(client);
+    drop(wedged); // detached: it sleeps out its 30s harmlessly
 }
 
 #[test]

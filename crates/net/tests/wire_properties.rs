@@ -7,7 +7,10 @@
 
 use inano_core::{AtlasVersion, DeltaHandle};
 use inano_model::{ErrorCode, Ipv4};
-use inano_net::wire::{read_frame, Frame, Limits, ReadError, CHUNK_WIRE_OVERHEAD, HEADER_BYTES};
+use inano_net::wire::{
+    datagram_cap, decode_datagram, read_frame, DatagramError, Frame, Limits, ReadError,
+    CHUNK_WIRE_OVERHEAD, HEADER_BYTES, TRACE_FLAG,
+};
 use inano_net::{chunk_size_for, WireFault, WirePath, WireResolution, WireShardInfo, WireStats};
 use inano_obs::{
     Event, EventKind, EventsPage, MetricValue, MetricsDump, MetricsRegistry, TraceTimings,
@@ -424,4 +427,125 @@ proptest! {
             let _ = decode(&bytes, &Limits::default());
         }
     }
+
+    // ---- the datagram read path. A UDP server decodes raw
+    // internet-facing bytes with `decode_datagram`; whatever arrives —
+    // truncated, bit-flipped, oversized, pure noise — the only legal
+    // outcomes are a decoded frame, a typed fault, or a silent drop.
+    // Never a panic.
+
+    #[test]
+    fn well_formed_datagrams_round_trip(frame in arb_frame(), id in any::<u64>()) {
+        let bytes = frame.encode(id);
+        match decode_datagram(&bytes, &Limits::default()) {
+            Ok((got_id, got)) => {
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got, frame);
+            }
+            other => prop_assert!(false, "well-formed datagram refused: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_datagrams_never_panic(frame in arb_frame(), keep in 0usize..96) {
+        // Cut anywhere, header included: a short datagram is either a
+        // silent drop (unattributable) or a typed fault, never a panic
+        // and never a bogus success (the payload length check catches
+        // every mid-payload cut).
+        let bytes = frame.encode(11);
+        let cut = keep % bytes.len();
+        match decode_datagram(&bytes[..cut], &Limits::default()) {
+            Err(_) => {}
+            Ok((got_id, got)) => prop_assert!(
+                false,
+                "truncated datagram ({cut} of {} bytes) decoded as id {got_id} {got:?}",
+                bytes.len()
+            ),
+        }
+    }
+
+    #[test]
+    fn bit_flipped_datagrams_never_panic(
+        frame in arb_frame(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = frame.encode(7);
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // A header flip may turn the datagram unattributable (Drop), a
+        // payload flip may still parse or fail typed — all fine.
+        let _ = decode_datagram(&bytes, &Limits::default());
+    }
+
+    #[test]
+    fn random_noise_datagrams_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Noise essentially never carries the magic, so it must be
+        // dropped silently — a reply here would make the server a
+        // reflection amplifier for spoofed sources.
+        if !bytes.starts_with(&0x694E_614Eu32.to_be_bytes()) {
+            match decode_datagram(&bytes, &Limits::default()) {
+                Err(DatagramError::Drop(_)) => {}
+                other => prop_assert!(false, "noise not dropped: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_datagrams_fault_typed_with_the_senders_id(
+        id in any::<u64>(),
+        extra in 1usize..64,
+    ) {
+        // A frame whose payload exceeds the receiver's limit is
+        // attributable (magic and version decoded), so the sender gets
+        // a typed FrameTooLarge carrying its own request id back.
+        let limits = Limits { max_frame_bytes: 64, max_batch: 1024 };
+        let frame = Frame::QueryBatch {
+            shard: ShardId(0),
+            pairs: vec![(Ipv4(1), Ipv4(2)); 8 + extra],
+        };
+        let bytes = frame.encode(id);
+        prop_assert!(bytes.len() - HEADER_BYTES > 64);
+        match decode_datagram(&bytes, &limits) {
+            Err(DatagramError::Fault { request_id, fault }) => {
+                prop_assert_eq!(request_id, id);
+                prop_assert_eq!(fault.code, ErrorCode::FrameTooLarge);
+            }
+            other => prop_assert!(false, "want typed fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ids_with_the_reserved_bit_set_still_round_trip(low in any::<u64>()) {
+        // Bit 63 is reserved for the tracing opt-in, but the codec
+        // itself is transparent to it: an id with the bit set must
+        // survive encode → decode unchanged on both transports (the
+        // server echoes it, the trace semantics live above the codec).
+        let id = low | TRACE_FLAG;
+        let bytes = Frame::Ping.encode(id);
+        let (stream_id, _) = decode(&bytes, &Limits::default()).unwrap().unwrap();
+        prop_assert_eq!(stream_id, id);
+        let (dgram_id, frame) = decode_datagram(&bytes, &Limits::default()).unwrap();
+        prop_assert_eq!(dgram_id, id);
+        prop_assert_eq!(frame, Frame::Ping);
+    }
+}
+
+/// The reply-size rule's arithmetic, pinned: the cap is the frame
+/// limit plus header room, but never beyond what one UDP datagram can
+/// physically carry.
+#[test]
+fn datagram_cap_is_clamped_to_the_udp_payload_maximum() {
+    let small = Limits {
+        max_frame_bytes: 1024,
+        max_batch: 16,
+    };
+    assert_eq!(datagram_cap(&small), 1024 + HEADER_BYTES);
+    let huge = Limits {
+        max_frame_bytes: 32 << 20,
+        max_batch: 16,
+    };
+    assert_eq!(datagram_cap(&huge), inano_net::MAX_UDP_PAYLOAD);
 }

@@ -15,7 +15,7 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Registry names use `.` as the namespace separator
 /// (`shard0.mirror.deltas_applied`); Prometheus names admit only
@@ -65,6 +65,34 @@ pub fn render_prometheus(dump: &MetricsDump) -> String {
     out
 }
 
+/// How long one scraper connection may hold the single-threaded
+/// responder. The responder serves connections sequentially, so a
+/// wedged or malicious peer that connects and then sends nothing (or
+/// drip-feeds header bytes under the per-read timeout) would starve
+/// every other scraper without a whole-connection bound.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeLimits {
+    /// Per-read / per-write socket timeout. Bounds any *single* stall.
+    pub io_timeout: Duration,
+    /// Total wall-clock budget for one connection, across all of its
+    /// sequential requests. Bounds a peer that keeps making progress
+    /// just fast enough to dodge `io_timeout`.
+    pub conn_deadline: Duration,
+    /// Maximum requests answered on one connection before it is
+    /// closed (the scraper just reconnects).
+    pub max_requests: u32,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            io_timeout: Duration::from_secs(5),
+            conn_deadline: Duration::from_secs(30),
+            max_requests: 64,
+        }
+    }
+}
+
 /// A running `--metrics-text` endpoint. Dropping it stops the accept
 /// thread (within one poll interval) and closes the listener.
 pub struct MetricsTextServer {
@@ -84,6 +112,21 @@ impl MetricsTextServer {
         A: ToSocketAddrs,
         F: Fn(&str) -> Option<String> + Send + Sync + 'static,
     {
+        MetricsTextServer::bind_with_limits(addr, route, ServeLimits::default())
+    }
+
+    /// [`bind`](MetricsTextServer::bind) with explicit [`ServeLimits`]
+    /// — tests shrink the deadline to milliseconds; a deployment
+    /// fronting slow scrape paths can widen it.
+    pub fn bind_with_limits<A, F>(
+        addr: A,
+        route: F,
+        limits: ServeLimits,
+    ) -> io::Result<MetricsTextServer>
+    where
+        A: ToSocketAddrs,
+        F: Fn(&str) -> Option<String> + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -96,9 +139,11 @@ impl MetricsTextServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             // Serve the connection until the peer
-                            // closes. Errors (a scraper hanging up
-                            // mid-request) only cost that connection.
-                            let _ = answer(stream, &route);
+                            // closes, the deadline passes, or the
+                            // request cap is hit. Errors (a scraper
+                            // hanging up mid-request) only cost that
+                            // connection.
+                            let _ = answer(stream, &route, limits);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             thread::sleep(Duration::from_millis(25));
@@ -121,18 +166,39 @@ impl MetricsTextServer {
 }
 
 /// Serve one connection: read a request head, answer it, repeat until
-/// EOF. HTTP/1.0 pollers that close after one response cost nothing
-/// extra; pollers that keep the socket open get sequential answers
-/// without a reconnect race.
-fn answer(stream: std::net::TcpStream, route: &dyn Fn(&str) -> Option<String>) -> io::Result<()> {
+/// EOF, the connection deadline, or the request cap. HTTP/1.0 pollers
+/// that close after one response cost nothing extra; pollers that keep
+/// the socket open get sequential answers without a reconnect race.
+///
+/// The per-read timeout is re-clamped to the *remaining* connection
+/// deadline before every head line, so a peer drip-feeding one byte
+/// per `io_timeout` still gets cut off at `conn_deadline` — the
+/// socket timeout is shared by the `BufReader` clone (`SO_RCVTIMEO`
+/// is per socket, and clones share the descriptor).
+fn answer(
+    stream: std::net::TcpStream,
+    route: &dyn Fn(&str) -> Option<String>,
+    limits: ServeLimits,
+) -> io::Result<()> {
+    let started = Instant::now();
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(limits.io_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
-    loop {
+    let clamp = |s: &std::net::TcpStream| -> io::Result<bool> {
+        let left = limits.conn_deadline.saturating_sub(started.elapsed());
+        if left.is_zero() {
+            return Ok(false);
+        }
+        s.set_read_timeout(Some(limits.io_timeout.min(left)))?;
+        Ok(true)
+    };
+    for _served in 0..limits.max_requests {
         // Request line: `GET /path HTTP/1.0`. EOF here is the normal
         // end of the connection.
+        if !clamp(&stream)? {
+            return Ok(());
+        }
         let mut request_line = String::new();
         if reader.read_line(&mut request_line)? == 0 {
             return Ok(());
@@ -144,7 +210,13 @@ fn answer(stream: std::net::TcpStream, route: &dyn Fn(&str) -> Option<String>) -
             .to_string();
         // Drain the rest of the head up to the blank line.
         let mut line = String::new();
-        while reader.read_line(&mut line)? > 0 {
+        loop {
+            if !clamp(&stream)? {
+                return Ok(());
+            }
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
             if line == "\r\n" || line == "\n" || line.trim().is_empty() {
                 break;
             }
@@ -164,6 +236,8 @@ fn answer(stream: std::net::TcpStream, route: &dyn Fn(&str) -> Option<String>) -
         stream.write_all(text.as_bytes())?;
         stream.flush()?;
     }
+    // Request cap reached: hang up; the scraper reconnects.
+    Ok(())
 }
 
 impl Drop for MetricsTextServer {
@@ -292,6 +366,80 @@ mod tests {
         let third = read_response(&mut reader);
         assert!(third.starts_with("HTTP/1.0 200 OK\r\n"), "{third}");
         assert!(third.ends_with("ok 3 42\n"), "{third}");
+    }
+
+    /// A scraper that connects and then goes silent must not starve
+    /// the single-threaded responder: the connection deadline cuts it
+    /// off and the next scraper in line is answered.
+    #[test]
+    fn silent_connection_is_cut_at_the_deadline_and_the_next_scraper_is_served() {
+        let srv = MetricsTextServer::bind_with_limits(
+            "127.0.0.1:0",
+            |_| Some("ok\n".into()),
+            ServeLimits {
+                io_timeout: Duration::from_millis(50),
+                conn_deadline: Duration::from_millis(150),
+                max_requests: 64,
+            },
+        )
+        .expect("bind metrics text");
+
+        // Wedged peer: connects, never sends a byte.
+        let wedged = TcpStream::connect(srv.local_addr()).expect("connect wedged");
+
+        // Healthy scraper queued behind it must get through once the
+        // deadline fires — well under the 5s a naive per-read timeout
+        // alone would allow a drip-feeding peer.
+        let started = Instant::now();
+        let mut s = TcpStream::connect(srv.local_addr()).expect("connect healthy");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("req");
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("response");
+        assert!(buf.starts_with("HTTP/1.0 200 OK\r\n"), "{buf}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "healthy scraper waited {:?} behind a wedged peer",
+            started.elapsed()
+        );
+        drop(wedged);
+    }
+
+    /// After `max_requests` answers the server hangs up; a reconnect
+    /// is served normally.
+    #[test]
+    fn request_cap_closes_the_connection() {
+        let srv = MetricsTextServer::bind_with_limits(
+            "127.0.0.1:0",
+            |_| Some("ok\n".into()),
+            ServeLimits {
+                max_requests: 2,
+                ..ServeLimits::default()
+            },
+        )
+        .expect("bind metrics text");
+
+        let s = TcpStream::connect(srv.local_addr()).expect("connect");
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut s = s;
+        for _ in 0..2 {
+            s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("req");
+            let resp = read_response(&mut reader);
+            assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"), "{resp}");
+        }
+        // Third request on the same connection: the server has hung
+        // up, so the read sees EOF (or a reset from the closed peer).
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").ok();
+        let mut line = String::new();
+        let eof = matches!(reader.read_line(&mut line), Ok(0) | Err(_));
+        assert!(eof, "expected EOF after request cap, got {line:?}");
+
+        // A fresh connection is served again.
+        let mut s2 = TcpStream::connect(srv.local_addr()).expect("reconnect");
+        s2.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("req");
+        let mut buf = String::new();
+        s2.read_to_string(&mut buf).expect("response");
+        assert!(buf.starts_with("HTTP/1.0 200 OK\r\n"), "{buf}");
     }
 
     #[test]

@@ -381,6 +381,44 @@ mod tests {
     }
 
     #[test]
+    fn udp_socket_readiness_is_delivered_and_rearms() {
+        use std::net::UdpSocket;
+        // The datagram plane registers a UdpSocket on the same epoll
+        // loop as the listener and connections; readiness must fire
+        // per arriving datagram and obey the same oneshot contract.
+        let poller = Poller::new().expect("poller");
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        socket.set_nonblocking(true).expect("nonblocking");
+        unsafe { poller.add(&socket, Event::readable(9)).expect("add") };
+
+        let sender = UdpSocket::bind("127.0.0.1:0").expect("bind sender");
+        sender
+            .send_to(b"ping", socket.local_addr().unwrap())
+            .expect("send");
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        let ev = events.iter().next().expect("one event");
+        assert_eq!(ev.key, 9);
+        assert!(ev.readable);
+
+        // Drain, rearm, and a second datagram fires again.
+        let mut buf = [0u8; 16];
+        let (n, _) = socket.recv_from(&mut buf).expect("recv");
+        assert_eq!(&buf[..n], b"ping");
+        poller.modify(&socket, Event::readable(9)).expect("rearm");
+        sender
+            .send_to(b"pong", socket.local_addr().unwrap())
+            .expect("send");
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(events.iter().next().expect("event").key, 9);
+    }
+
+    #[test]
     fn oneshot_disarms_until_rearmed() {
         let poller = Poller::new().expect("poller");
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
